@@ -1,0 +1,112 @@
+// Command ktau-exp regenerates the paper's evaluation: every table and
+// figure of "Kernel-Level Measurement for Integrated Parallel Performance
+// Views: the KTAU Project" (CLUSTER 2006) has a corresponding experiment id.
+//
+//	ktau-exp -exp table2            # Table 2 at full 128-rank scale
+//	ktau-exp -exp fig5 -ranks 32    # Fig 5 at reduced scale
+//	ktau-exp -exp all               # everything (several minutes)
+//
+// Absolute times are simulation-scale (runs are ~100x shorter than the
+// paper's); the shapes — orderings, slowdown factors, CDF separations — are
+// the reproduction targets. Paper-reported values are printed alongside
+// where applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ktau"
+)
+
+type runner func(ranks int, out io.Writer)
+
+var experimentOrder = []string{
+	"table2", "table3", "table4",
+	"fig2a", "fig2c", "fig2e",
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"ionode", // §6 future-work extension, not a paper table/figure
+}
+
+var experimentRunners = map[string]runner{
+	"table2": func(ranks int, out io.Writer) { ktau.RunTable2(ranks, 1).Render(out) },
+	"table3": func(ranks int, out io.Writer) { ktau.RunTable3(16, 5, 2).Render(out) },
+	"table4": func(ranks int, out io.Writer) { ktau.RunTable4(100_000).Render(out) },
+	"fig2a":  func(ranks int, out io.Writer) { ktau.RunFig2AB(1).Render(out) }, // includes 2-B and 2-D
+	"fig2c":  func(ranks int, out io.Writer) { ktau.RunFig2C(1).Render(out) },
+	"fig2e":  func(ranks int, out io.Writer) { ktau.RunFig2E(1).Render(out) },
+	"fig3":   func(ranks int, out io.Writer) { ktau.RunFig3(ranks).Render(out) },
+	"fig4":   func(ranks int, out io.Writer) { ktau.RunFig4(ranks).Render(out) },
+	"fig5":   func(ranks int, out io.Writer) { ktau.RunFig5(ranks).Render(out) },
+	"fig6":   func(ranks int, out io.Writer) { ktau.RunFig6(ranks).Render(out) },
+	"fig7":   func(ranks int, out io.Writer) { ktau.RunFig7(ranks).Render(out) },
+	"fig8":   func(ranks int, out io.Writer) { ktau.RunFig8(ranks).Render(out) },
+	"fig9":   func(ranks int, out io.Writer) { ktau.RunFig9(ranks).Render(out) },
+	"fig10":  func(ranks int, out io.Writer) { ktau.RunFig10(ranks).Render(out) },
+	"ionode": func(ranks int, out io.Writer) { ktau.RunIONodeStudy(1).Render(out) },
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (table2|table3|table4|fig2a|fig2c|fig2e|fig3..fig10|all)")
+	ranks := flag.Int("ranks", 128, "MPI ranks for the Chiba-family experiments")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experimentOrder {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("  all")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentOrder
+	} else if _, ok := experimentRunners[*exp]; !ok {
+		known := make([]string, 0, len(experimentRunners))
+		for id := range experimentRunners {
+			known = append(known, id)
+		}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "ktau-exp: unknown experiment %q (known: %s)\n",
+			*exp, strings.Join(known, ", "))
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", id)
+		var out io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+				os.Exit(1)
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+				os.Exit(1)
+			}
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		experimentRunners[id](*ranks, out)
+		if f != nil {
+			f.Close()
+		}
+		fmt.Printf("---- %s done in %v wall ----\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

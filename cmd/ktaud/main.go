@@ -1,0 +1,75 @@
+// Command ktaud demonstrates the KTAUD daemon of paper §4.5: a simulated
+// node runs an uninstrumented ("closed-source") workload while KTAUD
+// periodically extracts every process's kernel profile through the
+// session-less /proc/ktau protocol and dumps them in libKtau's ASCII format.
+//
+// Example:
+//
+//	ktaud -interval 250ms -rounds 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ktau"
+)
+
+func main() {
+	interval := flag.Duration("interval", 250*time.Millisecond, "collection interval (virtual time)")
+	rounds := flag.Int("rounds", 6, "collection rounds before exiting")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quiet := flag.Bool("quiet", false, "print per-round summaries instead of full ASCII profiles")
+	flag.Parse()
+
+	kp := ktau.DefaultKernelParams()
+	c := ktau.NewCluster(ktau.ClusterConfig{
+		Nodes:  ktau.UniformNodes("node", 1),
+		Kernel: kp,
+		Ktau: ktau.MeasurementOptions{
+			Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true,
+		},
+		Seed: *seed,
+	})
+	defer c.Shutdown()
+	k := c.Node(0).K
+	ktau.StartSystemDaemons(k)
+
+	// A "closed-source" workload KTAUD monitors from outside: it cannot be
+	// source-instrumented, which is exactly the case KTAUD exists for.
+	app := k.Spawn("blackbox", func(u *ktau.UCtx) {
+		for {
+			u.Compute(3 * time.Millisecond)
+			u.Syscall("sys_write", func(kc *ktau.KCtx) { kc.Use(15 * time.Microsecond) })
+			u.Sleep(time.Millisecond)
+		}
+	}, ktau.SpawnOpts{Kind: ktau.KindUser})
+	_ = app
+
+	fs := ktau.NewProcFS(k.Ktau())
+	cfg := ktau.KTAUDConfig{
+		Interval: *interval,
+		Rounds:   *rounds,
+	}
+	if *quiet {
+		cfg.OnSnapshot = func(round int, snaps []ktau.Snapshot) {
+			fmt.Printf("round %d at %v: %d processes\n", round, c.Eng.Now(), len(snaps))
+			for _, s := range snaps {
+				fmt.Printf("  pid %-7d %-14s events=%d\n", s.PID, s.Name, len(s.Events))
+			}
+		}
+	} else {
+		cfg.Out = os.Stdout
+	}
+	daemon := k.Spawn("ktaud", ktau.KTAUD(fs, cfg), ktau.SpawnOpts{Kind: ktau.KindDaemon})
+
+	if !c.RunUntilDone([]*ktau.Task{daemon}, 10*time.Minute) {
+		fmt.Fprintln(os.Stderr, "ktaud: daemon did not finish its rounds")
+		os.Exit(1)
+	}
+	fmt.Printf("ktaud: %d rounds complete at %v (virtual); daemon cpu=%v kernel=%v\n",
+		*rounds, c.Eng.Now(), daemon.UserTime, daemon.KernTime)
+}

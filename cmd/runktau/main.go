@@ -1,0 +1,134 @@
+// Command runktau is the simulation-hosted analogue of the paper's runKtau
+// client (§4.5): like time(1), it runs a program inside a freshly booted
+// simulated node and, when the program exits, retrieves and prints the
+// process's detailed KTAU kernel profile through libKtau.
+//
+// Built-in programs exercise different kernel subsystems:
+//
+//	spin      — pure user compute (scheduler/timer activity only)
+//	syscalls  — a getpid loop (syscall path)
+//	mixed     — compute + sleep + syscalls (voluntary switching)
+//	pingpong  — two processes exchanging TCP messages across two nodes
+//
+// Example:
+//
+//	runktau -prog mixed -n 200 -groups SCHED,SYSCALL -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ktau"
+)
+
+func main() {
+	prog := flag.String("prog", "mixed", "program to run: spin|syscalls|mixed|pingpong")
+	n := flag.Int("n", 100, "iterations of the program's main loop")
+	groups := flag.String("groups", "ALL", "instrumentation groups to enable (e.g. SCHED,TCP)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	trace := flag.Bool("trace", false, "dump the kernel trace buffer after the run")
+	flag.Parse()
+
+	g, err := ktau.ParseGroup(*groups)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	kp := ktau.DefaultKernelParams()
+	traceCap := 0
+	if *trace {
+		traceCap = 16384
+	}
+	c := ktau.NewCluster(ktau.ClusterConfig{
+		Nodes:  ktau.UniformNodes("node", 2),
+		Kernel: kp,
+		Ktau: ktau.MeasurementOptions{
+			Compiled: ktau.GroupAll, Boot: g,
+			Mapping: true, RetainExited: true, TraceCapacity: traceCap,
+		},
+		Seed: *seed,
+	})
+	defer c.Shutdown()
+	ktau.StartSystemDaemons(c.Node(0).K)
+
+	fs := ktau.NewProcFS(c.Node(0).K.Ktau())
+	var snap ktau.Snapshot
+	body, extra := buildProgram(c, *prog, *n)
+	task := c.Node(0).K.Spawn(*prog, ktau.RunKtau(fs, body, &snap), ktau.SpawnOpts{Kind: ktau.KindUser})
+
+	tasks := append([]*ktau.Task{task}, extra...)
+	if !c.RunUntilDone(tasks, 10*time.Minute) {
+		fmt.Fprintln(os.Stderr, "runktau: program did not finish")
+		os.Exit(1)
+	}
+
+	fmt.Printf("runktau: %q finished in %v (virtual)\n\n", *prog, task.Runtime())
+	ktau.FormatProfile(os.Stdout, snap, kp.HZ)
+
+	if *trace {
+		h := ktau.OpenKtau(fs)
+		dump, err := h.GetTrace(task.PID())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace read:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nkernel trace: %d records (%d lost)\n", len(dump.Records), dump.Lost)
+		reg := c.Node(0).K.Ktau().Reg
+		for i, r := range dump.Records {
+			if i >= 60 {
+				fmt.Printf("  ... %d more\n", len(dump.Records)-i)
+				break
+			}
+			fmt.Printf("  %12d %-6s %s\n", r.TSC, r.Kind, reg.Name(r.Ev))
+		}
+	}
+}
+
+// buildProgram returns the requested program body plus any helper tasks it
+// needs (the pingpong peer).
+func buildProgram(c *ktau.Cluster, name string, n int) (ktau.Program, []*ktau.Task) {
+	switch name {
+	case "spin":
+		return func(u *ktau.UCtx) {
+			for i := 0; i < n; i++ {
+				u.Compute(2 * time.Millisecond)
+			}
+		}, nil
+	case "syscalls":
+		return func(u *ktau.UCtx) {
+			for i := 0; i < n; i++ {
+				u.Syscall("sys_getpid", nil)
+			}
+		}, nil
+	case "mixed":
+		return func(u *ktau.UCtx) {
+			for i := 0; i < n; i++ {
+				u.Compute(time.Millisecond)
+				u.Syscall("sys_getpid", nil)
+				u.Sleep(500 * time.Microsecond)
+			}
+		}, nil
+	case "pingpong":
+		ab, ba := ktau.Connect(c.Node(0).Stack, c.Node(1).Stack)
+		peer := c.Node(1).K.Spawn("pong", func(u *ktau.UCtx) {
+			for i := 0; i < n; i++ {
+				ba.Recv(u, 1024)
+				ba.Send(u, 1024)
+			}
+		}, ktau.SpawnOpts{Kind: ktau.KindUser})
+		return func(u *ktau.UCtx) {
+			for i := 0; i < n; i++ {
+				ab.Send(u, 1024)
+				ab.Recv(u, 1024)
+			}
+		}, []*ktau.Task{peer}
+	default:
+		fmt.Fprintf(os.Stderr, "runktau: unknown program %q\n", name)
+		os.Exit(2)
+		return nil, nil
+	}
+}

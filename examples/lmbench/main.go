@@ -1,0 +1,50 @@
+// lmbench runs the LMBENCH-style micro-benchmarks the paper also exercised
+// KTAU with: null syscall latency, context-switch latency, and TCP
+// latency/bandwidth — each once with KTAU instrumentation disabled at boot
+// and once fully enabled, showing the probe-only versus measured costs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ktau"
+)
+
+func bench(boot ktau.Group) (nullSC, ctxSW, tcpLat time.Duration, tcpBW float64) {
+	c := ktau.NewCluster(ktau.ClusterConfig{
+		Nodes:  ktau.UniformNodes("node", 2),
+		Kernel: ktau.DefaultKernelParams(),
+		Ktau: ktau.MeasurementOptions{
+			Compiled: ktau.GroupAll, Boot: boot, RetainExited: true,
+		},
+		Seed: 9,
+	})
+	defer c.Shutdown()
+	k := c.Node(0).K
+	nullSC = ktau.LMBenchNullSyscall(k, 2000)
+	ctxSW = ktau.LMBenchCtxSwitch(k, 500)
+	tcpLat, tcpBW = ktau.LMBenchTCP(c.Node(0).Stack, c.Node(1).Stack, 50, 4_000_000)
+	return
+}
+
+func main() {
+	fmt.Println("LMBENCH-style micro-benchmarks on a simulated dual 450MHz node")
+	fmt.Println("(100 Mb/s Ethernet between nodes)")
+	fmt.Println()
+	offSC, offCS, offLat, offBW := bench(ktau.GroupNone) // compiled in, boot-disabled
+	onSC, onCS, onLat, onBW := bench(ktau.GroupAll)
+
+	rows := [][]string{
+		{"null syscall", fmt.Sprint(offSC), fmt.Sprint(onSC)},
+		{"context switch", fmt.Sprint(offCS), fmt.Sprint(onCS)},
+		{"TCP latency (1B RTT/2)", fmt.Sprint(offLat), fmt.Sprint(onLat)},
+		{"TCP bandwidth", fmt.Sprintf("%.2f MB/s", offBW/1e6), fmt.Sprintf("%.2f MB/s", onBW/1e6)},
+	}
+	ktau.TextTable(os.Stdout, []string{"metric", "KTAU boot-disabled", "KTAU enabled"}, rows)
+	fmt.Println()
+	fmt.Println("The boot-disabled column shows the paper's 'Ktau Off' claim: compiled-in")
+	fmt.Println("instrumentation behind runtime flags costs nothing measurable; enabling")
+	fmt.Println("it adds the per-event start/stop cost of Table 4.")
+}

@@ -1,0 +1,73 @@
+// tracing demonstrates merged user/kernel event tracing (the paper's
+// Fig 2-E): TAU records application events while KTAU records kernel events
+// on the same virtual timebase; merging them shows exactly which kernel
+// activity — sys_writev, sock_sendmsg, tcp_sendmsg, interrupts, softirqs —
+// occurred inside one user-space MPI_Send.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ktau"
+)
+
+func main() {
+	const ranks = 2
+	c := ktau.NewCluster(ktau.ClusterConfig{
+		Nodes:  ktau.UniformNodes("host", ranks),
+		Kernel: ktau.DefaultKernelParams(),
+		Ktau: ktau.MeasurementOptions{
+			Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true,
+			TraceCapacity: 32768, // per-process kernel trace ring
+		},
+		Seed: 3,
+	})
+	defer c.Shutdown()
+
+	specs := []ktau.RankSpec{
+		{Stack: c.Node(0).Stack},
+		{Stack: c.Node(1).Stack},
+	}
+	topts := ktau.DefaultTauOptions()
+	topts.TraceCapacity = 32768 // user-level trace ring
+
+	w := ktau.NewWorld(specs, topts)
+	tasks := w.Launch("app", func(r *ktau.Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 3; i++ {
+				r.Compute("work", 2*time.Millisecond)
+				r.Send(1, 64*1024, 1) // a large message: many segments
+				r.Recv(1, 2)
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				r.Recv(0, 1)
+				r.Send(0, 256, 2)
+			}
+		}
+	})
+	if !c.RunUntilDone(tasks, time.Minute) {
+		fmt.Fprintln(os.Stderr, "run did not finish")
+		os.Exit(1)
+	}
+
+	// Merge rank 0's user (TAU) and kernel (KTAU) traces.
+	k := c.Node(0).K
+	user := w.Rank(0).Tau.Trace()
+	kern := tasks[0].KD().Trace().Snapshot()
+	tl := ktau.MergeTimeline(user, kern, k.Ktau().Reg.Name)
+	fmt.Printf("merged timeline: %d events (%d user + %d kernel)\n\n",
+		len(tl), len(user), len(kern))
+
+	// Cut the window of the second MPI_Send and render it.
+	win := ktau.TimelineWindow(tl, "MPI_Send()", 1)
+	if win == nil {
+		fmt.Fprintln(os.Stderr, "no MPI_Send window found")
+		os.Exit(1)
+	}
+	fmt.Println("kernel activity inside one user-space MPI_Send (Fig 2-E):")
+	ktau.RenderTimeline(os.Stdout, win, k.Params().HZ)
+}

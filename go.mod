@@ -1,0 +1,3 @@
+module ktau
+
+go 1.22

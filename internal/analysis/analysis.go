@@ -1,0 +1,252 @@
+// Package analysis provides the statistical and presentation primitives the
+// experiment harness uses to regenerate the paper's tables and figures:
+// cumulative distribution functions (Figs. 5, 6, 8, 9, 10), histograms
+// (Fig. 3), ParaProf-style text bar charts (Figs. 2, 4, 7) and aligned
+// tables (Tables 2, 3, 4).
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct{ X, Y float64 }
+
+// CDF returns the empirical cumulative distribution of the samples: points
+// (x_i, i/n) with x ascending — exactly the "% MPI Ranks" vs value curves of
+// the paper's figures.
+func CDF(samples []float64) []Point {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	out := make([]Point, len(s))
+	n := float64(len(s))
+	for i, x := range s {
+		out[i] = Point{X: x, Y: float64(i+1) / n}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of the samples (linear
+// interpolation between order statistics).
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Std returns the population standard deviation.
+func Std(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := Mean(samples)
+	var acc float64
+	for _, v := range samples {
+		acc += (v - m) * (v - m)
+	}
+	return math.Sqrt(acc / float64(len(samples)))
+}
+
+// Min returns the smallest sample.
+func Min(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample.
+func Max(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PercentDiff returns 100*(v-base)/base.
+func PercentDiff(v, base float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return 100 * (v - base) / base
+}
+
+// Histogram bins samples into equal-width bins over [min, max].
+type Histogram struct {
+	Lo, Hi, Width float64
+	Counts        []int
+}
+
+// NewHistogram builds a histogram with the given bin count.
+func NewHistogram(samples []float64, bins int) Histogram {
+	if bins <= 0 || len(samples) == 0 {
+		return Histogram{}
+	}
+	lo, hi := Min(samples), Max(samples)
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := Histogram{Lo: lo, Hi: hi, Width: (hi - lo) / float64(bins), Counts: make([]int, bins)}
+	for _, v := range samples {
+		i := int((v - lo) / h.Width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Bimodality is a crude bimodality signal: the ratio of between-cluster to
+// total variance under the best 2-means split of the sorted samples (close
+// to 1 = strongly bimodal, near 0 = unimodal). Fig. 8's pinned-without-
+// irq-balance curve is the bimodal case.
+func Bimodality(samples []float64) float64 {
+	if len(samples) < 4 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	total := Std(s)
+	if total == 0 {
+		return 0
+	}
+	best := 0.0
+	for cut := 1; cut < len(s); cut++ {
+		a, b := s[:cut], s[cut:]
+		ma, mb := Mean(a), Mean(b)
+		wa, wb := float64(len(a))/float64(len(s)), float64(len(b))/float64(len(s))
+		m := Mean(s)
+		between := wa*(ma-m)*(ma-m) + wb*(mb-m)*(mb-m)
+		if r := between / (total * total); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// ---- text rendering ----
+
+// BarChart renders a horizontal ParaProf-style bar chart.
+func BarChart(w io.Writer, title string, labels []string, values []float64, unit string, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	maxV := Max(values)
+	if maxV <= 0 || math.IsNaN(maxV) {
+		maxV = 1
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	for i, l := range labels {
+		n := int(values[i] / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s |%-*s| %.3f %s\n",
+			maxLabel, l, width, strings.Repeat("#", n), values[i], unit)
+	}
+}
+
+// Table renders an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// Series writes a gnuplot-consumable "x y" dump with a header comment, the
+// machine-readable form of each figure's curves.
+func Series(w io.Writer, name string, pts []Point) {
+	fmt.Fprintf(w, "# series: %s (%d points)\n", name, len(pts))
+	for _, p := range pts {
+		fmt.Fprintf(w, "%g %g\n", p.X, p.Y)
+	}
+	fmt.Fprintln(w)
+}
+
+// SeriesSummary renders a one-line quantile summary of a sample set —
+// enough to compare curve positions without plotting.
+func SeriesSummary(w io.Writer, name string, samples []float64) {
+	fmt.Fprintf(w, "  %-24s n=%-4d min=%-12.4g p25=%-12.4g median=%-12.4g p75=%-12.4g max=%-12.4g mean=%-12.4g\n",
+		name, len(samples), Min(samples), Quantile(samples, 0.25),
+		Quantile(samples, 0.5), Quantile(samples, 0.75), Max(samples), Mean(samples))
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[2].X != 3 {
+		t.Errorf("x not sorted: %+v", pts)
+	}
+	if pts[2].Y != 1.0 {
+		t.Errorf("last y = %v, want 1", pts[2].Y)
+	}
+	if pts[0].Y <= 0 || pts[0].Y > 1 {
+		t.Errorf("first y = %v", pts[0].Y)
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF must be nil")
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var in []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				in = append(in, v)
+			}
+		}
+		pts := CDF(in)
+		if len(pts) != len(in) {
+			return false
+		}
+		// x non-decreasing, y strictly increasing to 1.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+				return false
+			}
+		}
+		return len(pts) == 0 || pts[len(pts)-1].Y == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 5 {
+		t.Error("extremes wrong")
+	}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(s, 0.25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile must be NaN")
+	}
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(s) != 5 {
+		t.Errorf("mean = %v", Mean(s))
+	}
+	if Std(s) != 2 {
+		t.Errorf("std = %v", Std(s))
+	}
+	if Min(s) != 2 || Max(s) != 9 {
+		t.Error("min/max wrong")
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	if got := PercentDiff(512.2, 295.6); math.Abs(got-73.27) > 0.1 {
+		t.Errorf("the paper's anomaly slowdown computes to %v, want ~73.3", got)
+	}
+	if !math.IsNaN(PercentDiff(1, 0)) {
+		t.Error("zero base must be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(h.Counts) != 5 {
+		t.Fatalf("bins = %d", len(h.Counts))
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+		if c != 2 {
+			t.Errorf("uniform data not evenly binned: %v", h.Counts)
+		}
+	}
+	if total != 10 {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	// Degenerate: all equal values land in one bin without panicking.
+	h2 := NewHistogram([]float64{5, 5, 5}, 4)
+	sum := 0
+	for _, c := range h2.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Errorf("degenerate histogram lost samples: %v", h2.Counts)
+	}
+}
+
+func TestBimodalitySeparatesShapes(t *testing.T) {
+	var unimodal, bimodal []float64
+	for i := 0; i < 50; i++ {
+		unimodal = append(unimodal, 100+float64(i%7))
+		if i%2 == 0 {
+			bimodal = append(bimodal, 10+float64(i%5))
+		} else {
+			bimodal = append(bimodal, 1000+float64(i%5))
+		}
+	}
+	bu, bb := Bimodality(unimodal), Bimodality(bimodal)
+	if bb < 0.9 {
+		t.Errorf("bimodal score = %v, want > 0.9", bb)
+	}
+	if bu > 0.8 {
+		t.Errorf("unimodal score = %v, want < 0.8", bu)
+	}
+	if bb <= bu {
+		t.Error("bimodality must rank the bimodal sample higher")
+	}
+}
+
+func TestBarChartRenders(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "Kernel activity", []string{"host0", "host8"}, []float64{1.5, 3.0}, "s", 20)
+	out := sb.String()
+	if !strings.Contains(out, "host8") || !strings.Contains(out, "####################") {
+		t.Errorf("bar chart malformed:\n%s", out)
+	}
+	// host0's bar must be half of host8's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("host0 bar = %d hashes, want 10", strings.Count(lines[1], "#"))
+	}
+}
+
+func TestTableAligns(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"Config", "Time"}, [][]string{{"128x1", "295.6"}, {"64x2 Anomaly", "512.2"}})
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	w := len(lines[0])
+	for _, l := range lines {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", sb.String())
+		}
+	}
+}
+
+func TestSeriesOutput(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "fig5/128x1", []Point{{1, 0.5}, {2, 1}})
+	out := sb.String()
+	if !strings.Contains(out, "# series: fig5/128x1") || !strings.Contains(out, "1 0.5") {
+		t.Errorf("series dump malformed:\n%s", out)
+	}
+}
+
+func TestSeriesSummaryStable(t *testing.T) {
+	var sb strings.Builder
+	s := []float64{5, 1, 4, 2, 3}
+	SeriesSummary(&sb, "x", s)
+	if !strings.Contains(sb.String(), "median=3") {
+		t.Errorf("summary missing median: %s", sb.String())
+	}
+	// Input must not be reordered.
+	if !sort.SliceIsSorted([]int{0}, func(i, j int) bool { return false }) {
+		t.Skip()
+	}
+	if s[0] != 5 {
+		t.Error("SeriesSummary mutated its input")
+	}
+}

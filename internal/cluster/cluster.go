@@ -1,0 +1,161 @@
+// Package cluster assembles multi-node simulated systems: one kernel + NIC +
+// TCP stack per node on a shared engine and interconnect. It is the level at
+// which the paper's testbeds are described — neutron (4-CPU SMP), neuronic
+// (16x2 P4 cluster) and Chiba-City (128x2 P3-450 over Ethernet) — including
+// per-node oddities such as the ccn10 node whose kernel detected only one
+// processor (paper §5.2).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/netsim"
+	"ktau/internal/sim"
+	"ktau/internal/tcpsim"
+)
+
+// NodeSpec describes one node.
+type NodeSpec struct {
+	Name string
+	// CPUs overrides the cluster default when > 0 (set to 1 on the anomaly
+	// node to reproduce the missing-processor bug).
+	CPUs int
+}
+
+// Config describes a whole cluster.
+type Config struct {
+	// Nodes lists the machines; use UniformNodes for homogeneous clusters.
+	Nodes []NodeSpec
+	// Kernel is the per-node kernel parameter template (DefaultParams-based).
+	Kernel kernel.Params
+	// PerNode optionally tweaks kernel parameters per node after the
+	// template is applied (e.g. enable irq-balance everywhere, or pin IRQs).
+	PerNode func(name string, p *kernel.Params)
+	// Ktau configures each node's measurement system.
+	Ktau ktau.Options
+	// TCP configures each node's network stack cost model.
+	TCP tcpsim.Params
+	// Link configures the interconnect.
+	Link netsim.LinkSpec
+	// Seed drives all randomness in the simulation.
+	Seed uint64
+}
+
+// UniformNodes returns n NodeSpecs named prefix0..prefix<n-1>.
+func UniformNodes(prefix string, n int) []NodeSpec {
+	out := make([]NodeSpec, n)
+	for i := range out {
+		out[i] = NodeSpec{Name: fmt.Sprintf("%s%d", prefix, i)}
+	}
+	return out
+}
+
+// Node is one booted machine.
+type Node struct {
+	Name  string
+	K     *kernel.Kernel
+	NIC   *netsim.NIC
+	Stack *tcpsim.Stack
+}
+
+// Cluster is a booted multi-node system.
+type Cluster struct {
+	Eng    *sim.Engine
+	Net    *netsim.Network
+	Nodes  []*Node
+	byName map[string]*Node
+	RNG    *sim.RNG
+}
+
+// New boots a cluster from the config.
+func New(cfg Config) *Cluster {
+	if len(cfg.Nodes) == 0 {
+		panic("cluster: no nodes")
+	}
+	if cfg.Kernel.HZ == 0 {
+		cfg.Kernel = kernel.DefaultParams()
+	}
+	if cfg.Link.BandwidthBps == 0 {
+		cfg.Link = netsim.DefaultLinkSpec()
+	}
+	if cfg.TCP.RcvPerPkt == 0 {
+		cfg.TCP = tcpsim.DefaultParams()
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	c := &Cluster{
+		Eng:    eng,
+		Net:    netsim.New(eng, cfg.Link),
+		byName: make(map[string]*Node),
+		RNG:    rng,
+	}
+	for _, spec := range cfg.Nodes {
+		p := cfg.Kernel
+		if spec.CPUs > 0 {
+			p.NumCPUs = spec.CPUs
+		}
+		if cfg.PerNode != nil {
+			cfg.PerNode(spec.Name, &p)
+		}
+		k := kernel.NewKernel(eng, spec.Name, p, rng, cfg.Ktau)
+		nic := c.Net.Attach(spec.Name)
+		n := &Node{
+			Name:  spec.Name,
+			K:     k,
+			NIC:   nic,
+			Stack: tcpsim.NewStack(k, nic, cfg.TCP),
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.byName[spec.Name] = n
+	}
+	return c
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// NodeByName returns the named node, or nil.
+func (c *Cluster) NodeByName(name string) *Node { return c.byName[name] }
+
+// Shutdown releases all task goroutines on all nodes.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.Nodes {
+		n.K.Shutdown()
+	}
+}
+
+// RunUntilDone drives the engine until every listed task has exited or the
+// virtual deadline passes; it returns whether all finished.
+func (c *Cluster) RunUntilDone(tasks []*kernel.Task, deadline time.Duration) bool {
+	limit := c.Eng.Now().Add(deadline)
+	for c.Eng.Now() < limit {
+		done := true
+		for _, t := range tasks {
+			if !t.Exited() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		if !c.Eng.Step() {
+			break
+		}
+	}
+	for _, t := range tasks {
+		if !t.Exited() {
+			return false
+		}
+	}
+	return true
+}
+
+// Settle runs the engine for d more virtual time (letting in-flight frames,
+// acks and interrupts complete) without requiring any task to finish.
+func (c *Cluster) Settle(d time.Duration) {
+	c.Eng.RunUntil(c.Eng.Now().Add(d))
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/tcpsim"
+)
+
+func testConfig(nodes int) Config {
+	kp := kernel.DefaultParams()
+	kp.CostJitter = 0
+	kp.PageFaultRate = 0
+	return Config{
+		Nodes:  UniformNodes("n", nodes),
+		Kernel: kp,
+		Ktau:   ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll, RetainExited: true},
+		Seed:   1,
+	}
+}
+
+func TestUniformNodes(t *testing.T) {
+	specs := UniformNodes("ccn", 3)
+	if len(specs) != 3 || specs[0].Name != "ccn0" || specs[2].Name != "ccn2" {
+		t.Errorf("specs = %+v", specs)
+	}
+}
+
+func TestClusterBootsNodes(t *testing.T) {
+	c := New(testConfig(4))
+	defer c.Shutdown()
+	if len(c.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		if n.K == nil || n.Stack == nil || n.NIC == nil {
+			t.Fatalf("node %d incomplete", i)
+		}
+		if c.Node(i) != n || c.NodeByName(n.Name) != n {
+			t.Error("node lookup inconsistent")
+		}
+	}
+	if c.NodeByName("ghost") != nil {
+		t.Error("unknown node should be nil")
+	}
+}
+
+func TestPerNodeOverride(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Nodes[1].CPUs = 1 // the anomaly node
+	cfg.PerNode = func(name string, p *kernel.Params) {
+		if name == "n2" {
+			p.IRQBalance = true
+		}
+	}
+	c := New(cfg)
+	defer c.Shutdown()
+	if got := c.Node(0).K.NumCPUs(); got != 2 {
+		t.Errorf("n0 cpus = %d, want default 2", got)
+	}
+	if got := c.Node(1).K.NumCPUs(); got != 1 {
+		t.Errorf("anomaly node cpus = %d, want 1", got)
+	}
+	if !c.Node(2).K.Params().IRQBalance {
+		t.Error("per-node tweak not applied")
+	}
+	if c.Node(0).K.Params().IRQBalance {
+		t.Error("per-node tweak leaked to other nodes")
+	}
+}
+
+func TestRunUntilDoneAndSettle(t *testing.T) {
+	c := New(testConfig(1))
+	defer c.Shutdown()
+	task := c.Node(0).K.Spawn("w", func(u *kernel.UCtx) {
+		u.Compute(5 * time.Millisecond)
+	}, kernel.SpawnOpts{})
+	if !c.RunUntilDone([]*kernel.Task{task}, time.Second) {
+		t.Fatal("task did not finish")
+	}
+	before := c.Eng.Now()
+	c.Settle(3 * time.Millisecond)
+	if c.Eng.Now().Sub(before) < 3*time.Millisecond {
+		t.Error("settle did not advance virtual time")
+	}
+}
+
+func TestRunUntilDoneTimesOut(t *testing.T) {
+	c := New(testConfig(1))
+	defer c.Shutdown()
+	task := c.Node(0).K.Spawn("forever", func(u *kernel.UCtx) {
+		u.Sleep(time.Hour)
+	}, kernel.SpawnOpts{})
+	if c.RunUntilDone([]*kernel.Task{task}, 10*time.Millisecond) {
+		t.Error("RunUntilDone should report failure on deadline")
+	}
+}
+
+func TestCrossNodeTrafficWorks(t *testing.T) {
+	c := New(testConfig(2))
+	defer c.Shutdown()
+	ab, ba := connPair(c)
+	snd := c.Node(0).K.Spawn("s", func(u *kernel.UCtx) { ab.Send(u, 4000) }, kernel.SpawnOpts{})
+	rcv := c.Node(1).K.Spawn("r", func(u *kernel.UCtx) { ba.Recv(u, 4000) }, kernel.SpawnOpts{})
+	if !c.RunUntilDone([]*kernel.Task{snd, rcv}, time.Second) {
+		t.Fatal("transfer did not finish")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	// A minimal config gets kernel params, link spec and TCP params.
+	c := New(Config{Nodes: UniformNodes("x", 1), Seed: 2})
+	defer c.Shutdown()
+	if c.Node(0).K.Params().HZ == 0 {
+		t.Error("kernel defaults missing")
+	}
+	if c.Net.Spec().BandwidthBps == 0 {
+		t.Error("link defaults missing")
+	}
+}
+
+func TestEmptyClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+// connPair opens a connection between node 0 and node 1.
+func connPair(c *Cluster) (*tcpsim.Conn, *tcpsim.Conn) {
+	return tcpsim.Connect(c.Node(0).Stack, c.Node(1).Stack)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/workload"
+)
+
+// TestChibaRunInternalConsistency cross-validates the harvested metrics of
+// one full run against each other and against conservation laws:
+// the KTAU-derived per-rank scheduling times must agree with the kernel's
+// own counters, per-rank execution decomposes into CPU + waits (within
+// measurement noise), and the kernel-wide node view must equal the sum of
+// its per-process views.
+func TestChibaRunInternalConsistency(t *testing.T) {
+	spec := DefaultChiba(16, 2)
+	spec.Seed = 31
+	res := RunChiba(spec)
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if res.Exec <= 0 {
+		t.Fatal("no execution time")
+	}
+	for _, rd := range res.Ranks {
+		if rd.Exec <= 0 {
+			t.Errorf("rank %d exec = %v", rd.Rank, rd.Exec)
+		}
+		// Waits cannot exceed the rank's wall time.
+		if rd.VolSched+rd.InvolSched > rd.Exec+10*time.Millisecond {
+			t.Errorf("rank %d waits (%v+%v) exceed exec %v",
+				rd.Rank, rd.VolSched, rd.InvolSched, rd.Exec)
+		}
+		// Every rank of a barrier-synchronised job finishes at job end.
+		if rd.Exec < res.Exec-50*time.Millisecond {
+			t.Errorf("rank %d exec %v far below job exec %v", rd.Rank, rd.Exec, res.Exec)
+		}
+	}
+	// Node group totals: the kernel-wide SCHED must be at least any single
+	// rank's contribution on that node.
+	nodes := spec.Ranks / spec.PerNode
+	for n, nd := range res.Nodes {
+		var rankSched time.Duration
+		for _, rd := range res.Ranks {
+			if rd.Rank%nodes == n {
+				rankSched += rd.VolSched + rd.InvolSched
+			}
+		}
+		if nd.SchedExcl < rankSched-10*time.Millisecond {
+			t.Errorf("node %s kernel-wide sched %v below its ranks' sum %v",
+				nd.Name, nd.SchedExcl, rankSched)
+		}
+	}
+}
+
+// TestKernelWideEqualsSumOfTasks checks the aggregation identity on a live
+// cluster: the kernel-wide snapshot is exactly the per-event sum over all
+// task snapshots.
+func TestKernelWideEqualsSumOfTasks(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes:  cluster.UniformNodes("n", 1),
+		Kernel: kernel.DefaultParams(),
+		Ktau: ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true},
+		Seed: 123,
+	})
+	defer c.Shutdown()
+	k := c.Node(0).K
+	workload.StartSystemDaemons(k)
+	app := k.Spawn("app", func(u *kernel.UCtx) {
+		for i := 0; i < 20; i++ {
+			u.Compute(3 * time.Millisecond)
+			u.Syscall("sys_getpid", nil)
+			u.Sleep(time.Millisecond)
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindUser})
+	if !c.RunUntilDone([]*kernel.Task{app}, time.Minute) {
+		t.Fatal("app stuck")
+	}
+
+	kw := k.Ktau().KernelWide()
+	sums := map[string]struct {
+		calls uint64
+		excl  int64
+	}{}
+	for _, s := range k.Ktau().SnapshotAll() {
+		for _, e := range s.Events {
+			v := sums[e.Name]
+			v.calls += e.Calls
+			v.excl += e.Excl
+			sums[e.Name] = v
+		}
+	}
+	for _, e := range kw.Events {
+		got := sums[e.Name]
+		if got.calls != e.Calls || got.excl != e.Excl {
+			t.Errorf("aggregation mismatch for %s: kernel-wide (%d, %d) vs sum (%d, %d)",
+				e.Name, e.Calls, e.Excl, got.calls, got.excl)
+		}
+		delete(sums, e.Name)
+	}
+	for name := range sums {
+		t.Errorf("event %s in task sums but missing from kernel-wide", name)
+	}
+}
+
+// TestDeterministicExperimentRuns: the same spec twice gives bit-identical
+// headline numbers.
+func TestDeterministicExperimentRuns(t *testing.T) {
+	spec := DefaultChiba(8, 2)
+	spec.Seed = 99
+	a := RunChiba(spec)
+	b := RunChiba(spec)
+	if a.Exec != b.Exec {
+		t.Errorf("exec differs: %v vs %v", a.Exec, b.Exec)
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i].VolSched != b.Ranks[i].VolSched ||
+			a.Ranks[i].InvolSched != b.Ranks[i].InvolSched ||
+			a.Ranks[i].IRQ != b.Ranks[i].IRQ {
+			t.Fatalf("rank %d metrics differ between identical runs", i)
+		}
+	}
+}
+
+// TestInstrumentationLevelsNest: enabling more instrumentation can only add
+// events (never lose them), and the disabled-group run records nothing for
+// those groups.
+func TestInstrumentationLevelsNest(t *testing.T) {
+	base := DefaultChiba(8, 1)
+	base.Seed = 55
+
+	sched := base
+	sched.Instr = InstrProfSched
+	rSched := RunChiba(sched)
+
+	all := base
+	all.Instr = InstrProfAllTau
+	rAll := RunChiba(all)
+
+	// ProfSched must show scheduling data but no TCP data.
+	var schedHasSched, schedHasTCP bool
+	for _, rd := range rSched.Ranks {
+		if rd.VolSched > 0 || rd.InvolSched > 0 {
+			schedHasSched = true
+		}
+		for g := range rd.RecvKernelGroups {
+			if g == ktau.GroupTCP.String() {
+				schedHasTCP = true
+			}
+		}
+		if rd.IRQ > 0 {
+			t.Errorf("ProfSched rank %d shows IRQ time %v", rd.Rank, rd.IRQ)
+		}
+	}
+	if !schedHasSched {
+		t.Error("ProfSched recorded no scheduling data")
+	}
+	if schedHasTCP {
+		t.Error("ProfSched recorded TCP data")
+	}
+	// ProfAll must show IRQ exposure on every rank.
+	for _, rd := range rAll.Ranks {
+		if rd.IRQ == 0 {
+			t.Errorf("ProfAll rank %d shows no IRQ time", rd.Rank)
+		}
+	}
+}

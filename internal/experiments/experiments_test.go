@@ -1,0 +1,473 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ktau/internal/analysis"
+	"ktau/internal/ktau"
+)
+
+// Tests run the experiment harness at reduced scale (32 ranks instead of
+// 128) so the suite stays fast; the qualitative shapes under test are the
+// same ones the full-scale benchmarks reproduce.
+const testRanks = 32
+
+func TestMain(m *testing.M) {
+	// The memoised run cache is shared across tests deliberately — runs are
+	// deterministic — so ordering between tests does not matter.
+	m.Run()
+}
+
+func TestChibaSpecNames(t *testing.T) {
+	specs := LUConfigs(WorkLU, 128, 0, 1)
+	want := []string{"128x1", "64x2 Anomaly", "64x2", "64x2 Pinned", "64x2 Pin,I-Bal"}
+	for i, s := range specs {
+		if s.Name() != want[i] {
+			t.Errorf("spec %d name = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+	s := DefaultChiba(128, 1)
+	s.Pinned = true
+	s.PinRankCPU = 1
+	s.IRQPinCPU = 1
+	if got := s.Name(); got != "128x1 Pinned,IRQ CPU1" {
+		t.Errorf("pin-irq name = %q", got)
+	}
+}
+
+func TestInstrModeOptions(t *testing.T) {
+	if o := InstrBase.KtauOptions(); o.Compiled != ktau.GroupNone {
+		t.Error("Base must compile nothing in")
+	}
+	if o := InstrKtauOff.KtauOptions(); o.Compiled != ktau.GroupAll || o.Boot != ktau.GroupNone {
+		t.Error("KtauOff must compile all, boot none")
+	}
+	if o := InstrProfSched.KtauOptions(); o.Boot != ktau.GroupSched {
+		t.Error("ProfSched must boot only SCHED")
+	}
+	if !InstrProfAllTau.TauEnabled() || InstrProfAll.TauEnabled() {
+		t.Error("TauEnabled wrong")
+	}
+}
+
+func TestTable2ShapeAtTestScale(t *testing.T) {
+	res := RunTable2(testRanks, 1)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		byName[r.Config] = r
+		if r.LUExec <= 0 || r.SweepExec <= 0 {
+			t.Fatalf("config %s has zero exec time", r.Config)
+		}
+	}
+	nodes := testRanks / 2
+	base := res.Rows[0]
+	anom := byName[res.Rows[1].Config]
+	plain := byName[res.Rows[2].Config]
+	ibal := byName[res.Rows[4].Config]
+	_ = nodes
+
+	// The paper's ordering: base fastest; anomaly worst; irq-balancing
+	// recovers most of the dual-process penalty.
+	if base.LUDiffPct != 0 {
+		t.Errorf("base diff = %v, want 0", base.LUDiffPct)
+	}
+	if !(anom.LUDiffPct > plain.LUDiffPct && plain.LUDiffPct > ibal.LUDiffPct && ibal.LUDiffPct > 0) {
+		t.Errorf("LU ordering violated: anomaly=%.1f plain=%.1f ibal=%.1f",
+			anom.LUDiffPct, plain.LUDiffPct, ibal.LUDiffPct)
+	}
+	if !(anom.SweepDiffPct > plain.SweepDiffPct && plain.SweepDiffPct > ibal.SweepDiffPct) {
+		t.Errorf("Sweep ordering violated: anomaly=%.1f plain=%.1f ibal=%.1f",
+			anom.SweepDiffPct, plain.SweepDiffPct, ibal.SweepDiffPct)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3PerturbationShape(t *testing.T) {
+	res := RunTable3(16, 5, 0)
+	rows := map[InstrMode]Table3Row{}
+	for _, r := range res.Rows {
+		rows[r.Mode] = r
+	}
+	// Timing butterfly effects across deterministic seeds put a noise floor
+	// of roughly ±1-2%% on these comparisons (the paper saw the same: some
+	// instrumented runs came out faster than Base). The assertions test the
+	// shape: Base ≈ KtauOff ≈ ProfSched, with ProfAll / ProfAll+Tau paying a
+	// small but visible cost.
+	if off := rows[InstrKtauOff].AvgSlowPct; off > 2.0 {
+		t.Errorf("KtauOff slowdown = %.2f%%, want < 2%% (noise floor)", off)
+	}
+	if ps := rows[InstrProfSched].AvgSlowPct; ps > 2.5 {
+		t.Errorf("ProfSched slowdown = %.2f%%, want < 2.5%%", ps)
+	}
+	pa := rows[InstrProfAll].AvgSlowPct
+	if pa < 0.2 || pa > 10 {
+		t.Errorf("ProfAll slowdown = %.2f%%, want ~1-8%%", pa)
+	}
+	if pat := rows[InstrProfAllTau].AvgSlowPct; pat < pa-2.5 {
+		t.Errorf("ProfAll+Tau (%.2f%%) should not beat ProfAll (%.2f%%) by more than noise", pat, pa)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "ProfSched") {
+		t.Error("render missing modes")
+	}
+}
+
+func TestTable4MatchesPaperDistribution(t *testing.T) {
+	res := RunTable4(50_000)
+	// Truncation at the min raises the mean a bit over the paper's 244.4;
+	// accept 10-30% envelope.
+	if res.StartMean < 244 || res.StartMean > 320 {
+		t.Errorf("start mean = %.1f, want ~244-320", res.StartMean)
+	}
+	if res.StopMean < 295 || res.StopMean > 380 {
+		t.Errorf("stop mean = %.1f, want ~295-380", res.StopMean)
+	}
+	if res.StartMin < 160 || res.StopMin < 214 {
+		t.Errorf("minimums below the paper's floor: %v %v", res.StartMin, res.StopMin)
+	}
+	if res.StartStd < 100 || res.StopStd < 100 {
+		t.Errorf("stddevs too small (should be wide, cache-effect-like): %v %v",
+			res.StartStd, res.StopStd)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Start") || !strings.Contains(buf.String(), "Stop") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig2ABDetectsOverheadProcess(t *testing.T) {
+	res := RunFig2AB(1)
+	// The disturbed node must have the largest kernel-wide scheduling time,
+	// and its involuntary component must dwarf every other node's.
+	var maxNode string
+	var maxVal time.Duration
+	var disturbedInvol, otherInvol time.Duration
+	for _, ns := range res.NodeSched {
+		if ns.Sched > maxVal {
+			maxVal, maxNode = ns.Sched, ns.Node
+		}
+		if ns.Node == res.DisturbedNode {
+			disturbedInvol = ns.Invol
+		} else if ns.Invol > otherInvol {
+			otherInvol = ns.Invol
+		}
+	}
+	if maxNode != res.DisturbedNode {
+		t.Errorf("max sched on %s, want disturbed node %s", maxNode, res.DisturbedNode)
+	}
+	if disturbedInvol < 5*otherInvol {
+		t.Errorf("disturbed node invol (%v) should dwarf others (max %v)",
+			disturbedInvol, otherInvol)
+	}
+	// The overhead process must be the top non-rank activity on the node
+	// (Fig 2-B shows it as the most active process apart from the LU pair).
+	var overheadCPU, topDaemon time.Duration
+	for _, p := range res.Node8Procs {
+		if p.Name == "overhead" {
+			overheadCPU = p.CPUTime
+		} else if p.Kind == "daemon" && p.CPUTime > topDaemon {
+			topDaemon = p.CPUTime
+		}
+	}
+	if overheadCPU == 0 {
+		t.Fatal("overhead process not found in node breakdown")
+	}
+	if overheadCPU < 10*topDaemon {
+		t.Errorf("overhead (%v) should dwarf other daemons (%v)", overheadCPU, topDaemon)
+	}
+	// Fig 2-D: merged profile has kernel entries and corrected user times.
+	foundKernel := false
+	for _, e := range res.Merged.Entries {
+		if e.Kernel {
+			foundKernel = true
+		}
+		if !e.Kernel && e.Excl > e.UserOnlyExcl {
+			t.Errorf("merged excl for %s exceeds user-only excl", e.Name)
+		}
+	}
+	if !foundKernel {
+		t.Error("merged profile has no kernel entries")
+	}
+	// MPI_Recv's merged exclusive must be far below its user-only view
+	// (most of it is kernel wait).
+	if mr := res.Merged.Find("MPI_Recv()", false); mr != nil {
+		if mr.KernelWithin == 0 {
+			t.Error("no kernel time attributed inside MPI_Recv")
+		}
+		if float64(mr.Excl) > 0.5*float64(mr.UserOnlyExcl) {
+			t.Errorf("MPI_Recv merged excl %.0f not reduced vs user-only %.0f",
+				float64(mr.Excl), float64(mr.UserOnlyExcl))
+		}
+	} else {
+		t.Error("MPI_Recv missing from merged profile")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, want := range []string{"Fig 2-A", "Fig 2-B", "Fig 2-D", "overhead"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig2CVoluntaryVsInvoluntary(t *testing.T) {
+	res := RunFig2C(1)
+	if len(res.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(res.Ranks))
+	}
+	lu0 := res.Ranks[0]
+	// LU-0 shares CPU0 with the stealer daemon: it must suffer far more
+	// involuntary scheduling than the other ranks.
+	for _, r := range res.Ranks[1:] {
+		if lu0.Invol < 2*r.Invol {
+			t.Errorf("LU-0 invol (%v) should dominate LU-%d's (%v)", lu0.Invol, r.Rank, r.Invol)
+		}
+		// The others wait for LU-0: their voluntary time exceeds their own
+		// involuntary time.
+		if r.Vol < r.Invol {
+			t.Errorf("LU-%d: vol (%v) should exceed invol (%v)", r.Rank, r.Vol, r.Invol)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "LU-0") {
+		t.Error("render missing ranks")
+	}
+}
+
+func TestFig2ETimelineStructure(t *testing.T) {
+	res := RunFig2E(1)
+	if len(res.Timeline) == 0 {
+		t.Fatal("empty MPI_Send timeline window")
+	}
+	first, last := res.Timeline[0], res.Timeline[len(res.Timeline)-1]
+	if first.Name != "MPI_Send()" || last.Name != "MPI_Send()" {
+		t.Errorf("window must be bracketed by MPI_Send, got %q .. %q", first.Name, last.Name)
+	}
+	// Within the send, the kernel-level send path must appear (the paper
+	// names sys_writev, sock_sendmsg, tcp_sendmsg).
+	seen := map[string]bool{}
+	for _, e := range res.Timeline {
+		if e.Kernel {
+			seen[e.Name] = true
+		}
+	}
+	for _, want := range []string{"sys_writev", "sock_sendmsg", "tcp_sendmsg"} {
+		if !seen[want] {
+			t.Errorf("timeline missing kernel event %s (saw %v)", want, seen)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "[K]") {
+		t.Error("render missing kernel tags")
+	}
+}
+
+func TestFig3OutliersAreAnomalyRanks(t *testing.T) {
+	res := RunFig3(testRanks)
+	nodes := testRanks / 2
+	spec := LUConfigs(WorkLU, testRanks, 0, 1)[1]
+	wantLo := spec.AnomalyNode
+	wantHi := spec.AnomalyNode + nodes
+	if len(res.Outliers) != 2 || res.Outliers[0] != wantLo || res.Outliers[1] != wantHi {
+		t.Errorf("outliers = %v, want [%d %d] (the anomaly-node ranks)", res.Outliers, wantLo, wantHi)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 3") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig4SchedulingDominatesRecv(t *testing.T) {
+	res := RunFig4(testRanks)
+	if res.Mean["SCHED"] == 0 {
+		t.Fatal("no scheduling time mapped under MPI_Recv")
+	}
+	// Scheduling dominates the mean across ranks.
+	for g, v := range res.Mean {
+		if g != "SCHED" && v > res.Mean["SCHED"] {
+			t.Errorf("group %s (%v) exceeds SCHED (%v) in mean", g, v, res.Mean["SCHED"])
+		}
+	}
+	// The anomaly ranks spend comparatively less time in scheduling inside
+	// MPI_Recv (they are busy, not waiting).
+	if res.LoVals["SCHED"] >= res.Mean["SCHED"] {
+		t.Errorf("anomaly rank %d SCHED-under-recv (%v) should be below mean (%v)",
+			res.RankLo, res.LoVals["SCHED"], res.Mean["SCHED"])
+	}
+	if res.HiVals["SCHED"] >= res.Mean["SCHED"] {
+		t.Errorf("anomaly rank %d SCHED-under-recv (%v) should be below mean (%v)",
+			res.RankHi, res.HiVals["SCHED"], res.Mean["SCHED"])
+	}
+}
+
+func TestFig5And6SchedulingCDFs(t *testing.T) {
+	vol := RunFig5(testRanks)
+	invol := RunFig6(testRanks)
+	anomV := vol.Curves[vol.Order[4]]
+	anomI := invol.Curves[invol.Order[4]]
+
+	// Fig 5: a small proportion of threads (the anomaly pair) shows very low
+	// voluntary activity — the bottom of the anomaly curve sits far below
+	// its median.
+	if analysis.Min(anomV) > 0.5*analysis.Quantile(anomV, 0.5) {
+		t.Errorf("anomaly voluntary min %.0f not an outlier vs median %.0f",
+			analysis.Min(anomV), analysis.Quantile(anomV, 0.5))
+	}
+	// Fig 6: the same two ranks dominate involuntary scheduling: max far
+	// above the median.
+	if analysis.Max(anomI) < 10*analysis.Quantile(anomI, 0.5) {
+		t.Errorf("anomaly involuntary max %.0f not dominant vs median %.0f",
+			analysis.Max(anomI), analysis.Quantile(anomI, 0.5))
+	}
+	// Pinning reduces preemption: the pinned curve sits left of plain 64x2
+	// (compare medians), as the paper reports (0.2-1.1s vs 2.5-7s).
+	pinnedI := invol.Curves[invol.Order[2]]
+	plainI := invol.Curves[invol.Order[3]]
+	if analysis.Quantile(pinnedI, 0.5) > analysis.Quantile(plainI, 0.5) {
+		t.Errorf("pinned invol median (%.0f) should be <= plain 64x2 (%.0f)",
+			analysis.Quantile(pinnedI, 0.5), analysis.Quantile(plainI, 0.5))
+	}
+	// Pinned voluntary exceeds plain voluntary (the paper's surprising
+	// imbalance increase).
+	pinnedV := vol.Curves[vol.Order[2]]
+	plainV := vol.Curves[vol.Order[3]]
+	if analysis.Quantile(pinnedV, 0.5) < analysis.Quantile(plainV, 0.5) {
+		t.Errorf("pinned voluntary median (%.0f) should exceed plain 64x2 (%.0f)",
+			analysis.Quantile(pinnedV, 0.5), analysis.Quantile(plainV, 0.5))
+	}
+	var buf bytes.Buffer
+	vol.Render(&buf)
+	invol.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 5") || !strings.Contains(buf.String(), "Fig 6") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig7LUTasksDominateAnomalyNode(t *testing.T) {
+	res := RunFig7(testRanks)
+	if len(res.Procs) < 3 {
+		t.Fatalf("too few processes: %d", len(res.Procs))
+	}
+	// Top two processes by CPU must be the LU tasks; everything else is
+	// minuscule by comparison.
+	for i := 0; i < 2; i++ {
+		if !strings.Contains(res.Procs[i].Name, "LU.rank") {
+			t.Errorf("proc %d = %s, want an LU rank", i, res.Procs[i].Name)
+		}
+	}
+	third := res.Procs[2].CPUTime
+	if third*20 > res.Procs[0].CPUTime {
+		t.Errorf("daemon activity (%v) not minuscule vs LU (%v)", third, res.Procs[0].CPUTime)
+	}
+}
+
+func TestFig8IRQBimodalityWhenPinnedUnbalanced(t *testing.T) {
+	res := RunFig8(testRanks)
+	pinned := res.Order[3] // (N/2)x2 Pinned, no irq-balance
+	ibal := res.Order[1]
+	if res.Bimodal[pinned] < 0.6 {
+		t.Errorf("pinned-unbalanced IRQ distribution bimodality = %.3f, want > 0.6",
+			res.Bimodal[pinned])
+	}
+	// The paper's prominent bimodality: with IRQs concentrated on CPU0 the
+	// CPU1-pinned ranks see almost no device-interrupt time, so the spread
+	// between the two modes is enormous; irq-balancing collapses it.
+	spread := func(name string) float64 {
+		return analysis.Max(res.Curves[name]) / analysis.Min(res.Curves[name])
+	}
+	if s := spread(pinned); s < 5 {
+		t.Errorf("pinned-unbalanced IRQ max/min spread = %.1f, want > 5 (two far modes)", s)
+	}
+	if s := spread(ibal); s > 4 {
+		t.Errorf("irq-balanced IRQ max/min spread = %.1f, want < 4 (one mode)", s)
+	}
+	// With irq-balance, CPU1-pinned ranks see device IRQs too: the minimum
+	// IRQ time rises versus the pinned-unbalanced case.
+	if analysis.Min(res.Curves[ibal]) <= analysis.Min(res.Curves[pinned]) {
+		t.Errorf("irq-balance should raise the low mode: min ibal %.0f <= min pinned %.0f",
+			analysis.Min(res.Curves[ibal]), analysis.Min(res.Curves[pinned]))
+	}
+}
+
+func TestFig9TCPCallsMixIntoComputeOnSharedNodes(t *testing.T) {
+	res := RunFig9(testRanks)
+	if len(res.Order) != 3 {
+		t.Fatalf("configs = %d", len(res.Order))
+	}
+	base := res.Curves[res.Order[0]]   // Nx1
+	pinIRQ := res.Curves[res.Order[1]] // Nx1 Pinned,IRQ CPU1
+	dual := res.Curves[res.Order[2]]   // (N/2)x2 Pin,I-Bal
+	// The dual-process configuration mixes significantly more TCP calls
+	// into compute phases. (The mechanism's cap here is ~2x: a rank's count
+	// can grow by at most its node partner's arrivals; the paper's larger
+	// factors also fold in imbalance-induced desync.)
+	if analysis.Quantile(dual, 0.5) < 1.25*analysis.Quantile(base, 0.5) {
+		t.Errorf("64x2 compute-phase TCP calls (median %.0f) not well above 128x1 (%.0f)",
+			analysis.Quantile(dual, 0.5), analysis.Quantile(base, 0.5))
+	}
+	// The two 128x1 variants track each other (the extra idle processor is
+	// not what absorbs the TCP activity).
+	b, p := analysis.Quantile(base, 0.5), analysis.Quantile(pinIRQ, 0.5)
+	if p > 0 && (b/p > 1.8 || p/b > 1.8) {
+		t.Errorf("128x1 variants diverge: median %v vs %v", b, p)
+	}
+}
+
+func TestFig10TCPCallCostRisesWithIRQBalance(t *testing.T) {
+	res := RunFig10(testRanks)
+	base := res.Curves[res.Order[0]]
+	dual := res.Curves[res.Order[2]]
+	mb, md := analysis.Quantile(base, 0.5), analysis.Quantile(dual, 0.5)
+	shift := 100 * (md - mb) / mb
+	// Paper: ~11.5% dearer per call in the dual irq-balanced configuration.
+	if shift < 4 || shift > 30 {
+		t.Errorf("per-call TCP cost shift = %.1f%%, want ~5-25%% (paper 11.5%%)", shift)
+	}
+	// Per-call absolute costs in the era-plausible window (paper x-axis
+	// 27-36us).
+	if mb < 20 || mb > 60 {
+		t.Errorf("128x1 per-call cost = %.1f us, want 25-50us", mb)
+	}
+}
+
+func TestIONodeStudyStorageBound(t *testing.T) {
+	s := RunIONodeStudy(3)
+	if s.Slow.Exec <= 0 || s.Fast.Exec <= 0 {
+		t.Fatal("study incomplete")
+	}
+	// The seek-bound disk must dominate: slower overall, more worker wait,
+	// and the clients feel it.
+	if s.Slow.Exec <= s.Fast.Exec {
+		t.Errorf("slow disk (%v) not slower than fast (%v)", s.Slow.Exec, s.Fast.Exec)
+	}
+	if s.Slow.DiskWait <= s.Fast.DiskWait {
+		t.Errorf("worker disk wait: slow %v <= fast %v", s.Slow.DiskWait, s.Fast.DiskWait)
+	}
+	if s.Slow.ClientVolWait <= s.Fast.ClientVolWait {
+		t.Errorf("client wait: slow %v <= fast %v", s.Slow.ClientVolWait, s.Fast.ClientVolWait)
+	}
+	// KTAU's decomposition must show real VFS and TCP components.
+	if s.Slow.VFS == 0 || s.Slow.TCP == 0 {
+		t.Errorf("kernel-wide decomposition empty: VFS=%v TCP=%v", s.Slow.VFS, s.Slow.TCP)
+	}
+	var buf bytes.Buffer
+	s.Render(&buf)
+	if !strings.Contains(buf.String(), "seeks") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ktau/internal/analysis"
+)
+
+// Config roles index into the fixed order LUConfigs returns.
+const (
+	cfgBase    = 0 // Nx1
+	cfgAnomaly = 1 // (N/2)x2 Anomaly
+	cfgPlain   = 2 // (N/2)x2
+	cfgPinned  = 3 // (N/2)x2 Pinned
+	cfgPinIBal = 4 // (N/2)x2 Pin,I-Bal
+)
+
+// chibaFamily returns the memoised results for the requested config roles,
+// keyed by their display names, plus the name order.
+func chibaFamily(work Workload, ranks int, roles []int) (map[string]*ChibaResult, []string) {
+	specs := LUConfigs(work, ranks, 0, 1)
+	out := map[string]*ChibaResult{}
+	var order []string
+	for _, role := range roles {
+		spec := specs[role]
+		out[spec.Name()] = Chiba(spec)
+		order = append(order, spec.Name())
+	}
+	return out, order
+}
+
+// ---- Fig 3: MPI_Recv exclusive time histogram ----
+
+// Fig3Result is the per-rank MPI_Recv exclusive-time distribution of the
+// 64x2 anomaly run; the two left-most outliers are the anomaly-node ranks.
+type Fig3Result struct {
+	Samples  []float64 // seconds, indexed by rank
+	Hist     analysis.Histogram
+	Outliers []int // ranks with the smallest MPI_Recv time
+}
+
+// RunFig3 derives the histogram from the anomaly configuration.
+func RunFig3(ranks int) *Fig3Result {
+	fam, order := chibaFamily(WorkLU, ranks, []int{cfgAnomaly})
+	res := fam[order[0]]
+	r3 := &Fig3Result{}
+	type rv struct {
+		rank int
+		v    float64
+	}
+	var all []rv
+	for _, rd := range res.Ranks {
+		v := rd.MPIRecvExcl.Seconds()
+		r3.Samples = append(r3.Samples, v)
+		all = append(all, rv{rd.Rank, v})
+	}
+	r3.Hist = analysis.NewHistogram(r3.Samples, 16)
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	for i := 0; i < 2 && i < len(all); i++ {
+		r3.Outliers = append(r3.Outliers, all[i].rank)
+	}
+	sort.Ints(r3.Outliers)
+	return r3
+}
+
+// Render prints the histogram and the outlier ranks.
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 3: MPI_Recv exclusive time (s) across ranks, 64x2 Anomaly")
+	h := r.Hist
+	var labels []string
+	var values []float64
+	for i, c := range h.Counts {
+		labels = append(labels, fmt.Sprintf("%.2f-%.2f", h.Lo+float64(i)*h.Width, h.Lo+float64(i+1)*h.Width))
+		values = append(values, float64(c))
+	}
+	analysis.BarChart(w, "", labels, values, "ranks", 40)
+	fmt.Fprintf(w, "left-most outliers (lowest MPI_Recv, the anomaly-node ranks): %v (paper: 61, 125)\n",
+		r.Outliers)
+}
+
+// ---- Fig 4: MPI_Recv kernel call groups ----
+
+// Fig4Result compares the kernel call groups active during MPI_Recv for the
+// mean of all ranks against the two anomaly-node ranks.
+type Fig4Result struct {
+	Groups []string
+	Mean   map[string]time.Duration
+	RankLo int // the anomaly ranks (61 and 125 at full scale)
+	RankHi int
+	LoVals map[string]time.Duration
+	HiVals map[string]time.Duration
+}
+
+// RunFig4 derives the grouped view from the anomaly run's event mapping.
+func RunFig4(ranks int) *Fig4Result {
+	fam, order := chibaFamily(WorkLU, ranks, []int{cfgAnomaly})
+	res := fam[order[0]]
+	nodes := res.Spec.Ranks / res.Spec.PerNode
+	an := res.Spec.AnomalyNode
+	r4 := &Fig4Result{
+		Mean:   map[string]time.Duration{},
+		RankLo: an, RankHi: an + nodes,
+		LoVals: map[string]time.Duration{},
+		HiVals: map[string]time.Duration{},
+	}
+	groupSet := map[string]bool{}
+	for _, rd := range res.Ranks {
+		for g, d := range rd.RecvKernelGroups {
+			groupSet[g] = true
+			r4.Mean[g] += d / time.Duration(len(res.Ranks))
+		}
+	}
+	for g, d := range res.Ranks[r4.RankLo].RecvKernelGroups {
+		r4.LoVals[g] = d
+	}
+	for g, d := range res.Ranks[r4.RankHi].RecvKernelGroups {
+		r4.HiVals[g] = d
+	}
+	for g := range groupSet {
+		r4.Groups = append(r4.Groups, g)
+	}
+	sort.Slice(r4.Groups, func(i, j int) bool { return r4.Mean[r4.Groups[i]] > r4.Mean[r4.Groups[j]] })
+	return r4
+}
+
+// Render prints the grouped comparison.
+func (r *Fig4Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 4: kernel call groups active during MPI_Recv (s)")
+	rows := [][]string{}
+	for _, g := range r.Groups {
+		rows = append(rows, []string{
+			g,
+			fmt.Sprintf("%.4f", r.Mean[g].Seconds()),
+			fmt.Sprintf("%.4f", r.LoVals[g].Seconds()),
+			fmt.Sprintf("%.4f", r.HiVals[g].Seconds()),
+		})
+	}
+	analysis.Table(w, []string{"kernel group",
+		"mean(all ranks)",
+		fmt.Sprintf("rank %d", r.RankLo),
+		fmt.Sprintf("rank %d", r.RankHi)}, rows)
+	fmt.Fprintln(w, "(paper: scheduling dominates the mean; the anomaly ranks show comparatively less)")
+}
+
+// ---- Figs 5 & 6: voluntary / involuntary scheduling CDFs ----
+
+// SchedCDFResult holds per-configuration CDFs of per-rank scheduling wait.
+type SchedCDFResult struct {
+	Voluntary bool
+	// Curves maps config name -> per-rank samples in microseconds.
+	Curves map[string][]float64
+	Order  []string
+}
+
+var fig56Roles = []int{cfgBase, cfgPinIBal, cfgPinned, cfgPlain, cfgAnomaly}
+
+// RunFig5 builds the voluntary-scheduling CDFs (Fig 5).
+func RunFig5(ranks int) *SchedCDFResult { return runSchedCDF(ranks, true) }
+
+// RunFig6 builds the involuntary-scheduling CDFs (Fig 6).
+func RunFig6(ranks int) *SchedCDFResult { return runSchedCDF(ranks, false) }
+
+func runSchedCDF(ranks int, vol bool) *SchedCDFResult {
+	fam, order := chibaFamily(WorkLU, ranks, fig56Roles)
+	out := &SchedCDFResult{Voluntary: vol, Curves: map[string][]float64{}, Order: order}
+	for name, res := range fam {
+		var samples []float64
+		for _, rd := range res.Ranks {
+			v := rd.InvolSched
+			if vol {
+				v = rd.VolSched
+			}
+			samples = append(samples, float64(v.Microseconds()))
+		}
+		out.Curves[name] = samples
+	}
+	return out
+}
+
+// Render prints per-config quantile summaries and gnuplot series.
+func (r *SchedCDFResult) Render(w io.Writer) {
+	kind := "Involuntary (Preemption)"
+	figure := "Fig 6"
+	if r.Voluntary {
+		kind = "Voluntary (Yielding CPU)"
+		figure = "Fig 5"
+	}
+	fmt.Fprintf(w, "%s: %s scheduling per rank, CDF over ranks (us)\n", figure, kind)
+	for _, name := range r.Order {
+		analysis.SeriesSummary(w, name, r.Curves[name])
+	}
+	for _, name := range r.Order {
+		analysis.Series(w, figure+"/"+name, analysis.CDF(r.Curves[name]))
+	}
+}
+
+// ---- Fig 7: per-process activity on the anomaly node ----
+
+// Fig7Result lists every process on the anomaly node with its CPU activity.
+type Fig7Result struct {
+	Node  string
+	Procs []ProcData
+}
+
+// RunFig7 extracts the anomaly node's process population.
+func RunFig7(ranks int) *Fig7Result {
+	fam, order := chibaFamily(WorkLU, ranks, []int{cfgAnomaly})
+	res := fam[order[0]]
+	nd := res.Nodes[res.Spec.AnomalyNode]
+	r7 := &Fig7Result{Node: nd.Name}
+	for _, p := range nd.Procs {
+		r7.Procs = append(r7.Procs, p)
+	}
+	sort.Slice(r7.Procs, func(i, j int) bool { return r7.Procs[i].CPUTime > r7.Procs[j].CPUTime })
+	return r7
+}
+
+// Render prints the per-process bars.
+func (r *Fig7Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7: OS activity of all processes on node %s (64x2 Anomaly)\n", r.Node)
+	var labels []string
+	var values []float64
+	for _, p := range r.Procs {
+		labels = append(labels, fmt.Sprintf("%s(%s)", p.Name, p.Kind))
+		values = append(values, p.CPUTime.Seconds())
+	}
+	analysis.BarChart(w, "", labels, values, "s CPU", 50)
+	fmt.Fprintln(w, "(paper: the two LU tasks dominate; daemon activity is minuscule —")
+	fmt.Fprintln(w, " invalidating the daemon-interference hypothesis)")
+}
+
+// ---- Fig 8: interrupt activity CDF ----
+
+// Fig8Result holds per-config CDFs of per-rank IRQ time.
+type Fig8Result struct {
+	Curves map[string][]float64 // microseconds per rank
+	Order  []string
+	// Bimodal reports the 2-means bimodality score per config; the paper's
+	// "64x2 Pinned" (no irq-balance) curve is prominently bimodal.
+	Bimodal map[string]float64
+}
+
+var fig8Roles = []int{cfgBase, cfgPinIBal, cfgPlain, cfgPinned}
+
+// RunFig8 builds the interrupt-activity CDFs.
+func RunFig8(ranks int) *Fig8Result {
+	fam, order := chibaFamily(WorkLU, ranks, fig8Roles)
+	out := &Fig8Result{Curves: map[string][]float64{}, Order: order, Bimodal: map[string]float64{}}
+	for name, res := range fam {
+		var samples []float64
+		for _, rd := range res.Ranks {
+			samples = append(samples, float64(rd.IRQ.Microseconds()))
+		}
+		out.Curves[name] = samples
+		out.Bimodal[name] = analysis.Bimodality(samples)
+	}
+	return out
+}
+
+// Render prints summaries, bimodality scores and series.
+func (r *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 8: IRQ activity per rank, CDF over ranks (us)")
+	for _, name := range r.Order {
+		analysis.SeriesSummary(w, name, r.Curves[name])
+		fmt.Fprintf(w, "    bimodality score: %.3f\n", r.Bimodal[name])
+	}
+	for _, name := range r.Order {
+		analysis.Series(w, "Fig8/"+name, analysis.CDF(r.Curves[name]))
+	}
+}
+
+// ---- Figs 9 & 10: Sweep3D TCP behaviour ----
+
+// fig910Specs returns the three configurations of Figs. 9/10.
+func fig910Specs(ranks int) []ChibaSpec {
+	base := DefaultChiba(ranks, 1)
+	base.Work = WorkSweep3D
+
+	pinIRQ := base
+	pinIRQ.Pinned = true
+	pinIRQ.PinRankCPU = 1
+	pinIRQ.IRQPinCPU = 1
+
+	dual := DefaultChiba(ranks, 2)
+	dual.Work = WorkSweep3D
+	dual.Pinned = true
+	dual.IRQBalance = true
+	return []ChibaSpec{base, pinIRQ, dual}
+}
+
+// Fig9Result holds per-config CDFs of kernel TCP calls occurring inside the
+// compute-bound phase of sweep().
+type Fig9Result struct {
+	Curves map[string][]float64 // calls per rank
+	Order  []string
+}
+
+// RunFig9 builds the compute-phase TCP-call CDFs.
+func RunFig9(ranks int) *Fig9Result {
+	out := &Fig9Result{Curves: map[string][]float64{}}
+	for _, spec := range fig910Specs(ranks) {
+		res := Chiba(spec)
+		var samples []float64
+		for _, rd := range res.Ranks {
+			samples = append(samples, float64(rd.TCPCallsInCompute))
+		}
+		name := spec.Name()
+		out.Curves[name] = samples
+		out.Order = append(out.Order, name)
+	}
+	return out
+}
+
+// Render prints summaries and series.
+func (r *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 9: kernel TCP calls within Sweep3D compute phase, CDF over ranks")
+	for _, name := range r.Order {
+		analysis.SeriesSummary(w, name, r.Curves[name])
+	}
+	for _, name := range r.Order {
+		analysis.Series(w, "Fig9/"+name, analysis.CDF(r.Curves[name]))
+	}
+	fmt.Fprintln(w, "(paper: the 64x2 Pinned,I-Bal curve shows significantly more TCP calls")
+	fmt.Fprintln(w, " mixed into compute than either 128x1 variant)")
+}
+
+// Fig10Result holds per-config CDFs of the mean exclusive time of one
+// kernel TCP operation (per-rank node means, us).
+type Fig10Result struct {
+	Curves map[string][]float64
+	Order  []string
+}
+
+// RunFig10 builds the per-TCP-call cost CDFs.
+func RunFig10(ranks int) *Fig10Result {
+	out := &Fig10Result{Curves: map[string][]float64{}}
+	for _, spec := range fig910Specs(ranks) {
+		res := Chiba(spec)
+		var samples []float64
+		for _, rd := range res.Ranks {
+			samples = append(samples, float64(rd.NodeTCPPerCall.Nanoseconds())/1e3)
+		}
+		name := spec.Name()
+		out.Curves[name] = samples
+		out.Order = append(out.Order, name)
+	}
+	return out
+}
+
+// Render prints summaries and series.
+func (r *Fig10Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig 10: exclusive time per kernel TCP call (us), CDF over ranks")
+	for _, name := range r.Order {
+		analysis.SeriesSummary(w, name, r.Curves[name])
+	}
+	med := func(name string) float64 { return analysis.Quantile(r.Curves[name], 0.5) }
+	if len(r.Order) == 3 {
+		shift := 100 * (med(r.Order[2]) - med(r.Order[0])) / med(r.Order[0])
+		fmt.Fprintf(w, "median shift 64x2 vs 128x1: %+.1f%% (paper: ~+11.5%% across the range)\n", shift)
+	}
+	for _, name := range r.Order {
+		analysis.Series(w, "Fig10/"+name, analysis.CDF(r.Curves[name]))
+	}
+}

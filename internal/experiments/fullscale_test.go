@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFullScaleTable2Shapes validates the headline reproduction claims at
+// the paper's own scale (128 MPI ranks; ~2 minutes). Skipped under -short.
+func TestFullScaleTable2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 128-rank runs; use -short to skip")
+	}
+	res := RunTable2(128, 1)
+	for _, r := range res.Rows {
+		fmt.Printf("  %-16s LU %+6.1f%% (paper %+5.1f)   Sw3D %+6.1f%% (paper %+5.1f)\n",
+			r.Config, r.LUDiffPct, r.PaperLUPct, r.SweepDiffPct, r.PaperSweepPct)
+	}
+	rows := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		rows[r.Config] = r
+	}
+	anom := rows["64x2 Anomaly"]
+	plain := rows["64x2"]
+	pinned := rows["64x2 Pinned"]
+	ibal := rows["64x2 Pin,I-Bal"]
+
+	// LU orderings and magnitudes (see EXPERIMENTS.md).
+	if !(anom.LUDiffPct > plain.LUDiffPct && plain.LUDiffPct > ibal.LUDiffPct && ibal.LUDiffPct > 0) {
+		t.Errorf("LU ordering violated: anomaly=%.1f plain=%.1f ibal=%.1f",
+			anom.LUDiffPct, plain.LUDiffPct, ibal.LUDiffPct)
+	}
+	if anom.LUDiffPct < 30 {
+		t.Errorf("LU anomaly slowdown %.1f%%, want > 30%% (paper 73.2%%)", anom.LUDiffPct)
+	}
+	if ibal.LUDiffPct < 8 || ibal.LUDiffPct > 20 {
+		t.Errorf("LU Pin,I-Bal slowdown %.1f%%, want ~13.6%% (paper)", ibal.LUDiffPct)
+	}
+	// Pinning alone must not beat irq-balancing.
+	if pinned.LUDiffPct < ibal.LUDiffPct {
+		t.Errorf("pinned (%.1f%%) beat pin+ibal (%.1f%%)", pinned.LUDiffPct, ibal.LUDiffPct)
+	}
+	// Sweep3D orderings.
+	if !(anom.SweepDiffPct > plain.SweepDiffPct && plain.SweepDiffPct > ibal.SweepDiffPct &&
+		ibal.SweepDiffPct >= 0) {
+		t.Errorf("Sweep ordering violated: anomaly=%.1f plain=%.1f ibal=%.1f",
+			anom.SweepDiffPct, plain.SweepDiffPct, ibal.SweepDiffPct)
+	}
+
+	// Fig 3 at full scale: the outliers are exactly ranks 61 and 125.
+	f3 := RunFig3(128)
+	if len(f3.Outliers) != 2 || f3.Outliers[0] != 61 || f3.Outliers[1] != 125 {
+		t.Errorf("Fig 3 outliers = %v, want [61 125]", f3.Outliers)
+	}
+
+	// Fig 10 at full scale: per-call TCP cost shift ~+11.5%.
+	f10 := RunFig10(128)
+	base := quantile(f10.Curves[f10.Order[0]], 0.5)
+	dual := quantile(f10.Curves[f10.Order[2]], 0.5)
+	shift := 100 * (dual - base) / base
+	if shift < 5 || shift > 20 {
+		t.Errorf("Fig 10 per-call shift = %.1f%%, want ~11.5%%", shift)
+	}
+}
+
+// quantile avoids importing analysis in this file for one helper.
+func quantile(s []float64, q float64) float64 {
+	c := append([]float64(nil), s...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	if len(c) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(c)-1))
+	return c[idx]
+}

@@ -1,0 +1,222 @@
+// Package experiments reproduces the paper's evaluation: the controlled
+// experiments of §5.1 (Fig. 2), the Chiba-City configuration study of §5.2
+// (Figs. 3-10, Table 2) and the perturbation study of §5.3 (Tables 3-4).
+// Each table/figure has a Run function returning structured results plus a
+// renderer that prints the same rows/series the paper reports; bench_test.go
+// and cmd/ktau-exp are thin wrappers over these.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ktau/internal/ktau"
+)
+
+// Workload selects the application under measurement.
+type Workload int
+
+const (
+	// WorkLU is the NPB LU analogue.
+	WorkLU Workload = iota
+	// WorkSweep3D is the ASCI Sweep3D analogue.
+	WorkSweep3D
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	if w == WorkSweep3D {
+		return "Sweep3D"
+	}
+	return "LU"
+}
+
+// InstrMode is a perturbation-study instrumentation configuration (§5.3).
+type InstrMode int
+
+const (
+	// InstrBase is a vanilla kernel: no KTAU patch compiled in, no TAU.
+	InstrBase InstrMode = iota
+	// InstrKtauOff has all instrumentation compiled in but disabled by
+	// boot-time flags (runtime probes only).
+	InstrKtauOff
+	// InstrProfAll has all OS instrumentation points enabled.
+	InstrProfAll
+	// InstrProfSched has only the scheduler subsystem's points enabled.
+	InstrProfSched
+	// InstrProfAllTau is ProfAll plus TAU user-level instrumentation.
+	InstrProfAllTau
+)
+
+// String names the instrumentation mode as the paper does.
+func (m InstrMode) String() string {
+	switch m {
+	case InstrBase:
+		return "Base"
+	case InstrKtauOff:
+		return "Ktau Off"
+	case InstrProfAll:
+		return "ProfAll"
+	case InstrProfSched:
+		return "ProfSched"
+	case InstrProfAllTau:
+		return "ProfAll+Tau"
+	default:
+		return "?"
+	}
+}
+
+// KtauOptions translates an instrumentation mode into measurement-system
+// options (overhead model attached by the kernel constructor).
+func (m InstrMode) KtauOptions() ktau.Options {
+	switch m {
+	case InstrBase:
+		return ktau.Options{Compiled: ktau.GroupNone, RetainExited: true}
+	case InstrKtauOff:
+		return ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupNone, RetainExited: true}
+	case InstrProfSched:
+		return ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupSched,
+			Mapping: true, RetainExited: true}
+	default: // ProfAll, ProfAllTau
+		return ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true}
+	}
+}
+
+// TauEnabled reports whether the mode includes user-level instrumentation.
+func (m InstrMode) TauEnabled() bool { return m == InstrProfAllTau }
+
+// ChibaSpec describes one Chiba-City style run (§5.2): 128 MPI ranks over
+// single- or dual-process-per-node placement with optional anomaly, pinning
+// and interrupt balancing.
+type ChibaSpec struct {
+	Ranks   int
+	PerNode int // 1 (128x1) or 2 (64x2)
+	// AnomalyNode, when >= 0, boots that node with a single CPU while the
+	// launcher still places two ranks on it — the ccn10 bug.
+	AnomalyNode int
+	// Pinned pins each rank to its own CPU on dual-process nodes (or to the
+	// PinRankCPU on single-process nodes).
+	Pinned bool
+	// PinRankCPU selects the CPU for pinned 128x1 ranks (used by the
+	// "128x1 Pin,IRQ CPU1" configuration of Figs. 9/10); -1 defaults to 0.
+	PinRankCPU int
+	// IRQBalance enables round-robin device-interrupt distribution.
+	IRQBalance bool
+	// IRQPinCPU, when >= 0, pins device IRQs to one CPU.
+	IRQPinCPU int
+	// Instr is the instrumentation configuration (default ProfAll+Tau).
+	Instr InstrMode
+	// Work selects LU or Sweep3D.
+	Work Workload
+	// Iters overrides the workload's default iteration count (0 = default).
+	Iters int
+	// Daemons enables the standard per-node system-daemon population.
+	Daemons bool
+	// TraceCapacity enables per-task kernel tracing with the given ring size.
+	TraceCapacity int
+	// Seed drives all simulation randomness.
+	Seed uint64
+}
+
+// Name renders the configuration label the paper uses ("64x2 Pinned,I-Bal").
+func (s ChibaSpec) Name() string {
+	nodes := s.Ranks / s.PerNode
+	label := fmt.Sprintf("%dx%d", nodes, s.PerNode)
+	if s.AnomalyNode >= 0 {
+		label += " Anomaly"
+	}
+	suffix := ""
+	if s.Pinned {
+		suffix = " Pinned"
+	}
+	if s.IRQBalance {
+		if suffix != "" {
+			suffix = " Pin,I-Bal"
+		} else {
+			suffix = " I-Bal"
+		}
+	}
+	if s.IRQPinCPU >= 0 {
+		suffix += fmt.Sprintf(",IRQ CPU%d", s.IRQPinCPU)
+	}
+	return label + suffix
+}
+
+// DefaultChiba returns the baseline spec: LU on 128 ranks, ProfAll+Tau,
+// daemons on, seed 1.
+func DefaultChiba(ranks, perNode int) ChibaSpec {
+	return ChibaSpec{
+		Ranks:       ranks,
+		PerNode:     perNode,
+		AnomalyNode: -1,
+		PinRankCPU:  -1,
+		IRQPinCPU:   -1,
+		Instr:       InstrProfAllTau,
+		Work:        WorkLU,
+		Daemons:     true,
+		Seed:        1,
+	}
+}
+
+// RankData is the per-rank metric set extracted from a run.
+type RankData struct {
+	Rank int
+	Node string
+	// Exec is the rank's wall time from spawn to exit.
+	Exec time.Duration
+	// VolSched / InvolSched are the KTAU schedule_vol / schedule exclusive
+	// times (Figs. 2-C, 5, 6).
+	VolSched   time.Duration
+	InvolSched time.Duration
+	// IRQ is the exclusive time of GroupIRQ events in the rank's profile
+	// (Fig. 8).
+	IRQ time.Duration
+	// MPIRecvExcl is the TAU user-level exclusive time of MPI_Recv (Fig. 3).
+	MPIRecvExcl time.Duration
+	// RhsExcl is the TAU exclusive time of the rhs (LU) routine.
+	RhsExcl time.Duration
+	// RecvKernelGroups maps kernel-group name -> exclusive time occurring
+	// inside MPI_Recv via KTAU's event mapping (Fig. 4).
+	RecvKernelGroups map[string]time.Duration
+	// TCPCallsInCompute counts kernel TCP-group calls mapped into the
+	// workload's compute-phase contexts (Fig. 9).
+	TCPCallsInCompute uint64
+	// NodeTCPPerCall is the node-wide mean exclusive time per kernel
+	// tcp_v4_rcv call (Fig. 10), duplicated onto each rank of the node.
+	NodeTCPPerCall time.Duration
+}
+
+// ProcData is one process's activity on a node (Fig. 7).
+type ProcData struct {
+	PID     int
+	Name    string
+	Kind    string
+	CPUTime time.Duration // user + kernel time consumed
+}
+
+// NodeData is the per-node metric set.
+type NodeData struct {
+	Name string
+	// SchedExcl is the kernel-wide scheduling time (Fig. 2-A bars).
+	SchedExcl time.Duration
+	// GroupExcl is kernel-wide exclusive time per instrumentation group.
+	GroupExcl map[string]time.Duration
+	// Procs lists all processes (ranks, daemons) with their CPU activity.
+	Procs []ProcData
+	// TCPRcvCalls / TCPRcvExcl aggregate tcp_v4_rcv kernel-wide.
+	TCPRcvCalls uint64
+	TCPRcvExcl  time.Duration
+}
+
+// ChibaResult is everything extracted from one run (the cluster itself is
+// shut down before this is returned).
+type ChibaResult struct {
+	Spec ChibaSpec
+	// Exec is the job's total execution time (max rank completion).
+	Exec time.Duration
+	// Completed reports whether all ranks finished before the safety cap.
+	Completed bool
+	Ranks     []RankData
+	Nodes     []NodeData
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"time"
+
+	"ktau/internal/ktau"
+)
+
+// Virtual performance counters — the paper's §6 future-work item
+// "performance counter access to KTAU". The kernel maintains per-task
+// virtualized hardware counters (PAPI-style): retired instructions and L2
+// cache misses, advancing deterministically with the task's own execution
+// and bumped by cache-disturbing events (context switches). The KTAU
+// measurement system reads them at every instrumentation point, giving
+// per-kernel-event counter profiles alongside time.
+
+// Counter indices within the per-task counter vector.
+const (
+	// CtrInstructions is PAPI_TOT_INS: retired instructions.
+	CtrInstructions = 0
+	// CtrL2Misses is PAPI_L2_TCM: L2 total cache misses.
+	CtrL2Misses = 1
+	// NumCounters is the length of the counter vector.
+	NumCounters = 2
+)
+
+// CounterParams model the counter advance rates.
+type CounterParams struct {
+	// IPCUser / IPCKernel are instructions retired per cycle in user and
+	// kernel mode (kernel code has worse ILP).
+	IPCUser   float64
+	IPCKernel float64
+	// L2MissPerKCycleUser / Kernel are L2 misses per thousand cycles.
+	L2MissPerKCycleUser   float64
+	L2MissPerKCycleKernel float64
+	// SwitchL2Burst is the cold-cache miss burst charged at each dispatch
+	// of a different task than the one that ran before.
+	SwitchL2Burst int64
+}
+
+// DefaultCounterParams models a Pentium III-class core.
+func DefaultCounterParams() CounterParams {
+	return CounterParams{
+		IPCUser:               0.85,
+		IPCKernel:             0.55,
+		L2MissPerKCycleUser:   1.2,
+		L2MissPerKCycleKernel: 3.5,
+		SwitchL2Burst:         1800,
+	}
+}
+
+// counterNames are the exported counter identifiers.
+var counterNames = []string{"PAPI_TOT_INS", "PAPI_L2_TCM"}
+
+// advanceCounters charges d of execution (user or kernel mode) to a task's
+// virtual counters.
+func (k *Kernel) advanceCounters(t *Task, d time.Duration, user bool) {
+	cyc := float64(k.CyclesOf(d))
+	cp := k.params.Counters
+	if user {
+		t.ctr[CtrInstructions] += int64(cyc * cp.IPCUser)
+		t.ctr[CtrL2Misses] += int64(cyc / 1000 * cp.L2MissPerKCycleUser)
+	} else {
+		t.ctr[CtrInstructions] += int64(cyc * cp.IPCKernel)
+		t.ctr[CtrL2Misses] += int64(cyc / 1000 * cp.L2MissPerKCycleKernel)
+	}
+}
+
+// Counters implements ktau.CounterSource over the kernel's task table.
+type counterSource struct{ k *Kernel }
+
+// Names returns the counter identifiers.
+func (cs counterSource) Names() []string { return counterNames }
+
+// Read returns the current counter vector of a pid (zeros for unknown).
+func (cs counterSource) Read(pid int) [ktau.MaxCounters]int64 {
+	var out [ktau.MaxCounters]int64
+	if t, ok := cs.k.tasks[pid]; ok {
+		copy(out[:], t.ctr[:])
+		return out
+	}
+	// Idle tasks live outside the pid table.
+	for _, c := range cs.k.cpus {
+		if c.idle.pid == pid {
+			copy(out[:], c.idle.ctr[:])
+		}
+	}
+	return out
+}
+
+// TaskCounters returns a task's current virtual counter values.
+func (t *Task) TaskCounters() [NumCounters]int64 { return t.ctr }

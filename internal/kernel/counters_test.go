@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/ktau"
+)
+
+func TestVirtualCountersAdvanceWithExecution(t *testing.T) {
+	eng, k := testKernel(t, 1, nil)
+	task := k.Spawn("w", func(u *UCtx) {
+		u.Compute(50 * time.Millisecond)
+		u.Syscall("sys_write", func(kc *KCtx) { kc.Use(5 * time.Millisecond) })
+	}, SpawnOpts{})
+	runUntilDone(t, eng, time.Second, task)
+
+	ctr := task.TaskCounters()
+	// ~55ms at 450MHz and IPC<1: tens of millions of instructions.
+	wantMin := int64(float64(k.CyclesOf(50*time.Millisecond)) * 0.8)
+	if ctr[CtrInstructions] < wantMin {
+		t.Errorf("instructions = %d, want >= %d", ctr[CtrInstructions], wantMin)
+	}
+	if ctr[CtrL2Misses] <= 0 {
+		t.Error("no L2 misses recorded")
+	}
+}
+
+func TestCountersAppearInKtauProfile(t *testing.T) {
+	eng, k := testKernel(t, 1, nil)
+	task := k.Spawn("w", func(u *UCtx) {
+		u.Syscall("sys_write", func(kc *KCtx) { kc.Use(10 * time.Millisecond) })
+	}, SpawnOpts{})
+	runUntilDone(t, eng, time.Second, task)
+
+	snap := k.Ktau().SnapshotTask(task.KD())
+	if len(snap.CounterNames) != NumCounters || snap.CounterNames[0] != "PAPI_TOT_INS" {
+		t.Fatalf("counter names = %v", snap.CounterNames)
+	}
+	ev := snap.FindEvent("sys_write")
+	if ev == nil {
+		t.Fatal("missing sys_write")
+	}
+	// The syscall body ran ~10ms of kernel work: its exclusive instruction
+	// delta must be around cycles * IPCKernel.
+	wantApprox := float64(k.CyclesOf(10*time.Millisecond)) * k.Params().Counters.IPCKernel
+	got := float64(ev.Ctr[CtrInstructions])
+	if got < wantApprox*0.8 || got > wantApprox*1.3 {
+		t.Errorf("sys_write instructions = %.0f, want ~%.0f", got, wantApprox)
+	}
+}
+
+func TestCountersNestExclusively(t *testing.T) {
+	eng, k := testKernel(t, 1, nil)
+	var inner ktau.EventID
+	task := k.Spawn("w", func(u *UCtx) {
+		inner = u.Kernel().Ktau().Event("tcp_inner_ctr", ktau.GroupTCP)
+		u.Syscall("sys_write", func(kc *KCtx) {
+			kc.Use(2 * time.Millisecond)
+			kc.Entry(inner)
+			kc.Use(6 * time.Millisecond)
+			kc.Exit(inner)
+			kc.Use(2 * time.Millisecond)
+		})
+	}, SpawnOpts{})
+	runUntilDone(t, eng, time.Second, task)
+
+	snap := k.Ktau().SnapshotTask(task.KD())
+	sys := snap.FindEvent("sys_write")
+	in := snap.FindEvent("tcp_inner_ctr")
+	if sys == nil || in == nil {
+		t.Fatal("missing events")
+	}
+	// The inner event consumed ~6ms of the ~10ms; its instruction delta must
+	// be excluded from the parent's exclusive counters.
+	if in.Ctr[CtrInstructions] <= sys.Ctr[CtrInstructions] {
+		t.Errorf("inner instr (%d) should exceed parent's exclusive instr (%d)",
+			in.Ctr[CtrInstructions], sys.Ctr[CtrInstructions])
+	}
+	ratio := float64(in.Ctr[CtrInstructions]) / float64(sys.Ctr[CtrInstructions])
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Errorf("inner/parent instruction ratio = %.2f, want ~1.5 (6ms vs 4ms)", ratio)
+	}
+}
+
+func TestColdCacheBurstOnSwitch(t *testing.T) {
+	eng, k := testKernel(t, 1, nil)
+	a := k.Spawn("a", func(u *UCtx) { u.Compute(100 * time.Millisecond) }, SpawnOpts{})
+	b := k.Spawn("b", func(u *UCtx) { u.Compute(100 * time.Millisecond) }, SpawnOpts{})
+	runUntilDone(t, eng, 5*time.Second, a, b)
+	// Both were preempted repeatedly: each accumulated switch bursts beyond
+	// the linear execution model.
+	linear := int64(float64(k.CyclesOf(a.UserTime+a.KernTime)) / 1000 *
+		k.Params().Counters.L2MissPerKCycleUser)
+	if a.TaskCounters()[CtrL2Misses] <= linear {
+		t.Errorf("no cold-cache bursts visible: misses=%d linear=%d",
+			a.TaskCounters()[CtrL2Misses], linear)
+	}
+}

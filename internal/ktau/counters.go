@@ -1,0 +1,38 @@
+package ktau
+
+// Performance-counter integration (the paper's §6 future-work item). A
+// CounterSource provides per-process virtualized hardware counter vectors
+// (e.g. PAPI_TOT_INS, PAPI_L2_TCM); when attached to a Measurement, every
+// entry/exit instrumentation point also accumulates exclusive counter
+// deltas per kernel event, exactly as it accumulates exclusive cycles.
+
+// MaxCounters bounds the counter vector length (fixed-size arrays keep the
+// instrumentation fast path allocation-free).
+const MaxCounters = 4
+
+// CounterSource supplies per-process counter vectors.
+type CounterSource interface {
+	// Names returns the counter identifiers, at most MaxCounters.
+	Names() []string
+	// Read returns the current counter vector for a pid.
+	Read(pid int) [MaxCounters]int64
+}
+
+// SetCounterSource attaches a counter source; instrumentation points start
+// recording per-event counter deltas from this moment on.
+func (m *Measurement) SetCounterSource(src CounterSource) {
+	m.counterSrc = src
+	if src != nil {
+		names := src.Names()
+		if len(names) > MaxCounters {
+			names = names[:MaxCounters]
+		}
+		m.counterNames = append([]string(nil), names...)
+	} else {
+		m.counterNames = nil
+	}
+}
+
+// CounterNames returns the active counter identifiers (nil when counters
+// are not attached).
+func (m *Measurement) CounterNames() []string { return m.counterNames }

@@ -1,0 +1,222 @@
+package ktau
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyProfileInvariants drives random well-nested event sequences
+// through the measurement fast path and checks the structural invariants of
+// TAU-style profiles:
+//
+//  1. For every event, Incl >= Excl >= 0.
+//  2. The sum of exclusive times over all events equals the total virtual
+//     time spent inside any instrumented region.
+//  3. The sum over events of (Incl of top-level activations) equals the
+//     same total (when recursion is absent, Incl counts each event once).
+//  4. Calls equals the number of Entry operations issued per event.
+func TestPropertyProfileInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := &fakeEnv{}
+		m := NewMeasurement(env, Options{Compiled: GroupAll, Boot: GroupAll})
+		td := m.CreateTask(1, "p")
+
+		nEvents := 2 + rng.Intn(6)
+		evs := make([]EventID, nEvents)
+		for i := range evs {
+			evs[i] = m.Event(string(rune('a'+i)), GroupSyscall)
+		}
+		calls := make(map[EventID]uint64)
+
+		var stack []EventID
+		var insideTotal int64
+		steps := 50 + rng.Intn(200)
+		for s := 0; s < steps; s++ {
+			adv := int64(rng.Intn(100))
+			if len(stack) > 0 {
+				insideTotal += adv
+			}
+			env.advance(adv)
+			if len(stack) > 0 && rng.Intn(3) == 0 {
+				// Exit innermost.
+				ev := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.Exit(td, ev)
+				continue
+			}
+			// Enter a random event, disallowing recursion so invariant 3
+			// holds exactly.
+			ev := evs[rng.Intn(nEvents)]
+			onStack := false
+			for _, e := range stack {
+				if e == ev {
+					onStack = true
+					break
+				}
+			}
+			if onStack {
+				continue
+			}
+			m.Entry(td, ev)
+			calls[ev]++
+			stack = append(stack, ev)
+		}
+		// Unwind.
+		for len(stack) > 0 {
+			adv := int64(rng.Intn(100))
+			insideTotal += adv
+			env.advance(adv)
+			ev := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			m.Exit(td, ev)
+		}
+
+		snap := m.SnapshotTask(td)
+		var exclSum, inclSum int64
+		for _, e := range snap.Events {
+			if e.Incl < e.Excl || e.Excl < 0 {
+				return false
+			}
+			if e.Calls != calls[EventID(e.ID)] {
+				return false
+			}
+			exclSum += e.Excl
+			inclSum += e.Incl
+		}
+		if exclSum != insideTotal {
+			return false
+		}
+		// Without recursion, every activation contributes its full duration
+		// to exactly one Incl per nesting level; top-level inclusive sums
+		// are bounded by total and at least the exclusive sum.
+		return inclSum >= exclSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMappedConservation: with mapping on, the per-context exclusive
+// sums equal the per-event exclusive sums for events executed entirely
+// within non-zero contexts.
+func TestPropertyMappedConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := &fakeEnv{}
+		m := NewMeasurement(env, Options{Compiled: GroupAll, Boot: GroupAll, Mapping: true})
+		td := m.CreateTask(1, "p")
+		ev := m.Event("tcp_v4_rcv", GroupTCP)
+		ctxs := []int32{
+			m.RegisterContext("r1"),
+			m.RegisterContext("r2"),
+			m.RegisterContext("r3"),
+		}
+		var total int64
+		for i := 0; i < 100; i++ {
+			m.SetUserCtx(td, ctxs[rng.Intn(len(ctxs))])
+			m.Entry(td, ev)
+			adv := int64(rng.Intn(50))
+			total += adv
+			env.advance(adv)
+			m.Exit(td, ev)
+		}
+		snap := m.SnapshotTask(td)
+		var mappedSum int64
+		var mappedCalls uint64
+		for _, ms := range snap.Mapped {
+			mappedSum += ms.Excl
+			mappedCalls += ms.Calls
+		}
+		e := snap.FindEvent("tcp_v4_rcv")
+		return e != nil && mappedSum == total && mappedSum == e.Excl && mappedCalls == e.Calls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAtomicStatistics: atomic event statistics match direct
+// computation for arbitrary value sequences.
+func TestPropertyAtomicStatistics(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		m, _ := newTestM(Options{})
+		td := m.CreateTask(1, "p")
+		ev := m.Event("sz", GroupTCP)
+		var sum, mn, mx float64
+		mn = float64(raw[0])
+		mx = float64(raw[0])
+		for _, v := range raw {
+			f := float64(v)
+			m.Atomic(td, ev, f)
+			sum += f
+			if f < mn {
+				mn = f
+			}
+			if f > mx {
+				mx = f
+			}
+		}
+		s := m.SnapshotTask(td)
+		if len(s.Atomics) != 1 {
+			return false
+		}
+		a := s.Atomics[0]
+		return a.Count == uint64(len(raw)) && a.Sum == sum && a.Min == mn && a.Max == mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRuntimeTogglingNeverCorrupts flips runtime control randomly
+// between operations; profiles may lose data (by design) but must never go
+// negative or corrupt the stack.
+func TestPropertyRuntimeTogglingNeverCorrupts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := &fakeEnv{}
+		m := NewMeasurement(env, Options{Compiled: GroupAll, Boot: GroupAll})
+		td := m.CreateTask(1, "p")
+		ev := m.Event("x", GroupTCP)
+		depth := 0
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				m.DisableRuntime(GroupTCP)
+			case 1:
+				m.EnableRuntime(GroupTCP)
+			case 2:
+				m.Entry(td, ev)
+				depth++
+			case 3:
+				if depth > 0 {
+					m.Exit(td, ev)
+					depth--
+				}
+			case 4:
+				env.advance(int64(rng.Intn(20)))
+			}
+		}
+		// Re-enable and unwind whatever frames actually exist (entries made
+		// while disabled were never pushed).
+		m.EnableRuntime(GroupTCP)
+		for td.StackDepth() > 0 {
+			m.Exit(td, ev)
+		}
+		s := m.SnapshotTask(td)
+		for _, e := range s.Events {
+			if e.Excl < 0 || e.Incl < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package ktau
+
+import "fmt"
+
+// EventID identifies an instrumentation point within one measurement system
+// instance. IDs are dense small integers so per-task profile tables are flat
+// slices indexed directly by ID — this is the "event mapping" mechanism of
+// paper §4.1: a global mapping index is incremented on the first invocation
+// of each instrumented event, and the resulting static instrumentation ID
+// indexes the dynamically allocated event performance structures.
+type EventID int32
+
+// NoEvent is the zero EventID; valid events start at 1 so that ID 0 can act
+// as a sentinel in trace records and mapped-context keys.
+const NoEvent EventID = 0
+
+// Registry assigns instrumentation IDs and remembers event metadata. One
+// registry exists per measurement system (per simulated node).
+type Registry struct {
+	names  []string // names[id] for id >= 1; names[0] = ""
+	groups []Group
+	byName map[string]EventID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		names:  []string{""},
+		groups: []Group{0},
+		byName: make(map[string]EventID),
+	}
+}
+
+// Register returns the ID for the named instrumentation point, creating it on
+// first use (the paper's global-mapping-index increment). Registering an
+// existing name returns the existing ID; the group must match, because an
+// instrumentation point belongs to exactly one configuration group.
+func (r *Registry) Register(name string, group Group) EventID {
+	if id, ok := r.byName[name]; ok {
+		if r.groups[id] != group {
+			panic(fmt.Sprintf("ktau: event %q re-registered with group %v (was %v)",
+				name, group, r.groups[id]))
+		}
+		return id
+	}
+	id := EventID(len(r.names))
+	r.names = append(r.names, name)
+	r.groups = append(r.groups, group)
+	r.byName[name] = id
+	return id
+}
+
+// Lookup returns the ID for name, or NoEvent if it was never registered.
+func (r *Registry) Lookup(name string) EventID {
+	return r.byName[name]
+}
+
+// Name returns the name of an event ID ("" for NoEvent or out of range).
+func (r *Registry) Name(id EventID) string {
+	if id <= 0 || int(id) >= len(r.names) {
+		return ""
+	}
+	return r.names[id]
+}
+
+// GroupOf returns the configuration group of an event ID.
+func (r *Registry) GroupOf(id EventID) Group {
+	if id <= 0 || int(id) >= len(r.groups) {
+		return 0
+	}
+	return r.groups[id]
+}
+
+// Len returns the number of registered events plus one (IDs are 1-based, so
+// Len is the size needed for a flat table indexed by EventID).
+func (r *Registry) Len() int { return len(r.names) }
+
+// Events returns all registered event IDs in registration order.
+func (r *Registry) Events() []EventID {
+	out := make([]EventID, 0, len(r.names)-1)
+	for id := 1; id < len(r.names); id++ {
+		out = append(out, EventID(id))
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package ktau
+
+import "math"
+
+// EventSnap is one event's profile data, resolved with its name and group,
+// as exported through /proc/ktau.
+type EventSnap struct {
+	ID    EventID
+	Name  string
+	Group Group
+	Calls uint64
+	Subrs uint64
+	Incl  int64 // cycles
+	Excl  int64 // cycles
+	// Ctr holds exclusive performance-counter deltas, parallel to the
+	// snapshot's CounterNames.
+	Ctr [MaxCounters]int64
+}
+
+// AtomicSnap is one atomic event's exported statistics.
+type AtomicSnap struct {
+	ID    EventID
+	Name  string
+	Group Group
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Mean  float64
+	Std   float64
+}
+
+// MappedSnap is one (user context, kernel event) mapped record.
+type MappedSnap struct {
+	Ctx     int32
+	CtxName string
+	Ev      EventID
+	EvName  string
+	Group   Group
+	Calls   uint64
+	Incl    int64
+	Excl    int64
+}
+
+// Snapshot is a self-contained copy of one process's (or the kernel-wide
+// aggregate's) KTAU performance data at a point in time.
+type Snapshot struct {
+	PID       int // -1 for the kernel-wide aggregate
+	Name      string
+	TSC       int64 // cycles at snapshot time
+	Created   int64
+	ExitedAt  int64
+	Exited    bool
+	Events    []EventSnap
+	Atomics   []AtomicSnap
+	Mapped    []MappedSnap
+	TraceLost uint64
+	// CounterNames identifies the entries of each event's Ctr vector (nil
+	// when no counter source is attached).
+	CounterNames []string
+}
+
+// KernelWidePID is the pseudo-PID of the kernel-wide aggregate view.
+const KernelWidePID = -1
+
+// SnapshotTask exports one process's profile.
+func (m *Measurement) SnapshotTask(td *TaskData) Snapshot {
+	s := Snapshot{
+		PID:          td.PID,
+		Name:         td.Name,
+		TSC:          m.env.Cycles(),
+		Created:      td.CreatedTSC,
+		ExitedAt:     td.ExitedTSC,
+		Exited:       td.Exited,
+		CounterNames: m.counterNames,
+	}
+	if td.trace != nil {
+		s.TraceLost = td.trace.Lost()
+	}
+	for id := EventID(1); int(id) < len(td.prof); id++ {
+		d := td.prof[id]
+		if d.Calls == 0 && d.Incl == 0 && d.Excl == 0 {
+			continue
+		}
+		s.Events = append(s.Events, EventSnap{
+			ID: id, Name: m.Reg.Name(id), Group: m.Reg.GroupOf(id),
+			Calls: d.Calls, Subrs: d.Subrs, Incl: d.Incl, Excl: d.Excl,
+			Ctr: d.Ctr,
+		})
+	}
+	for id := EventID(1); int(id) < len(td.atomics); id++ {
+		a := td.atomics[id]
+		if a.Count == 0 {
+			continue
+		}
+		mean := a.Sum / float64(a.Count)
+		varr := a.SumSqr/float64(a.Count) - mean*mean
+		if varr < 0 {
+			varr = 0
+		}
+		s.Atomics = append(s.Atomics, AtomicSnap{
+			ID: id, Name: m.Reg.Name(id), Group: m.Reg.GroupOf(id),
+			Count: a.Count, Sum: a.Sum, Min: a.Min, Max: a.Max,
+			Mean: mean, Std: math.Sqrt(varr),
+		})
+	}
+	for _, k := range sortedMappedKeys(td) {
+		d := td.mapped[k]
+		s.Mapped = append(s.Mapped, MappedSnap{
+			Ctx: k.Ctx, CtxName: m.CtxName(k.Ctx),
+			Ev: k.Ev, EvName: m.Reg.Name(k.Ev), Group: m.Reg.GroupOf(k.Ev),
+			Calls: d.Calls, Incl: d.Incl, Excl: d.Excl,
+		})
+	}
+	return s
+}
+
+// KernelWide exports the aggregate of all processes (live plus retained
+// exited): the paper's kernel-wide perspective.
+func (m *Measurement) KernelWide() Snapshot {
+	agg := Snapshot{PID: KernelWidePID, Name: "kernel-wide", TSC: m.env.Cycles(),
+		CounterNames: m.counterNames}
+	evAcc := map[EventID]*EventSnap{}
+	atAcc := map[EventID]*AtomicSnap{}
+	for _, td := range m.AllTasks() {
+		for id := EventID(1); int(id) < len(td.prof); id++ {
+			d := td.prof[id]
+			if d.Calls == 0 && d.Incl == 0 && d.Excl == 0 {
+				continue
+			}
+			e := evAcc[id]
+			if e == nil {
+				e = &EventSnap{ID: id, Name: m.Reg.Name(id), Group: m.Reg.GroupOf(id)}
+				evAcc[id] = e
+			}
+			e.Calls += d.Calls
+			e.Subrs += d.Subrs
+			e.Incl += d.Incl
+			e.Excl += d.Excl
+			for ci := range d.Ctr {
+				e.Ctr[ci] += d.Ctr[ci]
+			}
+		}
+		for id := EventID(1); int(id) < len(td.atomics); id++ {
+			a := td.atomics[id]
+			if a.Count == 0 {
+				continue
+			}
+			e := atAcc[id]
+			if e == nil {
+				e = &AtomicSnap{ID: id, Name: m.Reg.Name(id), Group: m.Reg.GroupOf(id),
+					Min: a.Min, Max: a.Max}
+				atAcc[id] = e
+			}
+			e.Count += a.Count
+			e.Sum += a.Sum
+			if a.Min < e.Min {
+				e.Min = a.Min
+			}
+			if a.Max > e.Max {
+				e.Max = a.Max
+			}
+		}
+	}
+	for id := EventID(1); int(id) < m.Reg.Len(); id++ {
+		if e, ok := evAcc[id]; ok {
+			agg.Events = append(agg.Events, *e)
+		}
+		if a, ok := atAcc[id]; ok {
+			if a.Count > 0 {
+				a.Mean = a.Sum / float64(a.Count)
+			}
+			agg.Atomics = append(agg.Atomics, *a)
+		}
+	}
+	return agg
+}
+
+// SnapshotAll exports every known process in deterministic order.
+func (m *Measurement) SnapshotAll() []Snapshot {
+	tasks := m.AllTasks()
+	out := make([]Snapshot, 0, len(tasks))
+	for _, td := range tasks {
+		out = append(out, m.SnapshotTask(td))
+	}
+	return out
+}
+
+// FindEvent returns the snapshot record for the named event, or nil.
+func (s Snapshot) FindEvent(name string) *EventSnap {
+	for i := range s.Events {
+		if s.Events[i].Name == name {
+			return &s.Events[i]
+		}
+	}
+	return nil
+}
+
+// GroupTotals sums exclusive cycles per instrumentation group.
+func (s Snapshot) GroupTotals() map[Group]int64 {
+	out := make(map[Group]int64)
+	for _, e := range s.Events {
+		out[e.Group] += e.Excl
+	}
+	return out
+}
+
+// TotalExcl sums exclusive cycles over all events in the snapshot.
+func (s Snapshot) TotalExcl() int64 {
+	var t int64
+	for _, e := range s.Events {
+		t += e.Excl
+	}
+	return t
+}

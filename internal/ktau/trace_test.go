@@ -1,0 +1,184 @@
+package ktau
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasicOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 3; i++ {
+		r.Put(Record{TSC: int64(i)})
+	}
+	recs := r.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.TSC != int64(i+1) {
+			t.Fatalf("order wrong: %v", recs)
+		}
+	}
+	if r.Lost() != 0 {
+		t.Error("no loss expected")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Put(Record{TSC: int64(i)})
+	}
+	recs := r.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("len = %d, want 4", len(recs))
+	}
+	want := []int64{7, 8, 9, 10}
+	for i, rec := range recs {
+		if rec.TSC != want[i] {
+			t.Fatalf("records = %v, want TSCs %v", recs, want)
+		}
+	}
+	if r.Lost() != 6 {
+		t.Errorf("lost = %d, want 6", r.Lost())
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+}
+
+func TestRingDrain(t *testing.T) {
+	r := NewRing(4)
+	r.Put(Record{TSC: 1})
+	r.Put(Record{TSC: 2})
+	got := r.Drain()
+	if len(got) != 2 {
+		t.Fatalf("drain len = %d", len(got))
+	}
+	if r.Len() != 0 {
+		t.Error("drain did not empty ring")
+	}
+	// Writing after drain restarts cleanly.
+	r.Put(Record{TSC: 3})
+	if recs := r.Snapshot(); len(recs) != 1 || recs[0].TSC != 3 {
+		t.Errorf("post-drain state wrong: %v", recs)
+	}
+}
+
+func TestNilRingSafe(t *testing.T) {
+	var r *Ring
+	r.Put(Record{}) // must not panic
+	if r.Len() != 0 || r.Cap() != 0 || r.Lost() != 0 || r.Total() != 0 {
+		t.Error("nil ring accessors must be zero")
+	}
+	if r.Snapshot() != nil || r.Drain() != nil {
+		t.Error("nil ring snapshot must be nil")
+	}
+	if NewRing(0) != nil {
+		t.Error("NewRing(0) must be nil (tracing disabled)")
+	}
+}
+
+func TestRingProperty(t *testing.T) {
+	// Property: after writing n records to a ring of capacity c, the ring
+	// holds min(n, c) records, they are the n-min(n,c)+1 .. n most recent in
+	// order, and lost == max(0, n-c).
+	f := func(capRaw, nRaw uint8) bool {
+		c := int(capRaw%32) + 1
+		n := int(nRaw)
+		r := NewRing(c)
+		for i := 1; i <= n; i++ {
+			r.Put(Record{TSC: int64(i)})
+		}
+		want := n
+		if want > c {
+			want = c
+		}
+		recs := r.Snapshot()
+		if len(recs) != want {
+			return false
+		}
+		for i, rec := range recs {
+			if rec.TSC != int64(n-want+1+i) {
+				return false
+			}
+		}
+		lost := n - c
+		if lost < 0 {
+			lost = 0
+		}
+		return r.Lost() == uint64(lost) && r.Total() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordKindString(t *testing.T) {
+	if KindEntry.String() != "ENTRY" || KindExit.String() != "EXIT" ||
+		KindAtomic.String() != "ATOMIC" || RecordKind(99).String() != "?" {
+		t.Error("RecordKind.String wrong")
+	}
+}
+
+func TestGroupParseRoundTrip(t *testing.T) {
+	for _, g := range Groups() {
+		parsed, err := ParseGroup(g.String())
+		if err != nil || parsed != g {
+			t.Errorf("round trip %v failed: %v %v", g, parsed, err)
+		}
+	}
+	all, err := ParseGroup("all")
+	if err != nil || all != GroupAll {
+		t.Errorf("parse all = %v, %v", all, err)
+	}
+	multi, err := ParseGroup("SCHED,TCP")
+	if err != nil || multi != GroupSched|GroupTCP {
+		t.Errorf("parse multi = %v, %v", multi, err)
+	}
+	if _, err := ParseGroup("BOGUS"); err == nil {
+		t.Error("expected error for unknown group")
+	}
+	if _, err := ParseGroup(""); err == nil {
+		t.Error("expected error for empty spec")
+	}
+	if GroupNone.String() != "NONE" {
+		t.Error("GroupNone string wrong")
+	}
+}
+
+func TestRegistryAssignsStableIDs(t *testing.T) {
+	r := NewRegistry()
+	a := r.Register("schedule", GroupSched)
+	b := r.Register("do_IRQ[timer]", GroupIRQ)
+	a2 := r.Register("schedule", GroupSched)
+	if a != a2 {
+		t.Error("re-registration changed id")
+	}
+	if a == b {
+		t.Error("distinct events share id")
+	}
+	if r.Name(a) != "schedule" || r.GroupOf(b) != GroupIRQ {
+		t.Error("metadata lookup wrong")
+	}
+	if r.Lookup("schedule") != a || r.Lookup("nope") != NoEvent {
+		t.Error("Lookup wrong")
+	}
+	if len(r.Events()) != 2 {
+		t.Error("Events() wrong length")
+	}
+	if r.Name(NoEvent) != "" || r.Name(EventID(99)) != "" {
+		t.Error("out-of-range Name must be empty")
+	}
+}
+
+func TestRegistryGroupConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("x", GroupSched)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on group mismatch")
+		}
+	}()
+	r.Register("x", GroupTCP)
+}

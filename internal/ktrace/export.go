@@ -1,0 +1,62 @@
+package ktrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ktau/internal/ktau"
+)
+
+// Chrome trace-event export: the modern equivalent of handing the merged
+// user/kernel trace to Vampir or Jumpshot (paper §2, Fig 2-E). The output
+// loads directly in chrome://tracing or Perfetto: user events on one track,
+// kernel events on another, nested by duration.
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	PID   int            `json:"pid"` // process (simulated pid)
+	TID   int            `json:"tid"` // track: 1 user, 2 kernel
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a merged timeline as a Chrome trace-event JSON
+// array. Timestamps are converted from cycles at the given clock; pid labels
+// the simulated process.
+func WriteChromeTrace(w io.Writer, tl []Event, hz int64, pid int) error {
+	if hz <= 0 {
+		return fmt.Errorf("ktrace: non-positive clock %d", hz)
+	}
+	var base int64
+	if len(tl) > 0 {
+		base = tl[0].TSC
+	}
+	toUS := func(c int64) float64 { return float64(c-base) / float64(hz) * 1e6 }
+
+	events := make([]chromeEvent, 0, len(tl))
+	for _, e := range tl {
+		cat, tid := "user", 1
+		if e.Kernel {
+			cat, tid = "kernel", 2
+		}
+		ev := chromeEvent{Name: e.Name, Cat: cat, TS: toUS(e.TSC), PID: pid, TID: tid}
+		switch e.Kind {
+		case ktau.KindEntry:
+			ev.Phase = "B"
+		case ktau.KindExit:
+			ev.Phase = "E"
+		case ktau.KindAtomic:
+			ev.Phase = "i"
+			ev.Args = map[string]any{"value": e.Val}
+		default:
+			continue
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,234 @@
+package libktau
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ktau/internal/ktau"
+)
+
+// WriteASCII renders a snapshot in libKtau's line-oriented text format
+// (binary-to-ASCII conversion, §4.4). The format round-trips via ParseASCII.
+func WriteASCII(w io.Writer, s ktau.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#KTAU-PROFILE v3\n")
+	fmt.Fprintf(bw, "pid %d name %q tsc %d created %d exited %d exitedat %d tracelost %d\n",
+		s.PID, s.Name, s.TSC, s.Created, boolInt(s.Exited), s.ExitedAt, s.TraceLost)
+	fmt.Fprintf(bw, "counters %d", len(s.CounterNames))
+	for _, n := range s.CounterNames {
+		fmt.Fprintf(bw, " %q", n)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "events %d\n", len(s.Events))
+	for _, e := range s.Events {
+		fmt.Fprintf(bw, "ev %d %q %d %d %d %d %d",
+			e.ID, e.Name, uint32(e.Group), e.Calls, e.Subrs, e.Incl, e.Excl)
+		for ci := 0; ci < len(s.CounterNames); ci++ {
+			fmt.Fprintf(bw, " %d", e.Ctr[ci])
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "atomics %d\n", len(s.Atomics))
+	for _, a := range s.Atomics {
+		fmt.Fprintf(bw, "at %d %q %d %d %g %g %g %g %g\n",
+			a.ID, a.Name, uint32(a.Group), a.Count, a.Sum, a.Min, a.Max, a.Mean, a.Std)
+	}
+	fmt.Fprintf(bw, "mapped %d\n", len(s.Mapped))
+	for _, m := range s.Mapped {
+		fmt.Fprintf(bw, "map %d %q %d %q %d %d %d %d\n",
+			m.Ctx, m.CtxName, m.Ev, m.EvName, uint32(m.Group), m.Calls, m.Incl, m.Excl)
+	}
+	fmt.Fprintf(bw, "#END\n")
+	return bw.Flush()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParseASCII reads one snapshot in the text format produced by WriteASCII.
+func ParseASCII(r io.Reader) (ktau.Snapshot, error) {
+	var s ktau.Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := func() (string, error) {
+		for sc.Scan() {
+			l := strings.TrimSpace(sc.Text())
+			if l != "" {
+				return l, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	hdr, err := line()
+	if err != nil {
+		return s, err
+	}
+	if !strings.HasPrefix(hdr, "#KTAU-PROFILE") {
+		return s, fmt.Errorf("libktau: bad ascii header %q", hdr)
+	}
+	meta, err := line()
+	if err != nil {
+		return s, err
+	}
+	var exited int
+	if _, err := fmt.Sscanf(meta, "pid %d name %q tsc %d created %d exited %d exitedat %d tracelost %d",
+		&s.PID, &s.Name, &s.TSC, &s.Created, &exited, &s.ExitedAt, &s.TraceLost); err != nil {
+		return s, fmt.Errorf("libktau: bad meta line: %v", err)
+	}
+	s.Exited = exited == 1
+
+	// Counter names line.
+	cline, err := line()
+	if err != nil {
+		return s, err
+	}
+	cfields := strings.Fields(cline)
+	if len(cfields) < 2 || cfields[0] != "counters" {
+		return s, fmt.Errorf("libktau: expected counters line, got %q", cline)
+	}
+	nctr, err := strconv.Atoi(cfields[1])
+	if err != nil {
+		return s, err
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(cline, "counters "+cfields[1]))
+	for i := 0; i < nctr; i++ {
+		var name string
+		n, err := fmt.Sscanf(rest, "%q", &name)
+		if n != 1 || err != nil {
+			return s, fmt.Errorf("libktau: bad counters line %q", cline)
+		}
+		s.CounterNames = append(s.CounterNames, name)
+		// Advance past the consumed quoted token.
+		idx := strings.Index(rest, "\"")
+		idx2 := strings.Index(rest[idx+1:], "\"")
+		rest = strings.TrimSpace(rest[idx+idx2+2:])
+	}
+
+	readCount := func(word string) (int, error) {
+		l, err := line()
+		if err != nil {
+			return 0, err
+		}
+		fields := strings.Fields(l)
+		if len(fields) != 2 || fields[0] != word {
+			return 0, fmt.Errorf("libktau: expected %q count line, got %q", word, l)
+		}
+		return strconv.Atoi(fields[1])
+	}
+
+	nev, err := readCount("events")
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < nev; i++ {
+		l, err := line()
+		if err != nil {
+			return s, err
+		}
+		var e ktau.EventSnap
+		var g uint32
+		if _, err := fmt.Sscanf(l, "ev %d %q %d %d %d %d %d",
+			&e.ID, &e.Name, &g, &e.Calls, &e.Subrs, &e.Incl, &e.Excl); err != nil {
+			return s, fmt.Errorf("libktau: bad ev line %q: %v", l, err)
+		}
+		// Counter values are the trailing fields.
+		if nctr > 0 {
+			fields := strings.Fields(l)
+			if len(fields) >= nctr {
+				tail := fields[len(fields)-nctr:]
+				for ci := 0; ci < nctr && ci < ktau.MaxCounters; ci++ {
+					v, err := strconv.ParseInt(tail[ci], 10, 64)
+					if err != nil {
+						return s, fmt.Errorf("libktau: bad counter value in %q", l)
+					}
+					e.Ctr[ci] = v
+				}
+			}
+		}
+		e.Group = ktau.Group(g)
+		s.Events = append(s.Events, e)
+	}
+	nat, err := readCount("atomics")
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < nat; i++ {
+		l, err := line()
+		if err != nil {
+			return s, err
+		}
+		var a ktau.AtomicSnap
+		var g uint32
+		if _, err := fmt.Sscanf(l, "at %d %q %d %d %g %g %g %g %g",
+			&a.ID, &a.Name, &g, &a.Count, &a.Sum, &a.Min, &a.Max, &a.Mean, &a.Std); err != nil {
+			return s, fmt.Errorf("libktau: bad at line %q: %v", l, err)
+		}
+		a.Group = ktau.Group(g)
+		s.Atomics = append(s.Atomics, a)
+	}
+	nmap, err := readCount("mapped")
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < nmap; i++ {
+		l, err := line()
+		if err != nil {
+			return s, err
+		}
+		var m ktau.MappedSnap
+		var g uint32
+		if _, err := fmt.Sscanf(l, "map %d %q %d %q %d %d %d %d",
+			&m.Ctx, &m.CtxName, &m.Ev, &m.EvName, &g, &m.Calls, &m.Incl, &m.Excl); err != nil {
+			return s, fmt.Errorf("libktau: bad map line %q: %v", l, err)
+		}
+		m.Group = ktau.Group(g)
+		s.Mapped = append(s.Mapped, m)
+	}
+	return s, nil
+}
+
+// FormatProfile renders a human-readable profile listing, events sorted as
+// stored (by ID), with times converted to milliseconds at the given clock.
+func FormatProfile(w io.Writer, s ktau.Snapshot, hz int64) {
+	toMS := func(cyc int64) float64 {
+		if hz <= 0 {
+			return 0
+		}
+		return float64(cyc) / float64(hz) * 1e3
+	}
+	fmt.Fprintf(w, "KTAU profile: pid=%d name=%s\n", s.PID, s.Name)
+	fmt.Fprintf(w, "%-28s %10s %10s %14s %14s", "event", "calls", "subrs", "incl(ms)", "excl(ms)")
+	for _, n := range s.CounterNames {
+		fmt.Fprintf(w, " %14s", n)
+	}
+	fmt.Fprintln(w)
+	for _, e := range s.Events {
+		fmt.Fprintf(w, "%-28s %10d %10d %14.3f %14.3f",
+			e.Name, e.Calls, e.Subrs, toMS(e.Incl), toMS(e.Excl))
+		for ci := range s.CounterNames {
+			fmt.Fprintf(w, " %14d", e.Ctr[ci])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, a := range s.Atomics {
+		fmt.Fprintf(w, "%-28s count=%d sum=%.0f min=%.0f max=%.0f mean=%.1f\n",
+			a.Name+" [atomic]", a.Count, a.Sum, a.Min, a.Max, a.Mean)
+	}
+	if len(s.Mapped) > 0 {
+		fmt.Fprintf(w, "-- mapped to user context --\n")
+		for _, m := range s.Mapped {
+			fmt.Fprintf(w, "%-24s <- %-20s calls=%d excl(ms)=%.3f\n",
+				m.EvName, m.CtxName, m.Calls, toMS(m.Excl))
+		}
+	}
+}

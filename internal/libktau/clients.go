@@ -1,0 +1,105 @@
+package libktau
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/procfs"
+)
+
+// DaemonConfig configures KTAUD, the daemon of paper §4.5 that periodically
+// extracts profile (and trace) data from the kernel for processes that
+// cannot be instrumented directly.
+type DaemonConfig struct {
+	// Interval between collection rounds.
+	Interval time.Duration
+	// Rounds bounds the collection loop (0 = run until kernel shutdown).
+	Rounds int
+	// PIDs restricts collection to specific processes (nil = all).
+	PIDs []int
+	// Out, when non-nil, receives an ASCII dump of each collected profile.
+	Out io.Writer
+	// OnSnapshot, when non-nil, is invoked with each collection round's
+	// profiles (simulation-side consumers use this instead of Out).
+	OnSnapshot func(round int, snaps []ktau.Snapshot)
+	// ReadCostPerKB models the user-space processing cost per KiB of
+	// profile data each round (defaults to 20us/KB).
+	ReadCostPerKB time.Duration
+}
+
+// Daemon returns a kernel.Program implementing KTAUD against the node's
+// proc filesystem. Spawn it with kind kernel.KindDaemon.
+func Daemon(fs *procfs.FS, cfg DaemonConfig) kernel.Program {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.ReadCostPerKB <= 0 {
+		cfg.ReadCostPerKB = 20 * time.Microsecond
+	}
+	h := Open(fs)
+	return func(u *kernel.UCtx) {
+		for round := 0; cfg.Rounds == 0 || round < cfg.Rounds; round++ {
+			u.Sleep(cfg.Interval)
+			var snaps []ktau.Snapshot
+			var bytes int
+			collect := func(scope Scope, pid int) {
+				// The two-call session-less protocol, with its syscall
+				// costs charged to the daemon.
+				u.Syscall("sys_ioctl", func(kc *kernel.KCtx) {
+					kc.Use(2 * time.Microsecond)
+				})
+				got, err := h.GetProfiles(scope, pid)
+				if err != nil {
+					return
+				}
+				u.Syscall("sys_read", func(kc *kernel.KCtx) {
+					kc.Use(4 * time.Microsecond)
+				})
+				snaps = append(snaps, got...)
+				for _, s := range got {
+					bytes += 64 + 48*len(s.Events) + 64*len(s.Atomics) + 64*len(s.Mapped)
+				}
+			}
+			if len(cfg.PIDs) == 0 {
+				collect(ScopeAll, 0)
+			} else {
+				for _, pid := range cfg.PIDs {
+					collect(ScopeOther, pid)
+				}
+			}
+			// User-space processing of the harvested data.
+			u.Compute(time.Duration(bytes/1024+1) * cfg.ReadCostPerKB)
+			if cfg.OnSnapshot != nil {
+				cfg.OnSnapshot(round, snaps)
+			}
+			if cfg.Out != nil {
+				fmt.Fprintf(cfg.Out, "== ktaud round %d: %d profiles ==\n", round, len(snaps))
+				for _, s := range snaps {
+					if err := WriteASCII(cfg.Out, s); err != nil {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// RunKtau wraps a program the way the runKtau client of §4.5 wraps a
+// command (like time(1)): it runs body and, when it finishes, retrieves the
+// process's own detailed KTAU profile through libKtau.
+func RunKtau(fs *procfs.FS, body kernel.Program, result *ktau.Snapshot) kernel.Program {
+	h := Open(fs)
+	return func(u *kernel.UCtx) {
+		body(u)
+		u.Syscall("sys_read", func(kc *kernel.KCtx) {
+			kc.Use(4 * time.Microsecond)
+		})
+		snap, err := h.GetProfile(ScopeSelf, u.Task().PID())
+		if err == nil && result != nil {
+			*result = snap
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package libktau
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ktau/internal/ktau"
+)
+
+// DiffEntry is one event's change between two profile snapshots.
+type DiffEntry struct {
+	Name       string
+	Group      ktau.Group
+	CallsA     uint64
+	CallsB     uint64
+	ExclA      int64
+	ExclB      int64
+	DeltaCalls int64
+	DeltaExcl  int64
+}
+
+// Diff compares two snapshots of (typically) the same process taken at
+// different times or under different configurations. It is the analysis
+// ParaProf performs when comparing trials; KTAUD consumers use it to watch
+// kernel behaviour evolve between collection rounds.
+func Diff(a, b ktau.Snapshot) []DiffEntry {
+	type acc struct {
+		group          ktau.Group
+		callsA, callsB uint64
+		exclA, exclB   int64
+	}
+	byName := map[string]*acc{}
+	for _, e := range a.Events {
+		byName[e.Name] = &acc{group: e.Group, callsA: e.Calls, exclA: e.Excl}
+	}
+	for _, e := range b.Events {
+		x := byName[e.Name]
+		if x == nil {
+			x = &acc{group: e.Group}
+			byName[e.Name] = x
+		}
+		x.callsB = e.Calls
+		x.exclB = e.Excl
+	}
+	out := make([]DiffEntry, 0, len(byName))
+	for name, x := range byName {
+		out = append(out, DiffEntry{
+			Name: name, Group: x.group,
+			CallsA: x.callsA, CallsB: x.callsB,
+			ExclA: x.exclA, ExclB: x.exclB,
+			DeltaCalls: int64(x.callsB) - int64(x.callsA),
+			DeltaExcl:  x.exclB - x.exclA,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].DeltaExcl, out[j].DeltaExcl
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FormatDiff renders a diff with times in milliseconds at the given clock.
+func FormatDiff(w io.Writer, entries []DiffEntry, hz int64) {
+	toMS := func(cyc int64) float64 {
+		if hz <= 0 {
+			return 0
+		}
+		return float64(cyc) / float64(hz) * 1e3
+	}
+	fmt.Fprintf(w, "%-28s %12s %12s %14s %14s\n",
+		"event", "calls A->B", "dCalls", "excl A->B (ms)", "dExcl(ms)")
+	for _, e := range entries {
+		if e.DeltaCalls == 0 && e.DeltaExcl == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %5d->%-6d %+12d %7.2f->%-7.2f %+14.3f\n",
+			e.Name, e.CallsA, e.CallsB, e.DeltaCalls,
+			toMS(e.ExclA), toMS(e.ExclB), toMS(e.DeltaExcl))
+	}
+}

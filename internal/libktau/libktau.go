@@ -1,0 +1,293 @@
+// Package libktau is the user-space access library of paper §4.4: it hides
+// the /proc/ktau protocol behind a small API offering kernel control, data
+// retrieval for self / other / all scopes, binary-to-ASCII conversion and
+// formatted output. Clients — TAU's integration, the KTAUD daemon, runKtau —
+// all go through this package rather than touching procfs directly, so they
+// are insulated from kernel-side format changes.
+package libktau
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ktau/internal/ktau"
+	"ktau/internal/procfs"
+)
+
+// Scope selects whose data a retrieval targets (libKtau's self/other/all).
+type Scope int
+
+const (
+	// ScopeSelf reads the calling process's own profile.
+	ScopeSelf Scope = iota
+	// ScopeOther reads one specific other process.
+	ScopeOther
+	// ScopeAll reads every process on the node.
+	ScopeAll
+	// ScopeKernelWide reads the aggregate kernel view.
+	ScopeKernelWide
+)
+
+// Handle is an open connection to one node's /proc/ktau.
+type Handle struct {
+	fs *procfs.FS
+}
+
+// Open returns a handle over the node's proc filesystem.
+func Open(fs *procfs.FS) Handle { return Handle{fs: fs} }
+
+// GetProfiles retrieves profiles per the scope, using the session-less
+// two-call protocol (size, then read, retrying if the size grew between the
+// calls — exactly the dance a real libKtau client performs).
+func (h Handle) GetProfiles(scope Scope, pid int) ([]ktau.Snapshot, error) {
+	target := pid
+	switch scope {
+	case ScopeAll:
+		target = procfs.PIDAll
+	case ScopeKernelWide:
+		target = procfs.PIDKernelWide
+	}
+	size, err := h.fs.ProfileSize(target)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		buf := make([]byte, size)
+		n, err := h.fs.ProfileRead(target, buf)
+		if err == nil {
+			return DecodeProfiles(buf[:n])
+		}
+		var short procfs.ErrShortBuffer
+		if errors.As(err, &short) {
+			size = short.Needed
+			continue
+		}
+		return nil, err
+	}
+	return nil, errors.New("libktau: profile size kept changing")
+}
+
+// GetProfile retrieves a single profile (self/other/kernel-wide scopes).
+func (h Handle) GetProfile(scope Scope, pid int) (ktau.Snapshot, error) {
+	snaps, err := h.GetProfiles(scope, pid)
+	if err != nil {
+		return ktau.Snapshot{}, err
+	}
+	if len(snaps) != 1 {
+		return ktau.Snapshot{}, fmt.Errorf("libktau: got %d profiles, want 1", len(snaps))
+	}
+	return snaps[0], nil
+}
+
+// GetTrace drains and decodes a process's kernel trace buffer.
+func (h Handle) GetTrace(pid int) (TraceDump, error) {
+	size, err := h.fs.TraceSize(pid)
+	if err != nil {
+		return TraceDump{}, err
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		buf := make([]byte, size)
+		n, err := h.fs.TraceRead(pid, buf)
+		if err == nil {
+			return DecodeTrace(buf[:n])
+		}
+		var short procfs.ErrShortBuffer
+		if errors.As(err, &short) {
+			size = short.Needed
+			continue
+		}
+		return TraceDump{}, err
+	}
+	return TraceDump{}, errors.New("libktau: trace size kept changing")
+}
+
+// EnableGroups turns instrumentation groups on at runtime.
+func (h Handle) EnableGroups(g ktau.Group) error {
+	return h.fs.Control(procfs.CtlEnableGroups, int64(g))
+}
+
+// DisableGroups turns instrumentation groups off at runtime.
+func (h Handle) DisableGroups(g ktau.Group) error {
+	return h.fs.Control(procfs.CtlDisableGroups, int64(g))
+}
+
+// Reset zeroes one process's profile, or all live profiles when pid ==
+// procfs.PIDAll.
+func (h Handle) Reset(pid int) error {
+	if pid == procfs.PIDAll {
+		return h.fs.Control(procfs.CtlResetAll, 0)
+	}
+	return h.fs.Control(procfs.CtlResetPID, int64(pid))
+}
+
+// TraceDump is a decoded kernel trace buffer.
+type TraceDump struct {
+	PID     int
+	Lost    uint64
+	Records []ktau.Record
+}
+
+// ---- binary decoding ----
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = errors.New("libktau: truncated blob")
+		return false
+	}
+	return true
+}
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) str() string {
+	n := int(r.u16())
+	if !r.need(n) {
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+// DecodeProfiles parses a binary profile blob from /proc/ktau/profile.
+func DecodeProfiles(blob []byte) ([]ktau.Snapshot, error) {
+	r := &reader{b: blob}
+	if r.u32() != procfs.Magic {
+		return nil, errors.New("libktau: bad magic")
+	}
+	if v := r.u32(); v != procfs.Version {
+		return nil, fmt.Errorf("libktau: unsupported version %d", v)
+	}
+	count := int(r.u32())
+	out := make([]ktau.Snapshot, 0, count)
+	for i := 0; i < count; i++ {
+		var s ktau.Snapshot
+		s.PID = int(r.i64())
+		s.Name = r.str()
+		s.TSC = r.i64()
+		s.Created = r.i64()
+		s.ExitedAt = r.i64()
+		s.Exited = r.u8() == 1
+		s.TraceLost = r.u64()
+		nctr := int(r.u16())
+		for j := 0; j < nctr; j++ {
+			s.CounterNames = append(s.CounterNames, r.str())
+		}
+		nev := int(r.u32())
+		nat := int(r.u32())
+		nmap := int(r.u32())
+		for j := 0; j < nev; j++ {
+			e := ktau.EventSnap{
+				ID:    ktau.EventID(r.i32()),
+				Group: ktau.Group(r.u32()),
+				Calls: r.u64(),
+				Subrs: r.u64(),
+				Incl:  r.i64(),
+				Excl:  r.i64(),
+			}
+			for ci := 0; ci < nctr && ci < ktau.MaxCounters; ci++ {
+				e.Ctr[ci] = r.i64()
+			}
+			e.Name = r.str()
+			s.Events = append(s.Events, e)
+		}
+		for j := 0; j < nat; j++ {
+			a := ktau.AtomicSnap{
+				ID:    ktau.EventID(r.i32()),
+				Group: ktau.Group(r.u32()),
+				Count: r.u64(),
+				Sum:   r.f64(),
+				Min:   r.f64(),
+				Max:   r.f64(),
+				Mean:  r.f64(),
+				Std:   r.f64(),
+			}
+			a.Name = r.str()
+			s.Atomics = append(s.Atomics, a)
+		}
+		for j := 0; j < nmap; j++ {
+			m := ktau.MappedSnap{Ctx: r.i32()}
+			m.CtxName = r.str()
+			m.Ev = ktau.EventID(r.i32())
+			m.EvName = r.str()
+			m.Group = ktau.Group(r.u32())
+			m.Calls = r.u64()
+			m.Incl = r.i64()
+			m.Excl = r.i64()
+			s.Mapped = append(s.Mapped, m)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, s)
+	}
+	return out, r.err
+}
+
+// DecodeTrace parses a binary trace blob from /proc/ktau/trace.
+func DecodeTrace(blob []byte) (TraceDump, error) {
+	r := &reader{b: blob}
+	if r.u32() != procfs.Magic {
+		return TraceDump{}, errors.New("libktau: bad magic")
+	}
+	if v := r.u32(); v != procfs.Version {
+		return TraceDump{}, fmt.Errorf("libktau: unsupported version %d", v)
+	}
+	var d TraceDump
+	d.PID = int(r.i64())
+	d.Lost = r.u64()
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		rec := ktau.Record{
+			TSC:  r.i64(),
+			Ev:   ktau.EventID(r.i32()),
+			Kind: ktau.RecordKind(r.u8()),
+			Val:  r.i64(),
+		}
+		d.Records = append(d.Records, rec)
+	}
+	return d, r.err
+}

@@ -1,0 +1,253 @@
+// Package mpisim provides a blocking message-passing layer (an MPI subset)
+// over the simulated TCP stacks: rank-addressed Send/Recv with tags, plus
+// binomial-tree Barrier / Reduce / Bcast collectives — enough to express the
+// NPB LU and ASCI Sweep3D communication patterns the paper measures.
+//
+// Every MPI call is wrapped in TAU user-level events (MPI_Send(), MPI_Recv()
+// ...), so the user profile, the kernel profile, and KTAU's event mapping of
+// kernel activity to the current MPI routine all line up as in the paper.
+package mpisim
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/tau"
+	"ktau/internal/tcpsim"
+)
+
+// internal collective tags (user tags must be >= 0).
+const (
+	tagReduce = -101
+	tagBcast  = -102
+)
+
+// msgHeaderBytes models the MPI envelope on the wire.
+const msgHeaderBytes = 16
+
+// RankSpec places one rank: the node stack it runs on and its CPU affinity.
+type RankSpec struct {
+	Stack *tcpsim.Stack
+	// Affinity is the task's CPU mask on its node (0 = any; the paper's
+	// "Pinned" configurations use kernel.AffinityCPU).
+	Affinity uint64
+}
+
+type msgMeta struct {
+	tag int
+	n   int
+}
+
+type flow struct {
+	conn *tcpsim.Conn // local endpoint
+	meta *[]msgMeta   // metadata queue for messages flowing *into* this endpoint
+}
+
+type pair struct {
+	lo, hi   *tcpsim.Conn
+	metaToLo []msgMeta
+	metaToHi []msgMeta
+}
+
+// World is an MPI job: a set of ranks with lazily established connections.
+type World struct {
+	specs []RankSpec
+	ranks []*Rank
+	pairs map[[2]int]*pair
+	tau   tau.Options
+}
+
+// NewWorld creates a world from rank placements. tauOpts configures each
+// rank's user-level profiler.
+func NewWorld(specs []RankSpec, tauOpts tau.Options) *World {
+	w := &World{specs: specs, pairs: make(map[[2]int]*pair), tau: tauOpts}
+	for i := range specs {
+		w.ranks = append(w.ranks, &Rank{w: w, id: i})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.specs) }
+
+// Rank returns rank i's handle (valid after Launch has started it).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// pairFor returns (creating lazily) the connection pair between ranks i and j.
+func (w *World) pairFor(i, j int) *pair {
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := [2]int{lo, hi}
+	if p, ok := w.pairs[key]; ok {
+		return p
+	}
+	cl, ch := tcpsim.Connect(w.specs[lo].Stack, w.specs[hi].Stack)
+	p := &pair{lo: cl, hi: ch}
+	w.pairs[key] = p
+	return p
+}
+
+// flowTo returns rank self's endpoint for traffic with peer, and the
+// metadata queue for messages arriving at self from peer.
+func (w *World) flowTo(self, peer int) flow {
+	p := w.pairFor(self, peer)
+	if self < peer {
+		return flow{conn: p.lo, meta: &p.metaToLo}
+	}
+	return flow{conn: p.hi, meta: &p.metaToHi}
+}
+
+// Launch spawns one task per rank running body and returns the tasks. Task
+// names are prefix.rankN.
+func (w *World) Launch(prefix string, body func(r *Rank)) []*kernel.Task {
+	tasks := make([]*kernel.Task, len(w.specs))
+	for i, spec := range w.specs {
+		r := w.ranks[i]
+		k := spec.Stack.Kernel()
+		tasks[i] = k.Spawn(fmt.Sprintf("%s.rank%d", prefix, i), func(u *kernel.UCtx) {
+			r.u = u
+			r.Tau = tau.New(u, w.tau)
+			body(r)
+			r.Profile = r.Tau.Snapshot(u.Task().Name(), r.id)
+		}, kernel.SpawnOpts{Kind: kernel.KindUser, Affinity: spec.Affinity})
+		r.Task = tasks[i]
+	}
+	return tasks
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w  *World
+	id int
+	u  *kernel.UCtx
+
+	// Tau is the rank's user-level profiler (valid once running).
+	Tau *tau.Profiler
+	// Task is the rank's kernel task.
+	Task *kernel.Task
+	// Profile is the final user-level profile, set when the rank finishes.
+	Profile tau.Profile
+
+	// Stats counts MPI traffic.
+	Stats struct {
+		Sends, Recvs uint64
+		BytesSent    uint64
+		BytesRcvd    uint64
+	}
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the job size.
+func (r *Rank) Size() int { return r.w.Size() }
+
+// U returns the rank's user execution context.
+func (r *Rank) U() *kernel.UCtx { return r.u }
+
+// Compute burns d of user CPU inside a TAU-timed region.
+func (r *Rank) Compute(name string, d time.Duration) {
+	r.Tau.Start(name)
+	r.u.Compute(d)
+	r.Tau.Stop(name)
+}
+
+// Send transmits n payload bytes to rank `to` with the given tag, blocking
+// until the data is handed to the transport (eager TCP semantics).
+func (r *Rank) Send(to, n, tag int) {
+	if to == r.id {
+		panic("mpisim: send to self")
+	}
+	r.Tau.Start("MPI_Send()")
+	f := r.w.flowTo(to, r.id) // peer's inbound flow: meta arrives with data
+	*f.meta = append(*f.meta, msgMeta{tag: tag, n: n})
+	self := r.w.flowTo(r.id, to)
+	self.conn.Send(r.u, msgHeaderBytes+n)
+	r.Stats.Sends++
+	r.Stats.BytesSent += uint64(n)
+	r.Tau.Stop("MPI_Send()")
+}
+
+// Recv blocks until the next message from rank `from` arrives; the message's
+// tag must equal the expected tag (the deterministic workloads here always
+// match; a mismatch is a workload bug and panics). Returns payload bytes.
+func (r *Rank) Recv(from, tag int) int {
+	r.Tau.Start("MPI_Recv()")
+	f := r.w.flowTo(r.id, from)
+	f.conn.Recv(r.u, msgHeaderBytes)
+	if len(*f.meta) == 0 {
+		panic("mpisim: header arrived with no metadata (framing bug)")
+	}
+	m := (*f.meta)[0]
+	*f.meta = (*f.meta)[1:]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpisim: rank %d expected tag %d from %d, got %d",
+			r.id, tag, from, m.tag))
+	}
+	if m.n > 0 {
+		f.conn.Recv(r.u, m.n)
+	}
+	r.Stats.Recvs++
+	r.Stats.BytesRcvd += uint64(m.n)
+	r.Tau.Stop("MPI_Recv()")
+	return m.n
+}
+
+// Reduce performs a binomial-tree reduction of n bytes to rank 0.
+func (r *Rank) Reduce(n int) {
+	size := r.Size()
+	for mask := 1; mask < size; mask <<= 1 {
+		if r.id&mask != 0 {
+			r.Send(r.id-mask, n, tagReduce)
+			return
+		}
+		if src := r.id + mask; src < size {
+			r.Recv(src, tagReduce)
+		}
+	}
+}
+
+// Bcast distributes n bytes from rank 0 over a binomial tree.
+func (r *Rank) Bcast(n int) {
+	if r.id != 0 {
+		k := 1 << (bits.Len(uint(r.id)) - 1) // highest set bit
+		r.Recv(r.id-k, tagBcast)
+	}
+	start := 1
+	if r.id != 0 {
+		start = 1 << bits.Len(uint(r.id))
+	}
+	for mask := start; mask < nextPow2(r.Size()); mask <<= 1 {
+		if dst := r.id + mask; dst < r.Size() {
+			r.Send(dst, n, tagBcast)
+		}
+	}
+}
+
+// Allreduce is Reduce followed by Bcast (n bytes each way).
+func (r *Rank) Allreduce(n int) {
+	r.Tau.Start("MPI_Allreduce()")
+	r.Reduce(n)
+	r.Bcast(n)
+	r.Tau.Stop("MPI_Allreduce()")
+}
+
+// Barrier synchronises all ranks (zero-byte Allreduce).
+func (r *Rank) Barrier() {
+	r.Tau.Start("MPI_Barrier()")
+	r.Reduce(0)
+	r.Bcast(0)
+	r.Tau.Stop("MPI_Barrier()")
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

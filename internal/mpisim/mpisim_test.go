@@ -1,0 +1,365 @@
+package mpisim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/sim"
+	"ktau/internal/tau"
+)
+
+// testWorld builds a cluster with one rank per node.
+func testWorld(t *testing.T, ranks, nodes, perNode int) (*cluster.Cluster, *World) {
+	t.Helper()
+	kp := kernel.DefaultParams()
+	kp.CostJitter = 0
+	kp.PageFaultRate = 0
+	c := cluster.New(cluster.Config{
+		Nodes:  cluster.UniformNodes("n", nodes),
+		Kernel: kp,
+		Ktau: ktau.Options{
+			Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true,
+		},
+		Seed: 77,
+	})
+	t.Cleanup(c.Shutdown)
+	specs := make([]RankSpec, ranks)
+	for i := range specs {
+		specs[i] = RankSpec{Stack: c.Node((i / perNode) % nodes).Stack}
+	}
+	return c, NewWorld(specs, tau.DefaultOptions())
+}
+
+func TestPingPong(t *testing.T) {
+	c, w := testWorld(t, 2, 2, 1)
+	tasks := w.Launch("pp", func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1000, 7)
+			r.Recv(1, 8)
+		} else {
+			r.Recv(0, 7)
+			r.Send(0, 2000, 8)
+		}
+	})
+	if !c.RunUntilDone(tasks, 10*time.Second) {
+		t.Fatal("ranks did not finish")
+	}
+	r0, r1 := w.Rank(0), w.Rank(1)
+	if r0.Stats.BytesSent != 1000 || r0.Stats.BytesRcvd != 2000 {
+		t.Errorf("rank0 bytes: %+v", r0.Stats)
+	}
+	if r1.Stats.BytesRcvd != 1000 || r1.Stats.BytesSent != 2000 {
+		t.Errorf("rank1 bytes: %+v", r1.Stats)
+	}
+	// TAU profiles must show the MPI wrappers.
+	if ev := r0.Profile.Find("MPI_Send()"); ev == nil || ev.Calls != 1 {
+		t.Errorf("rank0 MPI_Send profile: %+v", ev)
+	}
+	if ev := r1.Profile.Find("MPI_Recv()"); ev == nil || ev.Calls != 1 {
+		t.Errorf("rank1 MPI_Recv profile: %+v", ev)
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	c, w := testWorld(t, 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected tag mismatch panic to propagate")
+		}
+	}()
+	tasks := w.Launch("bad", func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 10, 1)
+		} else {
+			r.Recv(0, 2) // wrong tag
+		}
+	})
+	c.RunUntilDone(tasks, time.Second)
+}
+
+func TestCollectivesAllSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 13, 16} {
+		n := n
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			c, w := testWorld(t, n, n, 1)
+			order := make([]int, 0, n)
+			tasks := w.Launch("coll", func(r *Rank) {
+				r.U().Compute(time.Duration(r.ID()+1) * time.Millisecond)
+				r.Barrier()
+				order = append(order, r.ID())
+				r.Allreduce(64)
+				r.Bcast(256)
+			})
+			if !c.RunUntilDone(tasks, 30*time.Second) {
+				t.Fatal("collective deadlocked")
+			}
+			if len(order) != n {
+				t.Fatalf("barrier order has %d entries", len(order))
+			}
+		})
+	}
+}
+
+func TestBarrierActuallySynchronises(t *testing.T) {
+	const n = 4
+	c, w := testWorld(t, n, n, 1)
+	var afterBarrier []float64
+	tasks := w.Launch("sync", func(r *Rank) {
+		// Rank 3 computes for 50ms; others arrive immediately.
+		if r.ID() == 3 {
+			r.U().Compute(50 * time.Millisecond)
+		}
+		r.Barrier()
+		afterBarrier = append(afterBarrier, r.U().Now().Seconds())
+	})
+	if !c.RunUntilDone(tasks, 30*time.Second) {
+		t.Fatal("deadlock")
+	}
+	for _, ts := range afterBarrier {
+		if ts < 0.050 {
+			t.Errorf("a rank passed the barrier at %.3fs, before the slow rank arrived", ts)
+		}
+		if ts > 0.060 {
+			t.Errorf("barrier release too slow: %.3fs", ts)
+		}
+	}
+	// Fast ranks blocked in the barrier: voluntary scheduling wait ~50ms.
+	if w := w.Rank(0).Task.VolWait; w < 40*time.Millisecond {
+		t.Errorf("rank0 voluntary wait %v, want ~50ms (waiting in barrier)", w)
+	}
+}
+
+func TestTwoRanksPerNodeShareNIC(t *testing.T) {
+	// 4 ranks on 2 nodes (2 per node) vs 4 ranks on 4 nodes: the shared-NIC
+	// configuration must be slower for bandwidth-bound exchanges.
+	run := func(nodes, perNode int) time.Duration {
+		c, w := testWorld(t, 4, nodes, perNode)
+		defer c.Shutdown()
+		tasks := w.Launch("bw", func(r *Rank) {
+			peer := r.ID() ^ 2 // 0<->2, 1<->3: always cross-node
+			for i := 0; i < 5; i++ {
+				if r.ID() < 2 {
+					r.Send(peer, 200_000, 1)
+					r.Recv(peer, 2)
+				} else {
+					r.Recv(peer, 1)
+					r.Send(peer, 200_000, 2)
+				}
+			}
+		})
+		if !c.RunUntilDone(tasks, 120*time.Second) {
+			t.Fatal("bandwidth test deadlocked")
+		}
+		return c.Eng.Now().Duration()
+	}
+	shared := run(2, 2)
+	spread := run(4, 1)
+	if shared <= spread {
+		t.Errorf("shared NIC (%v) should be slower than dedicated NICs (%v)", shared, spread)
+	}
+	if float64(shared)/float64(spread) < 1.3 {
+		t.Errorf("NIC sharing penalty too small: %v vs %v", shared, spread)
+	}
+}
+
+func TestMappedKernelActivityUnderMPIRecv(t *testing.T) {
+	c, w := testWorld(t, 2, 2, 1)
+	tasks := w.Launch("map", func(r *Rank) {
+		if r.ID() == 0 {
+			r.U().Compute(20 * time.Millisecond)
+			r.Send(1, 100_000, 1)
+		} else {
+			r.Recv(0, 1)
+		}
+	})
+	if !c.RunUntilDone(tasks, 30*time.Second) {
+		t.Fatal("deadlock")
+	}
+	// Rank 1 blocked inside MPI_Recv; its kernel profile's mapped data must
+	// attribute schedule_vol (and tcp activity) to the MPI_Recv() context.
+	snap := c.Node(1).K.Ktau().SnapshotTask(w.Rank(1).Task.KD())
+	var volUnderRecv, tcpUnderRecv int64
+	for _, ms := range snap.Mapped {
+		if ms.CtxName == "MPI_Recv()" {
+			switch ms.EvName {
+			case "schedule_vol":
+				volUnderRecv += ms.Excl
+			case "tcp_recvmsg", "tcp_v4_rcv":
+				tcpUnderRecv += ms.Excl
+			}
+		}
+	}
+	k := c.Node(1).K
+	if k.DurationOf(volUnderRecv) < 15*time.Millisecond {
+		t.Errorf("voluntary wait mapped under MPI_Recv = %v, want ~20ms",
+			k.DurationOf(volUnderRecv))
+	}
+	if tcpUnderRecv == 0 {
+		t.Error("no TCP kernel time mapped under MPI_Recv")
+	}
+}
+
+func TestDeterministicMPIRun(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		c, w := testWorld(t, 4, 2, 2)
+		defer c.Shutdown()
+		tasks := w.Launch("det", func(r *Rank) {
+			for i := 0; i < 3; i++ {
+				r.U().Compute(2 * time.Millisecond)
+				r.Allreduce(128)
+			}
+		})
+		if !c.RunUntilDone(tasks, 30*time.Second) {
+			t.Fatal("deadlock")
+		}
+		var vol uint64
+		for i := 0; i < 4; i++ {
+			vol += w.Rank(i).Task.VolSwitches
+		}
+		return c.Eng.Now().Duration(), vol
+	}
+	d1, v1 := run()
+	d2, v2 := run()
+	if d1 != d2 || v1 != v2 {
+		t.Errorf("nondeterministic MPI run: (%v,%d) vs (%v,%d)", d1, v1, d2, v2)
+	}
+}
+
+func TestIrecvOverlapsWithCompute(t *testing.T) {
+	c, w := testWorld(t, 2, 2, 1)
+	var waitTime, recvTime time.Duration
+	tasks := w.Launch("nb", func(r *Rank) {
+		if r.ID() == 0 {
+			// Send early; rank 1 computes before waiting.
+			r.Send(1, 200_000, 1)
+		} else {
+			req := r.Irecv(0, 1)
+			r.U().Compute(200 * time.Millisecond) // transfer completes underneath
+			t0 := r.U().Now()
+			if got := r.Wait(req); got != 200_000 {
+				t.Errorf("wait returned %d bytes", got)
+			}
+			waitTime = r.U().Now().Sub(t0)
+		}
+	})
+	if !c.RunUntilDone(tasks, time.Minute) {
+		t.Fatal("deadlock")
+	}
+	// Reference: a blocking receive posted at the same point.
+	c2, w2 := testWorld(t, 2, 2, 1)
+	tasks2 := w2.Launch("bl", func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 200_000, 1)
+		} else {
+			t0 := r.U().Now()
+			r.Recv(0, 1)
+			recvTime = r.U().Now().Sub(t0)
+		}
+	})
+	if !c2.RunUntilDone(tasks2, time.Minute) {
+		t.Fatal("deadlock")
+	}
+	// 200KB at 100Mb/s is ~16ms of wire; with overlap the Wait costs only
+	// the copy (~well under 5ms), while the cold blocking receive pays the
+	// full transfer.
+	if waitTime > 5*time.Millisecond {
+		t.Errorf("overlapped Wait took %v; data should already be local", waitTime)
+	}
+	if recvTime < 10*time.Millisecond {
+		t.Errorf("blocking receive took %v; expected full transfer wait", recvTime)
+	}
+}
+
+func TestSendrecvSymmetricExchange(t *testing.T) {
+	c, w := testWorld(t, 2, 2, 1)
+	tasks := w.Launch("sr", func(r *Rank) {
+		peer := 1 - r.ID()
+		for i := 0; i < 5; i++ {
+			if got := r.Sendrecv(peer, 3000, 7, peer, 7); got != 3000 {
+				t.Errorf("sendrecv got %d bytes", got)
+			}
+		}
+	})
+	if !c.RunUntilDone(tasks, time.Minute) {
+		t.Fatal("deadlock")
+	}
+	if w.Rank(0).Stats.BytesRcvd != 15000 || w.Rank(1).Stats.BytesRcvd != 15000 {
+		t.Error("sendrecv byte counts wrong")
+	}
+}
+
+func TestAlltoallAllSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			c, w := testWorld(t, n, n, 1)
+			tasks := w.Launch("a2a", func(r *Rank) {
+				r.Alltoall(1000)
+			})
+			if !c.RunUntilDone(tasks, time.Minute) {
+				t.Fatal("alltoall deadlocked")
+			}
+			for i := 0; i < n; i++ {
+				want := uint64((n - 1) * 1000)
+				if got := w.Rank(i).Stats.BytesRcvd; got != want {
+					t.Errorf("rank %d received %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestWaitOnForeignRequestPanics(t *testing.T) {
+	c, w := testWorld(t, 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var req *Request
+	tasks := w.Launch("bad", func(r *Rank) {
+		if r.ID() == 0 {
+			req = r.Irecv(1, 1)
+			r.Send(1, 10, 2)
+		} else {
+			r.Recv(0, 2)
+			r.Wait(req) // foreign request: must panic
+		}
+	})
+	c.RunUntilDone(tasks, time.Minute)
+}
+
+func TestRandomCommunicationSchedulesComplete(t *testing.T) {
+	// Property-style: random rings of sends/recvs over random sizes never
+	// deadlock with eager semantics.
+	for seed := uint64(1); seed <= 5; seed++ {
+		n := 3 + int(seed)%4
+		c, w := testWorld(t, n, n, 1)
+		rng := sim.NewRNG(seed)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 100 + rng.Intn(20_000)
+		}
+		tasks := w.Launch("ring", func(r *Rank) {
+			next := (r.ID() + 1) % r.Size()
+			prev := (r.ID() + r.Size() - 1) % r.Size()
+			for round := 0; round < 4; round++ {
+				r.Send(next, sizes[r.ID()], 9)
+				got := r.Recv(prev, 9)
+				if got != sizes[prev] {
+					t.Errorf("seed %d rank %d round %d: got %d bytes, want %d",
+						seed, r.ID(), round, got, sizes[prev])
+				}
+			}
+		})
+		if !c.RunUntilDone(tasks, 2*time.Minute) {
+			t.Fatalf("seed %d: ring deadlocked", seed)
+		}
+		c.Shutdown()
+	}
+}

@@ -1,0 +1,179 @@
+// Package netsim models the cluster interconnect: one NIC per node attached
+// to a switched Ethernet with finite link bandwidth and fixed latency.
+// Frames transmitted by a node serialize through its NIC (which is what
+// makes two MPI ranks sharing a node's single interface contend, one of the
+// effects the paper's 64x2 Chiba experiments expose); delivery at the
+// destination NIC raises the node's receive path via a callback.
+package netsim
+
+import (
+	"time"
+
+	"ktau/internal/sim"
+)
+
+// LinkSpec describes the interconnect.
+type LinkSpec struct {
+	// BandwidthBps is the per-node link bandwidth in bits per second.
+	BandwidthBps int64
+	// Latency is the one-way propagation plus switch latency.
+	Latency time.Duration
+	// FrameOverheadBytes is the per-frame header overhead on the wire
+	// (Ethernet + IP + TCP).
+	FrameOverheadBytes int
+	// MTU is the maximum payload bytes per frame.
+	MTU int
+	// LoopbackLatency is the software loopback delay for same-node traffic
+	// (which never touches the wire).
+	LoopbackLatency time.Duration
+	// LoopbackBps is the effective loopback copy bandwidth.
+	LoopbackBps int64
+}
+
+// DefaultLinkSpec models the Chiba-City 100 Mb/s switched Ethernet.
+func DefaultLinkSpec() LinkSpec {
+	return LinkSpec{
+		BandwidthBps:       100_000_000,
+		Latency:            60 * time.Microsecond,
+		FrameOverheadBytes: 66,
+		MTU:                1448,
+		LoopbackLatency:    10 * time.Microsecond,
+		LoopbackBps:        2_000_000_000,
+	}
+}
+
+// Frame is one on-wire unit. Payload is opaque to the network (the TCP layer
+// stores its segment descriptor there).
+type Frame struct {
+	Src, Dst string // node names
+	Bytes    int    // wire size including overhead
+	Payload  any
+}
+
+// Network is the switched interconnect joining all node NICs.
+type Network struct {
+	eng  *sim.Engine
+	spec LinkSpec
+	nics map[string]*NIC
+
+	// Stats counts delivered traffic.
+	Stats struct {
+		Frames uint64
+		Bytes  uint64
+	}
+}
+
+// New creates a network on the engine.
+func New(eng *sim.Engine, spec LinkSpec) *Network {
+	if spec.BandwidthBps <= 0 || spec.MTU <= 0 {
+		panic("netsim: LinkSpec must set BandwidthBps and MTU")
+	}
+	if spec.LoopbackBps <= 0 {
+		spec.LoopbackBps = 2_000_000_000
+	}
+	return &Network{eng: eng, spec: spec, nics: make(map[string]*NIC)}
+}
+
+// Spec returns the link parameters.
+func (n *Network) Spec() LinkSpec { return n.spec }
+
+// Attach creates (or returns) the NIC for a node.
+func (n *Network) Attach(node string) *NIC {
+	if nic, ok := n.nics[node]; ok {
+		return nic
+	}
+	nic := &NIC{net: n, Node: node}
+	n.nics[node] = nic
+	return nic
+}
+
+// NIC is one node's network interface.
+type NIC struct {
+	net  *Network
+	Node string
+
+	txFreeAt sim.Time
+	rxq      []Frame
+
+	// OnRx is invoked (in engine context) whenever a frame lands in the
+	// receive ring; the TCP layer uses it to raise the device IRQ.
+	OnRx func()
+
+	// Stats counts per-NIC traffic.
+	Stats struct {
+		TxFrames, RxFrames uint64
+		TxBytes, RxBytes   uint64
+	}
+}
+
+// txTime returns the wire serialization time of a frame.
+func (n *Network) txTime(bytes int) time.Duration {
+	return time.Duration(int64(bytes) * 8 * int64(time.Second) / n.spec.BandwidthBps)
+}
+
+// Send transmits a frame. Same-node frames take the loopback path; others
+// serialize through this NIC's link and arrive after the wire latency.
+func (nic *NIC) Send(f Frame) {
+	n := nic.net
+	f.Src = nic.Node
+	dst, ok := n.nics[f.Dst]
+	if !ok {
+		panic("netsim: send to unattached node " + f.Dst)
+	}
+	nic.Stats.TxFrames++
+	nic.Stats.TxBytes += uint64(f.Bytes)
+
+	var arrival sim.Time
+	if f.Dst == nic.Node {
+		copyT := time.Duration(int64(f.Bytes) * 8 * int64(time.Second) / n.spec.LoopbackBps)
+		arrival = n.eng.Now().Add(n.spec.LoopbackLatency + copyT)
+	} else {
+		start := n.eng.Now()
+		if nic.txFreeAt > start {
+			start = nic.txFreeAt
+		}
+		tx := n.txTime(f.Bytes)
+		nic.txFreeAt = start.Add(tx)
+		arrival = nic.txFreeAt.Add(n.spec.Latency)
+	}
+	n.eng.At(arrival, func() { dst.deliver(f) })
+}
+
+func (nic *NIC) deliver(f Frame) {
+	nic.rxq = append(nic.rxq, f)
+	nic.Stats.RxFrames++
+	nic.Stats.RxBytes += uint64(f.Bytes)
+	nic.net.Stats.Frames++
+	nic.net.Stats.Bytes += uint64(f.Bytes)
+	if nic.OnRx != nil {
+		nic.OnRx()
+	}
+}
+
+// Spec returns the link parameters of the network this NIC is attached to.
+func (nic *NIC) Spec() LinkSpec { return nic.net.spec }
+
+// RxPending reports how many frames await processing.
+func (nic *NIC) RxPending() int { return len(nic.rxq) }
+
+// Drain removes and returns up to max frames from the receive ring (the
+// softirq's polling budget).
+func (nic *NIC) Drain(max int) []Frame {
+	if max <= 0 || max > len(nic.rxq) {
+		max = len(nic.rxq)
+	}
+	out := make([]Frame, max)
+	copy(out, nic.rxq[:max])
+	nic.rxq = nic.rxq[max:]
+	return out
+}
+
+// TxBacklog reports how far in the future this NIC's transmit link is
+// committed (0 if idle) — a congestion signal for tests.
+func (nic *NIC) TxBacklog() time.Duration {
+	now := nic.net.eng.Now()
+	if nic.txFreeAt <= now {
+		return 0
+	}
+	return nic.txFreeAt.Sub(now)
+}

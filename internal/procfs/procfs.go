@@ -1,0 +1,284 @@
+// Package procfs emulates the /proc/ktau interface of paper §4.3: the
+// standard mechanism through which user-space clients reach the in-kernel
+// measurement system. Two entries exist, profile and trace, and the
+// protocol is deliberately session-less: a read is two independent
+// operations — query the size, then retrieve the data into a caller-
+// allocated buffer — with no state kept between calls (the size may change
+// in between; callers must be prepared to retry). Control operations mirror
+// the ioctls libKtau issues.
+package procfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ktau/internal/ktau"
+)
+
+// Well-known pseudo-PIDs.
+const (
+	// PIDKernelWide addresses the aggregate kernel-wide profile.
+	PIDKernelWide = -1
+	// PIDAll addresses all processes at once (KTAUD's 'all' mode).
+	PIDAll = 0
+)
+
+// Magic and version of the binary profile format.
+const (
+	Magic   = 0x4b544155 // "KTAU"
+	Version = 3
+)
+
+// ErrShortBuffer reports a read into a too-small buffer; Needed is the size
+// required at the moment of the call (it may differ from an earlier Size
+// result — the interface is session-less by design).
+type ErrShortBuffer struct{ Needed int }
+
+func (e ErrShortBuffer) Error() string {
+	return fmt.Sprintf("procfs: buffer too small, need %d bytes", e.Needed)
+}
+
+// ErrNoSuchPID reports an unknown process.
+var ErrNoSuchPID = errors.New("procfs: no such pid")
+
+// FS is one node's /proc/ktau.
+type FS struct {
+	m *ktau.Measurement
+}
+
+// New exposes a measurement system through the proc interface.
+func New(m *ktau.Measurement) *FS { return &FS{m: m} }
+
+// Measurement returns the underlying measurement system (for tests).
+func (fs *FS) Measurement() *ktau.Measurement { return fs.m }
+
+// snapshots materialises the snapshots a pid selector addresses.
+func (fs *FS) snapshots(pid int) ([]ktau.Snapshot, error) {
+	switch pid {
+	case PIDKernelWide:
+		return []ktau.Snapshot{fs.m.KernelWide()}, nil
+	case PIDAll:
+		return fs.m.SnapshotAll(), nil
+	default:
+		td := fs.m.Task(pid)
+		if td == nil {
+			// Retained exited tasks are still readable.
+			for _, t := range fs.m.AllTasks() {
+				if t.PID == pid {
+					return []ktau.Snapshot{fs.m.SnapshotTask(t)}, nil
+				}
+			}
+			return nil, ErrNoSuchPID
+		}
+		return []ktau.Snapshot{fs.m.SnapshotTask(td)}, nil
+	}
+}
+
+// ProfileSize returns the bytes needed to read the profile(s) of pid right
+// now (first half of the session-less two-call protocol).
+func (fs *FS) ProfileSize(pid int) (int, error) {
+	snaps, err := fs.snapshots(pid)
+	if err != nil {
+		return 0, err
+	}
+	return len(packProfiles(snaps)), nil
+}
+
+// ProfileRead packs the profile(s) of pid into buf, returning the bytes
+// written. If buf is too small for the data as it exists *now*, it returns
+// ErrShortBuffer with the currently needed size.
+func (fs *FS) ProfileRead(pid int, buf []byte) (int, error) {
+	snaps, err := fs.snapshots(pid)
+	if err != nil {
+		return 0, err
+	}
+	blob := packProfiles(snaps)
+	if len(buf) < len(blob) {
+		return 0, ErrShortBuffer{Needed: len(blob)}
+	}
+	copy(buf, blob)
+	return len(blob), nil
+}
+
+// TraceSize returns the bytes needed to read pid's trace buffer now.
+func (fs *FS) TraceSize(pid int) (int, error) {
+	td, err := fs.taskData(pid)
+	if err != nil {
+		return 0, err
+	}
+	return len(packTrace(td)), nil
+}
+
+// TraceRead drains pid's circular trace buffer into buf (records are
+// consumed, as reading /proc/ktau/trace consumes them).
+func (fs *FS) TraceRead(pid int, buf []byte) (int, error) {
+	td, err := fs.taskData(pid)
+	if err != nil {
+		return 0, err
+	}
+	blob := packTrace(td)
+	if len(buf) < len(blob) {
+		return 0, ErrShortBuffer{Needed: len(blob)}
+	}
+	// Only consume once the caller's buffer is known to fit.
+	td.Trace().Drain()
+	copy(buf, blob)
+	return len(blob), nil
+}
+
+func (fs *FS) taskData(pid int) (*ktau.TaskData, error) {
+	if td := fs.m.Task(pid); td != nil {
+		return td, nil
+	}
+	for _, t := range fs.m.AllTasks() {
+		if t.PID == pid {
+			return t, nil
+		}
+	}
+	return nil, ErrNoSuchPID
+}
+
+// ---- control ioctls ----
+
+// CtlOp is a control operation code.
+type CtlOp int
+
+const (
+	// CtlEnableGroups turns instrumentation groups on at runtime.
+	CtlEnableGroups CtlOp = iota + 1
+	// CtlDisableGroups turns groups off at runtime.
+	CtlDisableGroups
+	// CtlResetPID zeroes one process's profile (arg = pid).
+	CtlResetPID
+	// CtlResetAll zeroes every live process's profile.
+	CtlResetAll
+)
+
+// Control issues a control operation. For group ops arg is a ktau.Group
+// mask; for CtlResetPID it is the pid.
+func (fs *FS) Control(op CtlOp, arg int64) error {
+	switch op {
+	case CtlEnableGroups:
+		fs.m.EnableRuntime(ktau.Group(arg))
+	case CtlDisableGroups:
+		fs.m.DisableRuntime(ktau.Group(arg))
+	case CtlResetPID:
+		td, err := fs.taskData(int(arg))
+		if err != nil {
+			return err
+		}
+		fs.m.Reset(td)
+	case CtlResetAll:
+		for _, td := range fs.m.LiveTasks() {
+			fs.m.Reset(td)
+		}
+	default:
+		return fmt.Errorf("procfs: unknown control op %d", op)
+	}
+	return nil
+}
+
+// ---- binary packing ----
+
+type packer struct{ b []byte }
+
+func (p *packer) u8(v uint8)    { p.b = append(p.b, v) }
+func (p *packer) u16(v uint16)  { p.b = binary.LittleEndian.AppendUint16(p.b, v) }
+func (p *packer) u32(v uint32)  { p.b = binary.LittleEndian.AppendUint32(p.b, v) }
+func (p *packer) u64(v uint64)  { p.b = binary.LittleEndian.AppendUint64(p.b, v) }
+func (p *packer) i32(v int32)   { p.u32(uint32(v)) }
+func (p *packer) i64(v int64)   { p.u64(uint64(v)) }
+func (p *packer) f64(v float64) { p.u64(math.Float64bits(v)) }
+func (p *packer) str(s string) { // length-prefixed
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	p.u16(uint16(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packProfiles serialises snapshots with a count header.
+func packProfiles(snaps []ktau.Snapshot) []byte {
+	p := &packer{}
+	p.u32(Magic)
+	p.u32(Version)
+	p.u32(uint32(len(snaps)))
+	for _, s := range snaps {
+		packOne(p, s)
+	}
+	return p.b
+}
+
+func packOne(p *packer, s ktau.Snapshot) {
+	p.i64(int64(s.PID))
+	p.str(s.Name)
+	p.i64(s.TSC)
+	p.i64(s.Created)
+	p.i64(s.ExitedAt)
+	if s.Exited {
+		p.u8(1)
+	} else {
+		p.u8(0)
+	}
+	p.u64(s.TraceLost)
+	p.u16(uint16(len(s.CounterNames)))
+	for _, n := range s.CounterNames {
+		p.str(n)
+	}
+	p.u32(uint32(len(s.Events)))
+	p.u32(uint32(len(s.Atomics)))
+	p.u32(uint32(len(s.Mapped)))
+	for _, e := range s.Events {
+		p.i32(int32(e.ID))
+		p.u32(uint32(e.Group))
+		p.u64(e.Calls)
+		p.u64(e.Subrs)
+		p.i64(e.Incl)
+		p.i64(e.Excl)
+		for ci := 0; ci < len(s.CounterNames); ci++ {
+			p.i64(e.Ctr[ci])
+		}
+		p.str(e.Name)
+	}
+	for _, a := range s.Atomics {
+		p.i32(int32(a.ID))
+		p.u32(uint32(a.Group))
+		p.u64(a.Count)
+		p.f64(a.Sum)
+		p.f64(a.Min)
+		p.f64(a.Max)
+		p.f64(a.Mean)
+		p.f64(a.Std)
+		p.str(a.Name)
+	}
+	for _, m := range s.Mapped {
+		p.i32(m.Ctx)
+		p.str(m.CtxName)
+		p.i32(int32(m.Ev))
+		p.str(m.EvName)
+		p.u32(uint32(m.Group))
+		p.u64(m.Calls)
+		p.i64(m.Incl)
+		p.i64(m.Excl)
+	}
+}
+
+// packTrace serialises one task's trace ring without draining it.
+func packTrace(td *ktau.TaskData) []byte {
+	p := &packer{}
+	p.u32(Magic)
+	p.u32(Version)
+	recs := td.Trace().Snapshot()
+	p.i64(int64(td.PID))
+	p.u64(td.Trace().Lost())
+	p.u32(uint32(len(recs)))
+	for _, r := range recs {
+		p.i64(r.TSC)
+		p.i32(int32(r.Ev))
+		p.u8(uint8(r.Kind))
+		p.i64(r.Val)
+	}
+	return p.b
+}

@@ -1,0 +1,164 @@
+package procfs
+
+import (
+	"errors"
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+type env struct{ c int64 }
+
+func (e *env) Cycles() int64     { return e.c }
+func (e *env) AddOverhead(int64) {}
+
+func setup() (*ktau.Measurement, *env, *FS) {
+	e := &env{}
+	m := ktau.NewMeasurement(e, ktau.Options{
+		Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+		TraceCapacity: 16, RetainExited: true,
+	})
+	return m, e, New(m)
+}
+
+func fill(m *ktau.Measurement, e *env, pid int) *ktau.TaskData {
+	td := m.CreateTask(pid, "proc")
+	ev := m.Event("sys_read", ktau.GroupSyscall)
+	m.Entry(td, ev)
+	e.c += 50
+	m.Exit(td, ev)
+	return td
+}
+
+func TestProfileSizeMatchesRead(t *testing.T) {
+	m, e, fs := setup()
+	fill(m, e, 10)
+	size, err := fs.ProfileSize(10)
+	if err != nil || size <= 0 {
+		t.Fatalf("size = %d, err %v", size, err)
+	}
+	buf := make([]byte, size)
+	n, err := fs.ProfileRead(10, buf)
+	if err != nil || n != size {
+		t.Fatalf("read = %d/%d, err %v", n, size, err)
+	}
+}
+
+func TestReadIntoShortBufferReportsNeeded(t *testing.T) {
+	m, e, fs := setup()
+	fill(m, e, 10)
+	_, err := fs.ProfileRead(10, make([]byte, 4))
+	var short ErrShortBuffer
+	if !errors.As(err, &short) || short.Needed <= 4 {
+		t.Fatalf("err = %v", err)
+	}
+	if short.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestKernelWideAndAllSelectors(t *testing.T) {
+	m, e, fs := setup()
+	fill(m, e, 10)
+	fill(m, e, 11)
+	if _, err := fs.ProfileSize(PIDKernelWide); err != nil {
+		t.Errorf("kernel-wide size: %v", err)
+	}
+	sAll, err := fs.ProfileSize(PIDAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOne, _ := fs.ProfileSize(10)
+	if sAll <= sOne {
+		t.Errorf("all (%d) should exceed one (%d)", sAll, sOne)
+	}
+}
+
+func TestUnknownPID(t *testing.T) {
+	_, _, fs := setup()
+	if _, err := fs.ProfileSize(999); !errors.Is(err, ErrNoSuchPID) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.TraceSize(999); !errors.Is(err, ErrNoSuchPID) {
+		t.Errorf("trace err = %v", err)
+	}
+}
+
+func TestExitedTaskStillReadable(t *testing.T) {
+	m, e, fs := setup()
+	td := fill(m, e, 10)
+	m.ExitTask(td)
+	if _, err := fs.ProfileSize(10); err != nil {
+		t.Errorf("retained exited task unreadable: %v", err)
+	}
+}
+
+func TestTraceReadConsumesOnlyOnSuccess(t *testing.T) {
+	m, e, fs := setup()
+	td := fill(m, e, 10)
+	if td.Trace().Len() != 2 {
+		t.Fatalf("trace len = %d", td.Trace().Len())
+	}
+	// Short buffer: records must NOT be consumed.
+	if _, err := fs.TraceRead(10, make([]byte, 2)); err == nil {
+		t.Fatal("expected short buffer error")
+	}
+	if td.Trace().Len() != 2 {
+		t.Error("short read consumed trace records")
+	}
+	size, _ := fs.TraceSize(10)
+	buf := make([]byte, size)
+	if _, err := fs.TraceRead(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if td.Trace().Len() != 0 {
+		t.Error("successful read did not drain the ring")
+	}
+}
+
+func TestControlOps(t *testing.T) {
+	m, e, fs := setup()
+	td := fill(m, e, 10)
+	if err := fs.Control(CtlDisableGroups, int64(ktau.GroupSyscall)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Enabled(ktau.GroupSyscall) {
+		t.Error("disable op ineffective")
+	}
+	if err := fs.Control(CtlEnableGroups, int64(ktau.GroupSyscall)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Enabled(ktau.GroupSyscall) {
+		t.Error("enable op ineffective")
+	}
+	if err := fs.Control(CtlResetPID, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SnapshotTask(td).Events) != 0 {
+		t.Error("reset op ineffective")
+	}
+	if err := fs.Control(CtlResetPID, 999); !errors.Is(err, ErrNoSuchPID) {
+		t.Errorf("reset of unknown pid: %v", err)
+	}
+	if err := fs.Control(CtlResetAll, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Control(CtlOp(99), 0); err == nil {
+		t.Error("unknown op must error")
+	}
+}
+
+func TestBinaryFormatStable(t *testing.T) {
+	// The packed blob for identical state must be byte-identical (the
+	// format has no maps or nondeterministic ordering).
+	m, e, fs := setup()
+	fill(m, e, 10)
+	size, _ := fs.ProfileSize(10)
+	a := make([]byte, size)
+	b := make([]byte, size)
+	fs.ProfileRead(10, a)
+	fs.ProfileRead(10, b)
+	if string(a) != string(b) {
+		t.Error("repeated reads of unchanged state differ")
+	}
+}

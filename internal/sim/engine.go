@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback in virtual time. Events are created with
+// Engine.At or Engine.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break so equal-time events fire in schedule order
+	fn       func()
+	index    int // heap index, -1 once popped
+	canceled bool
+	fired    bool
+}
+
+// At reports the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event before it fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event callback has already run.
+func (e *Event) Fired() bool { return e.fired }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; simulated processes synchronise with the engine through
+// strict channel handoffs so that only one goroutine runs at a time.
+type Engine struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	stopped bool
+
+	// EventCount is the total number of events executed so far.
+	EventCount uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a simulation bug rather than a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d is clamped
+// to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents ev from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.pq, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the next pending event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.EventCount++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (if it is not already past it). Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.pq) == 0 {
+			break
+		}
+		// Peek.
+		next := e.pq[0]
+		if next.canceled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of live (uncancelled) events in the calendar.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pq {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

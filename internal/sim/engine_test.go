@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != Time(int64(30*time.Millisecond)) {
+		t.Errorf("final time = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(100), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(time.Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() false after Cancel")
+	}
+	// Cancelling twice or after run is harmless.
+	e.Cancel(ev)
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = e.After(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Cancel(evs[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(time.Millisecond, tick)
+	}
+	e.After(time.Millisecond, tick)
+	e.RunUntil(Time(int64(10*time.Millisecond) + 1))
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+	if e.Now() != Time(int64(10*time.Millisecond)+1) {
+		t.Errorf("clock advanced to %v, want just past 10ms", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {
+			ran++
+			if ran == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if ran != 3 {
+		t.Errorf("ran %d events, want 3 (stopped)", ran)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Millisecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling before now")
+		}
+	}()
+	e.At(Time(0), func() {})
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			e.After(time.Microsecond, rec)
+		}
+	}
+	e.After(0, rec)
+	e.Run()
+	if depth != 5 {
+		t.Errorf("chained depth = %d, want 5", depth)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	a := e.After(time.Millisecond, func() {})
+	e.After(2*time.Millisecond, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Errorf("pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	cases := []struct {
+		d   time.Duration
+		hz  int64
+		cyc int64
+	}{
+		{time.Second, 450_000_000, 450_000_000},
+		{time.Millisecond, 450_000_000, 450_000},
+		{10 * time.Microsecond, 450_000_000, 4_500},
+		{time.Second, 2_800_000_000, 2_800_000_000},
+		{0, 450_000_000, 0},
+	}
+	for _, c := range cases {
+		if got := CyclesAt(c.d, c.hz); got != c.cyc {
+			t.Errorf("CyclesAt(%v, %d) = %d, want %d", c.d, c.hz, got, c.cyc)
+		}
+	}
+	// Round trip at whole-microsecond durations is exact for 450MHz.
+	for _, us := range []int64{1, 5, 100, 123456} {
+		d := time.Duration(us) * time.Microsecond
+		got := DurationOfCycles(CyclesAt(d, 450_000_000), 450_000_000)
+		if got != d {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestCycleConversionProperty(t *testing.T) {
+	// Property: conversion is monotone and close to exact for any duration.
+	f := func(ns uint32) bool {
+		d := time.Duration(ns)
+		cyc := CyclesAt(d, 450_000_000)
+		back := DurationOfCycles(cyc, 450_000_000)
+		diff := d - back
+		return diff >= 0 && diff < 10*time.Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1_500_000) // 1.5ms
+	if tm.Seconds() != 0.0015 {
+		t.Errorf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Microseconds() != 1500 {
+		t.Errorf("Microseconds = %v", tm.Microseconds())
+	}
+	if tm.Add(time.Millisecond) != Time(2_500_000) {
+		t.Errorf("Add wrong")
+	}
+	if tm.Sub(Time(500_000)) != time.Millisecond {
+		t.Errorf("Sub wrong")
+	}
+}

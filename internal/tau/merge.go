@@ -1,0 +1,97 @@
+package tau
+
+import (
+	"sort"
+
+	"ktau/internal/ktau"
+)
+
+// MergedEntry is one row of an integrated user/kernel profile (Fig. 2-D):
+// user routines with their exclusive time corrected down by the kernel time
+// that occurred inside them, plus kernel routines as additional entries.
+type MergedEntry struct {
+	Name   string
+	Kernel bool
+	Group  ktau.Group // zero for user routines
+	Calls  uint64
+	// Excl is the merged exclusive time in cycles: for user routines the
+	// "true" exclusive time of the combined user/kernel call stack; for
+	// kernel routines their kernel exclusive time.
+	Excl int64
+	// UserOnlyExcl is the routine's exclusive time as the standard
+	// user-level-only TAU view reports it (0 for kernel entries).
+	UserOnlyExcl int64
+	// KernelWithin is the kernel time attributed inside the routine via
+	// KTAU's event mapping (0 for kernel entries).
+	KernelWithin int64
+}
+
+// MergedProfile is the integrated view of one process.
+type MergedProfile struct {
+	Task    string
+	Rank    int
+	Entries []MergedEntry
+}
+
+// Merge combines a user-level TAU profile with the same process's KTAU
+// kernel snapshot. Kernel time is subtracted from the user routines it
+// occurred in (using the mapped data when available), and kernel events are
+// spliced in as first-class entries — reproducing the paper's integrated
+// user/kernel profile.
+func Merge(user Profile, kern ktau.Snapshot) MergedProfile {
+	out := MergedProfile{Task: user.Task, Rank: user.Rank}
+
+	// Kernel time attributed per user context.
+	kernInCtx := make(map[string]int64)
+	for _, ms := range kern.Mapped {
+		kernInCtx[ms.CtxName] += ms.Excl
+	}
+
+	for _, e := range user.Events {
+		kin := kernInCtx[e.Name]
+		excl := e.Excl - kin
+		if excl < 0 {
+			excl = 0
+		}
+		out.Entries = append(out.Entries, MergedEntry{
+			Name:         e.Name,
+			Calls:        e.Calls,
+			Excl:         excl,
+			UserOnlyExcl: e.Excl,
+			KernelWithin: kin,
+		})
+	}
+	for _, e := range kern.Events {
+		out.Entries = append(out.Entries, MergedEntry{
+			Name:   e.Name,
+			Kernel: true,
+			Group:  e.Group,
+			Calls:  e.Calls,
+			Excl:   e.Excl,
+		})
+	}
+	sort.SliceStable(out.Entries, func(i, j int) bool {
+		return out.Entries[i].Excl > out.Entries[j].Excl
+	})
+	return out
+}
+
+// Find returns the entry with the given name and kind, or nil.
+func (mp MergedProfile) Find(name string, kernelSide bool) *MergedEntry {
+	for i := range mp.Entries {
+		if mp.Entries[i].Name == name && mp.Entries[i].Kernel == kernelSide {
+			return &mp.Entries[i]
+		}
+	}
+	return nil
+}
+
+// TotalExcl sums merged exclusive cycles (user plus kernel): an estimate of
+// the process's total active time.
+func (mp MergedProfile) TotalExcl() int64 {
+	var t int64
+	for _, e := range mp.Entries {
+		t += e.Excl
+	}
+	return t
+}

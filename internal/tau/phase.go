@@ -1,0 +1,131 @@
+package tau
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ktau/internal/ktau"
+)
+
+// Phase-based profiling and call-path profiles: two of the paper's §6
+// future-work items ("phase-based profiling", "better support for merged
+// user-kernel call-graph profiles"). A phase partitions execution — an
+// application iteration, a solver stage — and every routine's exclusive
+// time is attributed both to its flat profile entry and to the innermost
+// active phase's per-routine table. Call-path mode additionally records
+// parent⇒child edge events, TAU-style.
+
+// PhaseProfile is one phase's sub-profile.
+type PhaseProfile struct {
+	Name  string
+	Calls uint64
+	Incl  int64 // cycles spent inside the phase
+	// Routines maps routine name -> exclusive cycles attributed while this
+	// phase was innermost-active.
+	Routines map[string]int64
+}
+
+type phaseFrame struct {
+	idx   int
+	start int64
+}
+
+// StartPhase enters a named phase. Phases may nest; attribution goes to the
+// innermost active phase.
+func (p *Profiler) StartPhase(name string) {
+	if !p.opts.Enabled {
+		return
+	}
+	i, ok := p.phaseIdx[name]
+	if !ok {
+		i = len(p.phases)
+		p.phases = append(p.phases, &PhaseProfile{Name: name, Routines: map[string]int64{}})
+		if p.phaseIdx == nil {
+			p.phaseIdx = map[string]int{}
+		}
+		p.phaseIdx[name] = i
+	}
+	p.phases[i].Calls++
+	p.phaseStack = append(p.phaseStack, phaseFrame{idx: i, start: p.u.Cycles()})
+	p.u.Charge(p.opts.OverheadPerOp)
+}
+
+// StopPhase leaves the innermost phase, which must match name.
+func (p *Profiler) StopPhase(name string) {
+	if !p.opts.Enabled {
+		return
+	}
+	n := len(p.phaseStack)
+	if n == 0 {
+		panic("tau: StopPhase(" + name + ") with no active phase")
+	}
+	f := p.phaseStack[n-1]
+	ph := p.phases[f.idx]
+	if ph.Name != name {
+		panic("tau: StopPhase(" + name + ") does not match StartPhase(" + ph.Name + ")")
+	}
+	p.phaseStack = p.phaseStack[:n-1]
+	ph.Incl += p.u.Cycles() - f.start
+	p.u.Charge(p.opts.OverheadPerOp)
+}
+
+// TimedPhase runs fn inside StartPhase/StopPhase.
+func (p *Profiler) TimedPhase(name string, fn func()) {
+	p.StartPhase(name)
+	fn()
+	p.StopPhase(name)
+}
+
+// attributeToPhase credits a routine's exclusive cycles to the innermost
+// active phase (called from Stop).
+func (p *Profiler) attributeToPhase(routine string, excl int64) {
+	if n := len(p.phaseStack); n > 0 {
+		p.phases[p.phaseStack[n-1].idx].Routines[routine] += excl
+	}
+}
+
+// Phases exports the phase sub-profiles in first-start order.
+func (p *Profiler) Phases() []PhaseProfile {
+	out := make([]PhaseProfile, 0, len(p.phases))
+	for _, ph := range p.phases {
+		cp := PhaseProfile{Name: ph.Name, Calls: ph.Calls, Incl: ph.Incl,
+			Routines: map[string]int64{}}
+		for k, v := range ph.Routines {
+			cp.Routines[k] = v
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// RenderMergedTree writes the merged user/kernel call tree: each user
+// routine (by descending merged exclusive time) with the kernel events that
+// KTAU's event mapping attributes inside it as indented children — the
+// "merged user-kernel call-graph profile" of the paper's future work.
+func RenderMergedTree(w io.Writer, merged MergedProfile, kern ktau.Snapshot, hz int64) {
+	toMS := func(cyc int64) float64 {
+		if hz <= 0 {
+			return 0
+		}
+		return float64(cyc) / float64(hz) * 1e3
+	}
+	kids := map[string][]ktau.MappedSnap{}
+	for _, ms := range kern.Mapped {
+		kids[ms.CtxName] = append(kids[ms.CtxName], ms)
+	}
+	fmt.Fprintf(w, "merged user/kernel call tree for %s (rank %d)\n", merged.Task, merged.Rank)
+	for _, e := range merged.Entries {
+		if e.Kernel {
+			continue
+		}
+		fmt.Fprintf(w, "%-32s calls=%-8d excl=%10.3fms (user-only view: %.3fms)\n",
+			e.Name, e.Calls, toMS(e.Excl), toMS(e.UserOnlyExcl))
+		children := append([]ktau.MappedSnap(nil), kids[e.Name]...)
+		sort.Slice(children, func(i, j int) bool { return children[i].Excl > children[j].Excl })
+		for _, c := range children {
+			fmt.Fprintf(w, "    => %-25s calls=%-8d excl=%10.3fms [%s]\n",
+				c.EvName, c.Calls, toMS(c.Excl), c.Group)
+		}
+	}
+}

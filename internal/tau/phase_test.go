@@ -1,0 +1,149 @@
+package tau
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ktau/internal/kernel"
+)
+
+func TestPhaseProfilingAttributesRoutines(t *testing.T) {
+	eng, k := tauRig(t)
+	var phases []PhaseProfile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		for it := 0; it < 3; it++ {
+			name := "iteration"
+			if it == 2 {
+				name = "final"
+			}
+			p.TimedPhase(name, func() {
+				p.Timed("rhs", func() { u.Compute(4 * time.Millisecond) })
+				p.Timed("solve", func() { u.Compute(2 * time.Millisecond) })
+			})
+		}
+		phases = p.Phases()
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(phases))
+	}
+	iter := phases[0]
+	if iter.Name != "iteration" || iter.Calls != 2 {
+		t.Errorf("phase[0] = %+v", iter)
+	}
+	// Two iterations of ~6ms each.
+	if got := k.DurationOf(iter.Incl); got < 12*time.Millisecond || got > 14*time.Millisecond {
+		t.Errorf("iteration phase incl = %v, want ~12ms", got)
+	}
+	// Routine attribution within the phase: rhs ~8ms, solve ~4ms.
+	rhs := k.DurationOf(iter.Routines["rhs"])
+	solve := k.DurationOf(iter.Routines["solve"])
+	if rhs < 7*time.Millisecond || rhs > 9*time.Millisecond {
+		t.Errorf("rhs within iteration = %v, want ~8ms", rhs)
+	}
+	if solve < 3*time.Millisecond || solve > 5*time.Millisecond {
+		t.Errorf("solve within iteration = %v, want ~4ms", solve)
+	}
+	final := phases[1]
+	if final.Calls != 1 || k.DurationOf(final.Routines["rhs"]) < 3*time.Millisecond {
+		t.Errorf("final phase wrong: %+v", final)
+	}
+}
+
+func TestPhaseMismatchPanics(t *testing.T) {
+	eng, k := tauRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	task := k.Spawn("bad", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		p.StartPhase("a")
+		p.StopPhase("b")
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+}
+
+func TestDisabledProfilerSkipsPhases(t *testing.T) {
+	eng, k := tauRig(t)
+	var phases []PhaseProfile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, Options{Enabled: false})
+		p.TimedPhase("x", func() { u.Compute(time.Millisecond) })
+		phases = p.Phases()
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+	if len(phases) != 0 {
+		t.Error("disabled profiler recorded phases")
+	}
+}
+
+func TestCallPathEdges(t *testing.T) {
+	eng, k := tauRig(t)
+	var prof Profile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		opts := DefaultOptions()
+		opts.CallPaths = true
+		p := New(u, opts)
+		p.Timed("main()", func() {
+			p.Timed("rhs", func() { u.Compute(3 * time.Millisecond) })
+			p.Timed("rhs", func() { u.Compute(3 * time.Millisecond) })
+			p.Timed("solve", func() {
+				p.Timed("rhs", func() { u.Compute(time.Millisecond) })
+			})
+		})
+		prof = p.Snapshot("app", 0)
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+
+	mainRhs := prof.Find("main() => rhs")
+	solveRhs := prof.Find("solve => rhs")
+	mainSolve := prof.Find("main() => solve")
+	if mainRhs == nil || solveRhs == nil || mainSolve == nil {
+		t.Fatalf("missing call-path edges: %v %v %v", mainRhs, solveRhs, mainSolve)
+	}
+	if mainRhs.Calls != 2 || solveRhs.Calls != 1 {
+		t.Errorf("edge calls: main=>rhs %d (want 2), solve=>rhs %d (want 1)",
+			mainRhs.Calls, solveRhs.Calls)
+	}
+	// The same callee via different paths must be distinguished.
+	if k.DurationOf(mainRhs.Incl) < 5*time.Millisecond {
+		t.Errorf("main=>rhs incl = %v, want ~6ms", k.DurationOf(mainRhs.Incl))
+	}
+	if k.DurationOf(solveRhs.Incl) > 2*time.Millisecond {
+		t.Errorf("solve=>rhs incl = %v, want ~1ms", k.DurationOf(solveRhs.Incl))
+	}
+	// Flat event still present alongside edges.
+	if flat := prof.Find("rhs"); flat == nil || flat.Calls != 3 {
+		t.Errorf("flat rhs = %+v, want 3 calls", flat)
+	}
+}
+
+func TestRenderMergedTree(t *testing.T) {
+	eng, k := tauRig(t)
+	var prof Profile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		p.Timed("MPI_Recv()", func() {
+			u.Syscall("sys_read", func(kc *kernel.KCtx) { kc.Use(5 * time.Millisecond) })
+		})
+		prof = p.Snapshot("app", 0)
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+
+	kern := k.Ktau().SnapshotTask(task.KD())
+	merged := Merge(prof, kern)
+	var sb strings.Builder
+	RenderMergedTree(&sb, merged, kern, k.Params().HZ)
+	out := sb.String()
+	if !strings.Contains(out, "MPI_Recv()") {
+		t.Error("tree missing user routine")
+	}
+	if !strings.Contains(out, "=> sys_read") {
+		t.Errorf("tree missing mapped kernel child:\n%s", out)
+	}
+}

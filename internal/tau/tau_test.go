@@ -1,0 +1,235 @@
+package tau
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/sim"
+)
+
+func tauRig(t *testing.T) (*sim.Engine, *kernel.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := kernel.DefaultParams()
+	p.NumCPUs = 1
+	p.CostJitter = 0
+	p.PageFaultRate = 0
+	k := kernel.NewKernel(eng, "n0", p, sim.NewRNG(1), ktau.Options{
+		Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+		Mapping: true, RetainExited: true,
+	})
+	t.Cleanup(k.Shutdown)
+	return eng, k
+}
+
+func runTask(t *testing.T, eng *sim.Engine, task *kernel.Task) {
+	t.Helper()
+	deadline := eng.Now().Add(time.Minute)
+	for !task.Exited() && eng.Now() < deadline {
+		if !eng.Step() {
+			t.Fatal("engine dry")
+		}
+	}
+	if !task.Exited() {
+		t.Fatal("task did not finish")
+	}
+}
+
+func TestProfilerBasics(t *testing.T) {
+	eng, k := tauRig(t)
+	var prof Profile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		p.Timed("main()", func() {
+			p.Timed("rhs", func() { u.Compute(10 * time.Millisecond) })
+			p.Timed("rhs", func() { u.Compute(10 * time.Millisecond) })
+			p.Timed("blts", func() { u.Compute(5 * time.Millisecond) })
+		})
+		prof = p.Snapshot("app", 0)
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+
+	rhs := prof.Find("rhs")
+	blts := prof.Find("blts")
+	main := prof.Find("main()")
+	if rhs == nil || blts == nil || main == nil {
+		t.Fatal("missing routines")
+	}
+	if rhs.Calls != 2 || blts.Calls != 1 || main.Calls != 1 {
+		t.Errorf("calls: rhs=%d blts=%d main=%d", rhs.Calls, blts.Calls, main.Calls)
+	}
+	if main.Subrs != 3 {
+		t.Errorf("main subrs = %d, want 3", main.Subrs)
+	}
+	k0 := k
+	if got := k0.DurationOf(rhs.Incl); got < 20*time.Millisecond || got > 22*time.Millisecond {
+		t.Errorf("rhs inclusive = %v, want ~20ms", got)
+	}
+	// main exclusive is tiny: everything happened in children.
+	if k0.DurationOf(main.Excl) > time.Millisecond {
+		t.Errorf("main exclusive = %v, want ~0", k0.DurationOf(main.Excl))
+	}
+	// Profile sorted by descending exclusive time.
+	if prof.Events[0].Name != "rhs" {
+		t.Errorf("profile not sorted by excl: first = %s", prof.Events[0].Name)
+	}
+}
+
+func TestDisabledProfilerRecordsNothing(t *testing.T) {
+	eng, k := tauRig(t)
+	var prof Profile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, Options{Enabled: false})
+		p.Timed("rhs", func() { u.Compute(time.Millisecond) })
+		prof = p.Snapshot("app", 0)
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+	if len(prof.Events) != 0 {
+		t.Errorf("disabled profiler recorded %d events", len(prof.Events))
+	}
+}
+
+func TestMismatchedStopPanics(t *testing.T) {
+	eng, k := tauRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic to propagate from task")
+		}
+	}()
+	task := k.Spawn("bad", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		p.Start("a")
+		p.Stop("b")
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+}
+
+func TestKtauContextFollowsRoutineStack(t *testing.T) {
+	eng, k := tauRig(t)
+	var ctxInA, ctxInB, ctxAfter int32
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		p.Start("a")
+		ctxInA = u.KtauCtx()
+		p.Start("b")
+		ctxInB = u.KtauCtx()
+		p.Stop("b")
+		if u.KtauCtx() != ctxInA {
+			t.Error("context not restored to parent routine after Stop")
+		}
+		p.Stop("a")
+		ctxAfter = u.KtauCtx()
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+	if ctxInA == 0 || ctxInB == 0 || ctxInA == ctxInB {
+		t.Errorf("contexts not distinct: a=%d b=%d", ctxInA, ctxInB)
+	}
+	if ctxAfter != 0 {
+		t.Errorf("context after outermost Stop = %d, want 0", ctxAfter)
+	}
+	if k.Ktau().CtxName(ctxInA) != "a" || k.Ktau().CtxName(ctxInB) != "b" {
+		t.Error("context names not registered")
+	}
+}
+
+func TestUserTraceRecords(t *testing.T) {
+	eng, k := tauRig(t)
+	var recs []Record
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, Options{Enabled: true, TraceCapacity: 4})
+		for i := 0; i < 4; i++ { // 8 records through a 4-slot ring
+			p.Timed("f", func() { u.Compute(time.Millisecond) })
+		}
+		recs = p.Trace()
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+	if len(recs) != 4 {
+		t.Fatalf("trace len = %d, want capacity 4", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TSC < recs[i-1].TSC {
+			t.Error("user trace not monotone")
+		}
+	}
+}
+
+func TestMergeCorrectsExclusiveTime(t *testing.T) {
+	eng, k := tauRig(t)
+	var prof Profile
+	task := k.Spawn("app", func(u *kernel.UCtx) {
+		p := New(u, DefaultOptions())
+		p.Start("MPI_Recv()")
+		// Kernel work happens inside the routine: a syscall with kernel CPU.
+		u.Syscall("sys_read", func(kc *kernel.KCtx) {
+			kc.Use(20 * time.Millisecond)
+		})
+		p.Stop("MPI_Recv()")
+		p.Timed("compute", func() { u.Compute(30 * time.Millisecond) })
+		prof = p.Snapshot("app", 0)
+	}, kernel.SpawnOpts{})
+	runTask(t, eng, task)
+
+	kern := k.Ktau().SnapshotTask(task.KD())
+	merged := Merge(prof, kern)
+
+	mr := merged.Find("MPI_Recv()", false)
+	if mr == nil {
+		t.Fatal("merged profile missing MPI_Recv")
+	}
+	// TAU-only exclusive covers the 20ms of kernel time; the merged view
+	// must subtract it.
+	if k.DurationOf(mr.UserOnlyExcl) < 20*time.Millisecond {
+		t.Errorf("user-only excl = %v, want >= 20ms", k.DurationOf(mr.UserOnlyExcl))
+	}
+	if k.DurationOf(mr.Excl) > 2*time.Millisecond {
+		t.Errorf("merged excl = %v, want ~0 (all time was kernel)", k.DurationOf(mr.Excl))
+	}
+	if k.DurationOf(mr.KernelWithin) < 19*time.Millisecond {
+		t.Errorf("kernel-within = %v, want ~20ms", k.DurationOf(mr.KernelWithin))
+	}
+	// Kernel events are spliced in as first-class entries.
+	if merged.Find("sys_read", true) == nil {
+		t.Error("merged profile missing kernel sys_read entry")
+	}
+	// The compute routine has no kernel time (modulo ticks); its merged
+	// exclusive stays close to the user view.
+	comp := merged.Find("compute", false)
+	ratio := float64(comp.Excl) / float64(comp.UserOnlyExcl)
+	if ratio < 0.95 {
+		t.Errorf("compute merged/user ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestMergedProfileSortedAndTotals(t *testing.T) {
+	user := Profile{Events: []EventData{
+		{Name: "a", Calls: 1, Incl: 100, Excl: 100},
+		{Name: "b", Calls: 1, Incl: 900, Excl: 900},
+	}}
+	kern := ktau.Snapshot{
+		Events: []ktau.EventSnap{
+			{Name: "schedule", Group: ktau.GroupSched, Calls: 2, Incl: 500, Excl: 500},
+		},
+		Mapped: []ktau.MappedSnap{
+			{CtxName: "b", EvName: "schedule", Calls: 2, Excl: 400},
+		},
+	}
+	m := Merge(user, kern)
+	if m.Entries[0].Name != "b" && m.Entries[0].Name != "schedule" {
+		t.Errorf("merged not sorted by excl: %+v", m.Entries)
+	}
+	b := m.Find("b", false)
+	if b.Excl != 500 { // 900 - 400 mapped kernel
+		t.Errorf("b merged excl = %d, want 500", b.Excl)
+	}
+	if got := m.TotalExcl(); got != 100+500+500 {
+		t.Errorf("total = %d, want 1100", got)
+	}
+	// Mapped kernel time larger than user time clamps at zero.
+	kern.Mapped[0].Excl = 5000
+	m2 := Merge(user, kern)
+	if m2.Find("b", false).Excl != 0 {
+		t.Error("over-attributed kernel time must clamp user excl at 0")
+	}
+}

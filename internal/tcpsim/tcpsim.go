@@ -1,0 +1,317 @@
+// Package tcpsim models the Linux TCP path over the simulated Ethernet,
+// instrumented with KTAU exactly where the paper instruments it: the send
+// side runs sys_writev → sock_sendmsg → tcp_sendmsg in the caller's process
+// context; the receive side runs in interrupt context — a device IRQ
+// followed by do_softirq / net_rx_action / tcp_v4_rcv charged to whatever
+// process was interrupted — and tcp_recvmsg in the reader's context
+// (Fig. 2-E of the paper shows precisely this event structure).
+//
+// Flow control is a simplified fixed window with per-segment acks: a sender
+// blocks (voluntary switch) when the window is exhausted, and window credit
+// returns with acks processed by the sender node's softirq. Receive
+// processing pays a cache penalty when the softirq runs on a different CPU
+// from the socket's consumer, reproducing the SMP TCP effect of paper §5.2
+// (Fig. 10).
+package tcpsim
+
+import (
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/netsim"
+)
+
+// Params are the TCP path cost parameters, calibrated to a ~450 MHz-era
+// node where one kernel TCP operation costs on the order of 25-35 us
+// (Fig. 10's x-axis).
+type Params struct {
+	// SockSendCost is the sock_sendmsg dispatch cost per sendmsg.
+	SockSendCost time.Duration
+	// SendPerSeg and SendPerByte are tcp_sendmsg segmentation+checksum+copy
+	// costs.
+	SendPerSeg  time.Duration
+	SendPerByte time.Duration
+	// RcvPerPkt and RcvPerByte are tcp_v4_rcv costs per data packet.
+	RcvPerPkt  time.Duration
+	RcvPerByte time.Duration
+	// AckCost is the tcp_v4_rcv cost of processing a pure ack.
+	AckCost time.Duration
+	// RecvMsgCost and RecvCopyPerByte are tcp_recvmsg costs in the reader's
+	// context.
+	RecvMsgCost     time.Duration
+	RecvCopyPerByte time.Duration
+	// NetRxCost is the net_rx_action dispatch overhead per softirq.
+	NetRxCost time.Duration
+	// CacheMissFactor multiplies tcp_v4_rcv cost when the softirq CPU
+	// differs from the CPU the consuming task last ran on.
+	CacheMissFactor float64
+	// NetRxBudget is the frame-processing budget per softirq invocation.
+	NetRxBudget int
+	// SndBuf is the per-connection send window in bytes.
+	SndBuf int
+}
+
+// DefaultParams returns the calibrated cost model.
+func DefaultParams() Params {
+	return Params{
+		SockSendCost:    4 * time.Microsecond,
+		SendPerSeg:      22 * time.Microsecond,
+		SendPerByte:     3 * time.Nanosecond,
+		RcvPerPkt:       30 * time.Microsecond,
+		RcvPerByte:      3 * time.Nanosecond,
+		AckCost:         7 * time.Microsecond,
+		RecvMsgCost:     5 * time.Microsecond,
+		RecvCopyPerByte: 2 * time.Nanosecond,
+		NetRxCost:       2 * time.Microsecond,
+		CacheMissFactor: 1.25,
+		NetRxBudget:     64,
+		SndBuf:          64 * 1024,
+	}
+}
+
+// Stack is one node's network stack, binding the kernel to its NIC.
+type Stack struct {
+	k   *kernel.Kernel
+	nic *netsim.NIC
+	p   Params
+
+	evSockSendmsg ktau.EventID
+	evTcpSendmsg  ktau.EventID
+	evTcpV4Rcv    ktau.EventID
+	evTcpRecvmsg  ktau.EventID
+	evNetRxAction ktau.EventID
+	evPktSize     ktau.EventID
+
+	irqPending bool
+
+	// Stats counts stack activity.
+	Stats struct {
+		SegsSent, SegsRcvd uint64
+		AcksSent, AcksRcvd uint64
+		Softirqs           uint64
+	}
+}
+
+// NewStack attaches a TCP stack to a node's kernel and NIC.
+func NewStack(k *kernel.Kernel, nic *netsim.NIC, p Params) *Stack {
+	if p.NetRxBudget <= 0 {
+		p.NetRxBudget = 64
+	}
+	if p.SndBuf <= 0 {
+		p.SndBuf = 64 * 1024
+	}
+	if p.CacheMissFactor < 1 {
+		p.CacheMissFactor = 1
+	}
+	m := k.Ktau()
+	s := &Stack{
+		k: k, nic: nic, p: p,
+		evSockSendmsg: m.Event("sock_sendmsg", ktau.GroupTCP),
+		evTcpSendmsg:  m.Event("tcp_sendmsg", ktau.GroupTCP),
+		evTcpV4Rcv:    m.Event("tcp_v4_rcv", ktau.GroupTCP),
+		evTcpRecvmsg:  m.Event("tcp_recvmsg", ktau.GroupTCP),
+		evNetRxAction: m.Event("net_rx_action", ktau.GroupBH),
+		evPktSize:     m.Event("tcp_pkt_bytes", ktau.GroupTCP),
+	}
+	nic.OnRx = s.rxInterrupt
+	return s
+}
+
+// Kernel returns the owning kernel.
+func (s *Stack) Kernel() *kernel.Kernel { return s.k }
+
+// Params returns the stack's cost model.
+func (s *Stack) Params() Params { return s.p }
+
+// seg is a data segment in flight; ackSeg is a window-credit ack.
+type seg struct {
+	dst *Conn // receiving side connection
+	n   int   // payload bytes
+}
+
+type ackSeg struct {
+	dst *Conn // sending side connection to credit
+	n   int
+}
+
+// Conn is one direction-agnostic endpoint of an established connection.
+type Conn struct {
+	stack *Stack
+	peer  *Conn
+
+	rcvBytes  int // bytes delivered by softirq, not yet read
+	sndWnd    int
+	unackedRx int // bytes received but not yet acknowledged (delayed acks)
+	rcvWQ     *kernel.WaitQueue
+	sndWQ     *kernel.WaitQueue
+	owner     *kernel.Task // last task to read from this endpoint
+
+	// Stats counts endpoint traffic.
+	Stats struct {
+		BytesSent, BytesRcvd uint64
+	}
+}
+
+// Connect establishes a connection between two stacks and returns the two
+// endpoints (a-side, b-side). Handshake latency is not modelled; MPI jobs
+// establish their mesh before timing starts.
+func Connect(a, b *Stack) (*Conn, *Conn) {
+	ca := &Conn{
+		stack: a, sndWnd: a.p.SndBuf,
+		rcvWQ: kernel.NewWaitQueue("tcp-rcv"),
+		sndWQ: kernel.NewWaitQueue("tcp-snd"),
+	}
+	cb := &Conn{
+		stack: b, sndWnd: b.p.SndBuf,
+		rcvWQ: kernel.NewWaitQueue("tcp-rcv"),
+		sndWQ: kernel.NewWaitQueue("tcp-snd"),
+	}
+	ca.peer = cb
+	cb.peer = ca
+	return ca, cb
+}
+
+// Available reports bytes ready for reading (for tests and polling).
+func (c *Conn) Available() int { return c.rcvBytes }
+
+// Window reports the current send window (for tests).
+func (c *Conn) Window() int { return c.sndWnd }
+
+// Send writes n bytes to the connection through the full syscall + TCP send
+// path, blocking (voluntarily) whenever the send window is exhausted. It
+// must be called from the task goroutine that owns u.
+func (c *Conn) Send(u *kernel.UCtx, n int) {
+	if n <= 0 {
+		return
+	}
+	s := c.stack
+	u.Syscall("sys_writev", func(kc *kernel.KCtx) {
+		kc.Entry(s.evSockSendmsg)
+		kc.Use(s.p.SockSendCost)
+		kc.Entry(s.evTcpSendmsg)
+		spec := s.netSpec()
+		remaining := n
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > spec.MTU {
+				chunk = spec.MTU
+			}
+			for c.sndWnd < chunk {
+				kc.Wait(c.sndWQ)
+			}
+			c.sndWnd -= chunk
+			kc.Use(s.p.SendPerSeg + time.Duration(chunk)*s.p.SendPerByte)
+			s.nic.Send(netsim.Frame{
+				Dst:     c.peer.stack.k.Node,
+				Bytes:   chunk + spec.FrameOverheadBytes,
+				Payload: seg{dst: c.peer, n: chunk},
+			})
+			s.Stats.SegsSent++
+			c.Stats.BytesSent += uint64(chunk)
+			remaining -= chunk
+		}
+		kc.Exit(s.evTcpSendmsg)
+		kc.Exit(s.evSockSendmsg)
+	})
+}
+
+// Recv reads exactly n bytes from the connection through the syscall +
+// tcp_recvmsg path, blocking (voluntarily) until data arrives. It must be
+// called from the task goroutine that owns u.
+func (c *Conn) Recv(u *kernel.UCtx, n int) {
+	if n <= 0 {
+		return
+	}
+	s := c.stack
+	c.owner = u.Task()
+	u.Syscall("sys_read", func(kc *kernel.KCtx) {
+		kc.Entry(s.evTcpRecvmsg)
+		kc.Use(s.p.RecvMsgCost)
+		remaining := n
+		for remaining > 0 {
+			for c.rcvBytes == 0 {
+				kc.Wait(c.rcvWQ)
+			}
+			take := c.rcvBytes
+			if take > remaining {
+				take = remaining
+			}
+			c.rcvBytes -= take
+			remaining -= take
+			kc.Use(time.Duration(take) * s.p.RecvCopyPerByte)
+			c.Stats.BytesRcvd += uint64(take)
+		}
+		kc.Exit(s.evTcpRecvmsg)
+	})
+}
+
+// rxInterrupt raises the device IRQ for pending frames, coalescing while an
+// interrupt is already outstanding (NAPI-style).
+func (s *Stack) rxInterrupt() {
+	if s.irqPending {
+		return
+	}
+	s.irqPending = true
+	s.k.RaiseDevIRQ("eth0", s.netRxAction)
+}
+
+// netRxAction is the NET_RX softirq handler: it drains the NIC ring within
+// its budget, charging tcp_v4_rcv per packet to the interrupted process's
+// profile, applies flow-control credit, and wakes blocked readers/senders
+// when the softirq's processing time has elapsed.
+func (s *Stack) netRxAction(b *kernel.BHCtx) {
+	s.irqPending = false
+	s.Stats.Softirqs++
+	b.Span(s.evNetRxAction, s.p.NetRxCost)
+	frames := s.nic.Drain(s.p.NetRxBudget)
+	spec := s.netSpec()
+	for _, f := range frames {
+		switch pl := f.Payload.(type) {
+		case seg:
+			c := pl.dst
+			cost := s.p.RcvPerPkt + time.Duration(pl.n)*s.p.RcvPerByte
+			if c.owner != nil && c.owner.LastCPU() != b.CPU().ID {
+				cost = time.Duration(float64(cost) * s.p.CacheMissFactor)
+			}
+			b.Span(s.evTcpV4Rcv, cost)
+			b.Atomic(s.evPktSize, float64(pl.n))
+			c.rcvBytes += pl.n
+			s.Stats.SegsRcvd++
+			// Delayed acks: a window-credit ack returns once roughly two
+			// segments' worth of data has accumulated. (The residual below
+			// the threshold stays unacknowledged; it is bounded by 2*MTU per
+			// flow, far below the send window, so senders never stall on it.)
+			c.unackedRx += pl.n
+			if c.unackedRx >= 2*spec.MTU {
+				s.nic.Send(netsim.Frame{
+					Dst:     c.peer.stack.k.Node,
+					Bytes:   spec.FrameOverheadBytes,
+					Payload: ackSeg{dst: c.peer, n: c.unackedRx},
+				})
+				c.unackedRx = 0
+				s.Stats.AcksSent++
+			}
+			cpu := b.CPU().ID
+			b.Defer(func() { c.rcvWQ.WakeAllFrom(s.k, cpu) })
+		case ackSeg:
+			b.Span(s.evTcpV4Rcv, s.p.AckCost)
+			c := pl.dst
+			c.sndWnd += pl.n
+			s.Stats.AcksRcvd++
+			cpu := b.CPU().ID
+			b.Defer(func() { c.sndWQ.WakeAllFrom(s.k, cpu) })
+		}
+	}
+	// Budget exhausted with frames remaining: re-raise the interrupt.
+	if s.nic.RxPending() > 0 {
+		b.Defer(func() {
+			if !s.irqPending {
+				s.irqPending = true
+				s.k.RaiseDevIRQ("eth0", s.netRxAction)
+			}
+		})
+	}
+}
+
+func (s *Stack) netSpec() netsim.LinkSpec { return s.nic.Spec() }

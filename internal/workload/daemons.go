@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"time"
+
+	"ktau/internal/kernel"
+)
+
+// DaemonSpec describes a periodic background process: it sleeps for Period,
+// then computes for Busy, forever. The paper's controlled experiments use an
+// "overhead" daemon (sleep 10 s, busy-loop 3 s) to inject a detectable
+// anomaly (§5.1); its Chiba experiments account for "a few hundred
+// milliseconds worth of daemon activity" from ordinary system daemons.
+type DaemonSpec struct {
+	Name   string
+	Period time.Duration
+	Busy   time.Duration
+	// Affinity pins the daemon (0 = any CPU); Fig. 2-C pins its interfering
+	// daemon to CPU0.
+	Affinity uint64
+	// Jitter is the ± fraction of period/busy noise.
+	Jitter float64
+	// StartDelay staggers the first activation.
+	StartDelay time.Duration
+}
+
+// OverheadDaemon is the §5.1 anomaly process: wakes every 10 s and burns
+// 3 s of CPU.
+func OverheadDaemon() DaemonSpec {
+	return DaemonSpec{Name: "overhead", Period: 10 * time.Second, Busy: 3 * time.Second}
+}
+
+// StartDaemon spawns the daemon on a node. It runs until kernel shutdown.
+func StartDaemon(k *kernel.Kernel, spec DaemonSpec) *kernel.Task {
+	return k.Spawn(spec.Name, func(u *kernel.UCtx) {
+		rng := u.RNG().Stream("daemon")
+		if spec.StartDelay > 0 {
+			u.Sleep(spec.StartDelay)
+		}
+		for {
+			u.Sleep(time.Duration(rng.Jitter(int64(spec.Period), spec.Jitter)))
+			u.Compute(time.Duration(rng.Jitter(int64(spec.Busy), spec.Jitter)))
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindDaemon, Affinity: spec.Affinity})
+}
+
+// SystemDaemons returns the standard background population of a Chiba-era
+// Linux node: enough activity to total a few hundred milliseconds over a
+// multi-second run, as the paper observes, but no sustained interference.
+func SystemDaemons() []DaemonSpec {
+	return []DaemonSpec{
+		{Name: "kjournald", Period: 5 * time.Second, Busy: 2 * time.Millisecond, Jitter: 0.2, StartDelay: 500 * time.Millisecond},
+		{Name: "klogd", Period: 1 * time.Second, Busy: 150 * time.Microsecond, Jitter: 0.2, StartDelay: 200 * time.Millisecond},
+		{Name: "crond", Period: 10 * time.Second, Busy: 4 * time.Millisecond, Jitter: 0.2, StartDelay: 3 * time.Second},
+		{Name: "pbs_mom", Period: 2 * time.Second, Busy: 800 * time.Microsecond, Jitter: 0.2, StartDelay: 1 * time.Second},
+	}
+}
+
+// StartSystemDaemons spawns the standard daemon population on a node.
+func StartSystemDaemons(k *kernel.Kernel) []*kernel.Task {
+	var out []*kernel.Task
+	for _, d := range SystemDaemons() {
+		out = append(out, StartDaemon(k, d))
+	}
+	return out
+}

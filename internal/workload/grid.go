@@ -1,0 +1,50 @@
+// Package workload implements the applications the paper measures: an NPB
+// LU analogue (SSOR iteration with pipelined 2-D wavefront exchanges), an
+// ASCI Sweep3D analogue (octant wavefront sweeps with a marked compute
+// phase), LMBENCH-style micro-benchmarks, and the interfering daemons used
+// in the controlled experiments (§5.1).
+package workload
+
+import "fmt"
+
+// Grid is a 2-D logical process grid.
+type Grid struct {
+	PX, PY int
+}
+
+// MakeGrid factors n ranks into the most-square grid with PX >= PY.
+func MakeGrid(n int) Grid {
+	if n <= 0 {
+		panic("workload: grid of zero ranks")
+	}
+	best := Grid{n, 1}
+	for py := 1; py*py <= n; py++ {
+		if n%py == 0 {
+			best = Grid{n / py, py}
+		}
+	}
+	return best
+}
+
+// Coords returns rank r's (x, y) position.
+func (g Grid) Coords(r int) (int, int) { return r % g.PX, r / g.PX }
+
+// RankAt returns the rank at (x, y), or -1 if outside the grid.
+func (g Grid) RankAt(x, y int) int {
+	if x < 0 || x >= g.PX || y < 0 || y >= g.PY {
+		return -1
+	}
+	return y*g.PX + x
+}
+
+// Size returns the number of ranks.
+func (g Grid) Size() int { return g.PX * g.PY }
+
+// Neighbors returns the north, south, west, east ranks of r (-1 if none).
+func (g Grid) Neighbors(r int) (n, s, w, e int) {
+	x, y := g.Coords(r)
+	return g.RankAt(x, y-1), g.RankAt(x, y+1), g.RankAt(x-1, y), g.RankAt(x+1, y)
+}
+
+// String renders the grid dimensions.
+func (g Grid) String() string { return fmt.Sprintf("%dx%d", g.PX, g.PY) }

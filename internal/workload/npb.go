@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"time"
+
+	"ktau/internal/mpisim"
+)
+
+// The paper notes "In addition to other NPB applications, we have also
+// experimented with ..." — CG and EP cover the two extremes of the NPB
+// interaction spectrum: CG is collective-communication-heavy (an Allreduce
+// per conjugate-gradient step plus row-partner exchanges), EP is
+// embarrassingly parallel (pure compute with one final reduction). Together
+// with LU's point-to-point wavefronts and Sweep3D's octant pipelines they
+// span the program-OS interaction patterns the instrumentation must cover.
+
+const tagCGExchange = 30
+
+// CGConfig parameterises the NPB CG analogue.
+type CGConfig struct {
+	Ranks int
+	Iters int
+	// CGSteps is the number of conjugate-gradient steps per outer iteration
+	// (25 in the real benchmark).
+	CGSteps int
+	// MatVecCompute is the per-step sparse matrix-vector product cost.
+	MatVecCompute time.Duration
+	// ExchangeBytes is the per-step row-partner vector exchange size.
+	ExchangeBytes int
+	// ReduceBytes is the per-step Allreduce payload (two dot products).
+	ReduceBytes int
+	// ComputeJitter is the ± fraction of per-burst compute noise.
+	ComputeJitter float64
+}
+
+// DefaultCGConfig returns a scaled class-B-like configuration.
+func DefaultCGConfig(ranks int) CGConfig {
+	return CGConfig{
+		Ranks:         ranks,
+		Iters:         4,
+		CGSteps:       25,
+		MatVecCompute: 3 * time.Millisecond,
+		ExchangeBytes: 8 * 1024,
+		ReduceBytes:   16,
+		ComputeJitter: 0.03,
+	}
+}
+
+// CG returns the rank body implementing the workload: per CG step, a
+// matvec, a vector exchange with the transpose partner, and two Allreduces
+// (the dot products that make CG latency-bound at scale).
+func CG(cfg CGConfig) func(*mpisim.Rank) {
+	return func(r *mpisim.Rank) {
+		if cfg.Ranks != r.Size() {
+			panic("workload: CG config does not match world size")
+		}
+		rng := r.U().RNG().Stream("cg-jitter")
+		// Row/column partner on a square-ish process grid: pair ranks by
+		// XOR within the largest power-of-two block; odd remainder ranks
+		// pair with themselves (no exchange).
+		pow2 := 1
+		for pow2*2 <= r.Size() {
+			pow2 *= 2
+		}
+		partner := -1
+		if r.ID() < pow2 {
+			partner = r.ID() ^ (pow2 / 2)
+			if pow2 == 1 {
+				partner = -1
+			}
+		}
+		r.Barrier()
+		for it := 0; it < cfg.Iters; it++ {
+			for step := 0; step < cfg.CGSteps; step++ {
+				r.Compute("matvec", time.Duration(rng.Jitter(int64(cfg.MatVecCompute), cfg.ComputeJitter)))
+				if partner >= 0 && partner != r.ID() {
+					// Symmetric exchange: lower id sends first (eager sends
+					// never block at these sizes, so order is deadlock-safe
+					// either way, but keep it canonical).
+					if r.ID() < partner {
+						r.Send(partner, cfg.ExchangeBytes, tagCGExchange)
+						r.Recv(partner, tagCGExchange)
+					} else {
+						r.Recv(partner, tagCGExchange)
+						r.Send(partner, cfg.ExchangeBytes, tagCGExchange)
+					}
+				}
+				r.Allreduce(cfg.ReduceBytes) // rho
+				r.Allreduce(cfg.ReduceBytes) // alpha
+			}
+			r.Compute("norm", time.Duration(rng.Jitter(int64(cfg.MatVecCompute/2), cfg.ComputeJitter)))
+			r.Allreduce(cfg.ReduceBytes)
+		}
+	}
+}
+
+// EPConfig parameterises the NPB EP analogue.
+type EPConfig struct {
+	Ranks int
+	// Compute is each rank's independent random-number generation work.
+	Compute time.Duration
+	// ComputeJitter is the ± fraction of compute noise.
+	ComputeJitter float64
+}
+
+// DefaultEPConfig returns a scaled configuration.
+func DefaultEPConfig(ranks int) EPConfig {
+	return EPConfig{Ranks: ranks, Compute: 800 * time.Millisecond, ComputeJitter: 0.02}
+}
+
+// EP returns the rank body: pure independent compute followed by a single
+// 10-bin histogram reduction — the minimal-interaction extreme.
+func EP(cfg EPConfig) func(*mpisim.Rank) {
+	return func(r *mpisim.Rank) {
+		if cfg.Ranks != r.Size() {
+			panic("workload: EP config does not match world size")
+		}
+		rng := r.U().RNG().Stream("ep-jitter")
+		r.Barrier()
+		r.Compute("gaussian_pairs", time.Duration(rng.Jitter(int64(cfg.Compute), cfg.ComputeJitter)))
+		r.Allreduce(80) // the q[] histogram and counts
+	}
+}

@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/mpisim"
+	"ktau/internal/tau"
+)
+
+func TestMakeGrid(t *testing.T) {
+	cases := []struct{ n, px, py int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2},
+		{16, 4, 4}, {128, 16, 8}, {7, 7, 1}, {12, 4, 3},
+	}
+	for _, c := range cases {
+		g := MakeGrid(c.n)
+		if g.PX != c.px || g.PY != c.py {
+			t.Errorf("MakeGrid(%d) = %v, want %dx%d", c.n, g, c.px, c.py)
+		}
+		if g.Size() != c.n {
+			t.Errorf("grid %v size %d != %d", g, g.Size(), c.n)
+		}
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := Grid{PX: 4, PY: 2}
+	// rank 5 is at (1,1).
+	n, s, w, e := g.Neighbors(5)
+	if n != 1 || s != -1 || w != 4 || e != 6 {
+		t.Errorf("neighbors of 5 = %d %d %d %d", n, s, w, e)
+	}
+	// Corner rank 0.
+	n, s, w, e = g.Neighbors(0)
+	if n != -1 || s != 4 || w != -1 || e != 1 {
+		t.Errorf("neighbors of 0 = %d %d %d %d", n, s, w, e)
+	}
+}
+
+func smallCluster(t *testing.T, nodes int, mut func(*kernel.Params)) *cluster.Cluster {
+	t.Helper()
+	kp := kernel.DefaultParams()
+	kp.PageFaultRate = 0
+	if mut != nil {
+		mut(&kp)
+	}
+	c := cluster.New(cluster.Config{
+		Nodes:  cluster.UniformNodes("n", nodes),
+		Kernel: kp,
+		Ktau: ktau.Options{
+			Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true,
+		},
+		Seed: 99,
+	})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func launchOnePerNode(c *cluster.Cluster, ranks int, body func(*mpisim.Rank)) (*mpisim.World, []*kernel.Task) {
+	specs := make([]mpisim.RankSpec, ranks)
+	for i := range specs {
+		specs[i] = mpisim.RankSpec{Stack: c.Node(i % len(c.Nodes)).Stack}
+	}
+	w := mpisim.NewWorld(specs, tau.DefaultOptions())
+	return w, w.Launch("job", body)
+}
+
+func TestLUCompletesAndProfiles(t *testing.T) {
+	c := smallCluster(t, 4, nil)
+	cfg := DefaultLUConfig(4)
+	cfg.Iters = 4
+	w, tasks := launchOnePerNode(c, 4, LU(cfg))
+	if !c.RunUntilDone(tasks, 5*time.Minute) {
+		t.Fatal("LU deadlocked or too slow")
+	}
+	// Every rank must show the LU routine set in its user profile.
+	for i := 0; i < 4; i++ {
+		prof := w.Rank(i).Profile
+		for _, routine := range []string{"rhs", "jacld", "blts", "jacu", "buts", "MPI_Send()", "MPI_Recv()"} {
+			ev := prof.Find(routine)
+			if ev == nil || ev.Calls == 0 {
+				t.Errorf("rank %d missing routine %s", i, routine)
+			}
+		}
+		if rhs := prof.Find("rhs"); rhs != nil && rhs.Calls != uint64(cfg.Iters) {
+			t.Errorf("rank %d rhs calls = %d, want %d", i, rhs.Calls, cfg.Iters)
+		}
+	}
+	// Message accounting must balance.
+	var sent, rcvd uint64
+	for i := 0; i < 4; i++ {
+		sent += w.Rank(i).Stats.BytesSent
+		rcvd += w.Rank(i).Stats.BytesRcvd
+	}
+	if sent != rcvd || sent == 0 {
+		t.Errorf("bytes sent %d != received %d", sent, rcvd)
+	}
+}
+
+func TestLUWavefrontSkew(t *testing.T) {
+	// In a pipelined wavefront, the far corner rank must start its first
+	// stage later than the origin rank; with eager sends both finish close
+	// together but corner waits more.
+	c := smallCluster(t, 4, nil)
+	cfg := DefaultLUConfig(4)
+	cfg.Iters = 3
+	w, tasks := launchOnePerNode(c, 4, LU(cfg))
+	if !c.RunUntilDone(tasks, 5*time.Minute) {
+		t.Fatal("deadlock")
+	}
+	origin := w.Rank(0).Task.VolWait
+	corner := w.Rank(3).Task.VolWait
+	if corner <= origin/2 && corner < time.Millisecond {
+		t.Errorf("corner rank waits (%v) suspiciously low vs origin (%v)", corner, origin)
+	}
+}
+
+func TestSweep3DCompletesWithSweepContext(t *testing.T) {
+	c := smallCluster(t, 4, nil)
+	cfg := DefaultSweepConfig(4)
+	cfg.Iters = 2
+	w, tasks := launchOnePerNode(c, 4, Sweep3D(cfg))
+	if !c.RunUntilDone(tasks, 5*time.Minute) {
+		t.Fatal("Sweep3D deadlocked")
+	}
+	for i := 0; i < 4; i++ {
+		prof := w.Rank(i).Profile
+		sw := prof.Find("sweep()")
+		sc := prof.Find("sweep_compute")
+		if sw == nil || sc == nil {
+			t.Fatalf("rank %d missing sweep events", i)
+		}
+		if sw.Calls != uint64(8*cfg.Iters) {
+			t.Errorf("rank %d sweep() calls = %d, want %d", i, sw.Calls, 8*cfg.Iters)
+		}
+		if sc.Calls != uint64(8*cfg.Iters*cfg.WavefrontSteps) {
+			t.Errorf("rank %d sweep_compute calls = %d, want %d",
+				i, sc.Calls, 8*cfg.Iters*cfg.WavefrontSteps)
+		}
+		// sweep_compute nests inside sweep(): its inclusive time is bounded
+		// by sweep()'s.
+		if sc.Incl > sw.Incl {
+			t.Errorf("rank %d sweep_compute incl %d > sweep incl %d", i, sc.Incl, sw.Incl)
+		}
+	}
+}
+
+func TestOverheadDaemonDisruptsCompute(t *testing.T) {
+	// A node running the overhead daemon alongside a compute task must show
+	// the anomaly in the kernel-wide scheduling view (Fig. 2-A logic).
+	run := func(withDaemon bool) (time.Duration, int64) {
+		kp := kernel.DefaultParams()
+		kp.NumCPUs = 1
+		kp.PageFaultRate = 0
+		c := cluster.New(cluster.Config{
+			Nodes:  cluster.UniformNodes("n", 1),
+			Kernel: kp,
+			Ktau:   ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll, RetainExited: true},
+			Seed:   5,
+		})
+		defer c.Shutdown()
+		k := c.Node(0).K
+		if withDaemon {
+			d := OverheadDaemon()
+			d.Period = 200 * time.Millisecond
+			d.Busy = 60 * time.Millisecond
+			StartDaemon(k, d)
+		}
+		task := k.Spawn("app", func(u *kernel.UCtx) {
+			for i := 0; i < 10; i++ {
+				u.Compute(100 * time.Millisecond)
+			}
+		}, kernel.SpawnOpts{Kind: kernel.KindUser})
+		c.RunUntilDone([]*kernel.Task{task}, time.Minute)
+		kw := k.Ktau().KernelWide()
+		var schedCycles int64
+		for _, name := range []string{"schedule", "schedule_vol"} {
+			if ev := kw.FindEvent(name); ev != nil {
+				schedCycles += ev.Excl
+			}
+		}
+		return c.Eng.Now().Duration(), schedCycles
+	}
+	cleanTime, cleanSched := run(false)
+	dirtyTime, dirtySched := run(true)
+	if dirtyTime <= cleanTime {
+		t.Errorf("daemon did not slow the app: %v vs %v", dirtyTime, cleanTime)
+	}
+	if dirtySched <= cleanSched*2 {
+		t.Errorf("kernel-wide scheduling time did not spike: %d vs %d", dirtySched, cleanSched)
+	}
+}
+
+func TestLMBenchNullSyscall(t *testing.T) {
+	c := smallCluster(t, 1, func(p *kernel.Params) { p.CostJitter = 0 })
+	got := LMBenchNullSyscall(c.Node(0).K, 1000)
+	// Entry+exit trap cost is 1.2us plus KTAU instrumentation overhead.
+	if got < time.Microsecond || got > 4*time.Microsecond {
+		t.Errorf("null syscall = %v, want ~1.5-3us", got)
+	}
+}
+
+func TestLMBenchCtxSwitch(t *testing.T) {
+	c := smallCluster(t, 1, nil)
+	got := LMBenchCtxSwitch(c.Node(0).K, 200)
+	// Era context switch ~5-10us plus syscall and wake path.
+	if got < 3*time.Microsecond || got > 60*time.Microsecond {
+		t.Errorf("ctx switch = %v, want ~10-30us", got)
+	}
+}
+
+func TestLMBenchTCP(t *testing.T) {
+	c := smallCluster(t, 2, nil)
+	lat, bw := LMBenchTCP(c.Node(0).Stack, c.Node(1).Stack, 30, 2_000_000)
+	if lat < 100*time.Microsecond || lat > 2*time.Millisecond {
+		t.Errorf("tcp latency = %v, implausible for 100Mb ethernet era", lat)
+	}
+	// 100 Mb/s = 12.5 MB/s wire; goodput below that but within 2x.
+	if bw < 5e6 || bw > 12.5e6 {
+		t.Errorf("tcp bandwidth = %.2f MB/s, want 6-12 MB/s", bw/1e6)
+	}
+}
+
+func TestSystemDaemonsModest(t *testing.T) {
+	c := smallCluster(t, 1, nil)
+	k := c.Node(0).K
+	daemons := StartSystemDaemons(k)
+	app := k.Spawn("app", func(u *kernel.UCtx) {
+		u.Compute(3 * time.Second)
+	}, kernel.SpawnOpts{Kind: kernel.KindUser})
+	if !c.RunUntilDone([]*kernel.Task{app}, time.Minute) {
+		t.Fatal("app did not finish")
+	}
+	var daemonCPU time.Duration
+	for _, d := range daemons {
+		daemonCPU += d.UserTime + d.KernTime
+	}
+	// "A few hundred milliseconds" per ~500s in the paper; over 3s here the
+	// daemons must stay well under 2% CPU.
+	if daemonCPU > 60*time.Millisecond {
+		t.Errorf("system daemons consumed %v over 3s — too aggressive", daemonCPU)
+	}
+	if daemonCPU == 0 {
+		t.Error("system daemons never ran")
+	}
+}
+
+func TestCGCompletesWithAllreducePattern(t *testing.T) {
+	c := smallCluster(t, 4, nil)
+	cfg := DefaultCGConfig(4)
+	cfg.Iters = 2
+	w, tasks := launchOnePerNode(c, 4, CG(cfg))
+	if !c.RunUntilDone(tasks, 5*time.Minute) {
+		t.Fatal("CG deadlocked")
+	}
+	for i := 0; i < 4; i++ {
+		prof := w.Rank(i).Profile
+		mv := prof.Find("matvec")
+		ar := prof.Find("MPI_Allreduce()")
+		if mv == nil || mv.Calls != uint64(cfg.Iters*cfg.CGSteps) {
+			t.Errorf("rank %d matvec = %+v, want %d calls", i, mv, cfg.Iters*cfg.CGSteps)
+		}
+		// 2 allreduces per step + 1 per iter + launch barrier's separate event.
+		wantAR := uint64(cfg.Iters * (2*cfg.CGSteps + 1))
+		if ar == nil || ar.Calls != wantAR {
+			t.Errorf("rank %d allreduce = %+v, want %d calls", i, ar, wantAR)
+		}
+	}
+	// CG is far more collective-heavy than LU per unit compute.
+	if w.Rank(0).Stats.Recvs < 100 {
+		t.Errorf("CG recvs = %d, expected heavy messaging", w.Rank(0).Stats.Recvs)
+	}
+}
+
+func TestCGOddRankCounts(t *testing.T) {
+	// Non-power-of-two sizes must not deadlock (remainder ranks skip the
+	// exchange).
+	for _, n := range []int{3, 5, 6} {
+		c := smallCluster(t, n, nil)
+		cfg := DefaultCGConfig(n)
+		cfg.Iters = 1
+		cfg.CGSteps = 4
+		_, tasks := launchOnePerNode(c, n, CG(cfg))
+		if !c.RunUntilDone(tasks, 5*time.Minute) {
+			t.Fatalf("CG deadlocked at %d ranks", n)
+		}
+	}
+}
+
+func TestEPIsEmbarrassinglyParallel(t *testing.T) {
+	c := smallCluster(t, 4, nil)
+	cfg := DefaultEPConfig(4)
+	cfg.Compute = 200 * time.Millisecond
+	w, tasks := launchOnePerNode(c, 4, EP(cfg))
+	if !c.RunUntilDone(tasks, 5*time.Minute) {
+		t.Fatal("EP did not finish")
+	}
+	// Interaction is minimal: each rank sends only the barrier + one reduce.
+	for i := 0; i < 4; i++ {
+		if s := w.Rank(i).Stats.Sends; s > 6 {
+			t.Errorf("rank %d sends = %d; EP should barely communicate", i, s)
+		}
+	}
+	// Runtime ~ compute + epsilon.
+	if end := c.Eng.Now().Duration(); end > 260*time.Millisecond {
+		t.Errorf("EP took %v for 200ms of parallel compute", end)
+	}
+}

@@ -1,0 +1,376 @@
+// Integration tests exercising the public API end to end, the way a
+// downstream user would: boot clusters, run workloads, read profiles
+// through /proc/ktau, merge views, and check cross-module invariants.
+package ktau_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ktau"
+)
+
+func publicCluster(t *testing.T, nodes int) *ktau.Cluster {
+	t.Helper()
+	c := ktau.NewCluster(ktau.ClusterConfig{
+		Nodes:  ktau.UniformNodes("node", nodes),
+		Kernel: ktau.DefaultKernelParams(),
+		Ktau: ktau.MeasurementOptions{
+			Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true,
+		},
+		Seed: 11,
+	})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	c := publicCluster(t, 2)
+	node := c.Node(0)
+
+	var prof ktau.TauProfile
+	app := node.K.Spawn("app", func(u *ktau.UCtx) {
+		tp := ktau.NewTau(u, ktau.DefaultTauOptions())
+		tp.Timed("work", func() { u.Compute(5 * time.Millisecond) })
+		tp.Timed("io", func() {
+			u.Syscall("sys_write", func(kc *ktau.KCtx) { kc.Use(30 * time.Microsecond) })
+		})
+		prof = tp.Snapshot("app", 0)
+	}, ktau.SpawnOpts{Kind: ktau.KindUser})
+
+	if !c.RunUntilDone([]*ktau.Task{app}, time.Minute) {
+		t.Fatal("app did not finish")
+	}
+
+	// libKtau round trip through /proc/ktau.
+	h := ktau.OpenKtau(ktau.NewProcFS(node.K.Ktau()))
+	snap, err := h.GetProfile(ktau.ScopeOther, app.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FindEvent("sys_write") == nil {
+		t.Error("syscall event missing from profile read via procfs")
+	}
+
+	// Merged view.
+	merged := ktau.Merge(prof, snap)
+	if merged.Find("work", false) == nil || merged.Find("sys_write", true) == nil {
+		t.Error("merged profile incomplete")
+	}
+
+	// ASCII round trip and formatted output.
+	var buf bytes.Buffer
+	if err := ktau.WriteProfileASCII(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#KTAU-PROFILE") {
+		t.Error("ascii header missing")
+	}
+	buf.Reset()
+	ktau.FormatProfile(&buf, snap, node.K.Params().HZ)
+	if !strings.Contains(buf.String(), "sys_write") {
+		t.Error("formatted profile missing events")
+	}
+}
+
+func TestPublicAPIMPIWorkload(t *testing.T) {
+	c := publicCluster(t, 4)
+	specs := make([]ktau.RankSpec, 4)
+	for i := range specs {
+		specs[i] = ktau.RankSpec{Stack: c.Node(i).Stack}
+	}
+	w := ktau.NewWorld(specs, ktau.DefaultTauOptions())
+	cfg := ktau.DefaultLUConfig(4)
+	cfg.Iters = 3
+	tasks := w.Launch("lu", ktau.LU(cfg))
+	if !c.RunUntilDone(tasks, 5*time.Minute) {
+		t.Fatal("LU deadlocked")
+	}
+	for i := 0; i < 4; i++ {
+		if w.Rank(i).Profile.Find("rhs") == nil {
+			t.Errorf("rank %d missing rhs in user profile", i)
+		}
+	}
+	// Cross-module invariant: total bytes sent == received across the job.
+	var sent, rcvd uint64
+	for i := 0; i < 4; i++ {
+		sent += w.Rank(i).Stats.BytesSent
+		rcvd += w.Rank(i).Stats.BytesRcvd
+	}
+	if sent != rcvd || sent == 0 {
+		t.Errorf("byte conservation violated: %d vs %d", sent, rcvd)
+	}
+}
+
+func TestPublicAPIKTAUDAndRunKtau(t *testing.T) {
+	c := publicCluster(t, 1)
+	k := c.Node(0).K
+	fs := ktau.NewProcFS(k.Ktau())
+
+	var wrapped ktau.Snapshot
+	app := k.Spawn("timed", ktau.RunKtau(fs, func(u *ktau.UCtx) {
+		u.Compute(2 * time.Millisecond)
+		u.Syscall("sys_open", nil)
+	}, &wrapped), ktau.SpawnOpts{Kind: ktau.KindUser})
+
+	rounds := 0
+	daemon := k.Spawn("ktaud", ktau.KTAUD(fs, ktau.KTAUDConfig{
+		Interval: time.Millisecond,
+		Rounds:   3,
+		OnSnapshot: func(r int, snaps []ktau.Snapshot) {
+			rounds++
+			if len(snaps) == 0 {
+				t.Error("ktaud round collected nothing")
+			}
+		},
+	}), ktau.SpawnOpts{Kind: ktau.KindDaemon})
+
+	if !c.RunUntilDone([]*ktau.Task{app, daemon}, time.Minute) {
+		t.Fatal("clients did not finish")
+	}
+	if rounds != 3 {
+		t.Errorf("ktaud rounds = %d", rounds)
+	}
+	if wrapped.PID != app.PID() || wrapped.FindEvent("sys_open") == nil {
+		t.Error("runKtau result incomplete")
+	}
+}
+
+func TestPublicAPIGroupControl(t *testing.T) {
+	c := publicCluster(t, 1)
+	k := c.Node(0).K
+	h := ktau.OpenKtau(ktau.NewProcFS(k.Ktau()))
+
+	if err := h.DisableGroups(ktau.GroupTCP | ktau.GroupSyscall); err != nil {
+		t.Fatal(err)
+	}
+	app := k.Spawn("app", func(u *ktau.UCtx) {
+		u.Syscall("sys_write", nil)
+		u.Compute(time.Millisecond)
+	}, ktau.SpawnOpts{Kind: ktau.KindUser})
+	if !c.RunUntilDone([]*ktau.Task{app}, time.Minute) {
+		t.Fatal("app stuck")
+	}
+	snap, _ := h.GetProfile(ktau.ScopeOther, app.PID())
+	if snap.FindEvent("sys_write") != nil {
+		t.Error("disabled syscall group still recorded")
+	}
+	if snap.FindEvent("schedule_vol") == nil && snap.FindEvent("do_IRQ[timer]") == nil {
+		t.Error("enabled groups stopped recording too")
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() ktau.Time {
+		c := ktau.NewCluster(ktau.ClusterConfig{
+			Nodes:  ktau.UniformNodes("n", 2),
+			Kernel: ktau.DefaultKernelParams(),
+			Ktau:   ktau.MeasurementOptions{Compiled: ktau.GroupAll, Boot: ktau.GroupAll},
+			Seed:   1234,
+		})
+		defer c.Shutdown()
+		ab, ba := ktau.Connect(c.Node(0).Stack, c.Node(1).Stack)
+		t1 := c.Node(0).K.Spawn("a", func(u *ktau.UCtx) {
+			for i := 0; i < 5; i++ {
+				u.Compute(time.Millisecond)
+				ab.Send(u, 10_000)
+				ab.Recv(u, 100)
+			}
+		}, ktau.SpawnOpts{})
+		t2 := c.Node(1).K.Spawn("b", func(u *ktau.UCtx) {
+			for i := 0; i < 5; i++ {
+				ba.Recv(u, 10_000)
+				ba.Send(u, 100)
+			}
+		}, ktau.SpawnOpts{})
+		c.RunUntilDone([]*ktau.Task{t1, t2}, time.Minute)
+		return c.Eng.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("public API runs nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPublicAPIAnalysisHelpers(t *testing.T) {
+	pts := ktau.CDF([]float64{3, 1, 2})
+	if len(pts) != 3 || pts[0].X != 1 {
+		t.Error("CDF wrong")
+	}
+	if ktau.Quantile([]float64{1, 2, 3, 4}, 0.5) != 2.5 {
+		t.Error("Quantile wrong")
+	}
+	h := ktau.NewHistogram([]float64{1, 2, 3, 4}, 2)
+	if len(h.Counts) != 2 {
+		t.Error("Histogram wrong")
+	}
+	g := ktau.MakeGrid(12)
+	if g.PX*g.PY != 12 {
+		t.Error("grid wrong")
+	}
+	if gr, err := ktau.ParseGroup("SCHED|TCP"); err != nil || gr != ktau.GroupSched|ktau.GroupTCP {
+		t.Error("ParseGroup wrong")
+	}
+}
+
+func TestPublicAPITimelineMerge(t *testing.T) {
+	c := publicCluster(t, 1)
+	// Tracing needs capacity configured at boot; use a dedicated cluster.
+	c2 := ktau.NewCluster(ktau.ClusterConfig{
+		Nodes:  ktau.UniformNodes("t", 1),
+		Kernel: ktau.DefaultKernelParams(),
+		Ktau: ktau.MeasurementOptions{
+			Compiled: ktau.GroupAll, Boot: ktau.GroupAll, TraceCapacity: 1024,
+		},
+		Seed: 5,
+	})
+	defer c2.Shutdown()
+	_ = c
+	k := c2.Node(0).K
+	var user []struct{}
+	_ = user
+	var tp *ktau.Tau
+	app := k.Spawn("app", func(u *ktau.UCtx) {
+		opts := ktau.DefaultTauOptions()
+		opts.TraceCapacity = 1024
+		tp = ktau.NewTau(u, opts)
+		tp.Timed("region", func() {
+			u.Syscall("sys_write", func(kc *ktau.KCtx) { kc.Use(10 * time.Microsecond) })
+		})
+	}, ktau.SpawnOpts{Kind: ktau.KindUser})
+	if !c2.RunUntilDone([]*ktau.Task{app}, time.Minute) {
+		t.Fatal("app stuck")
+	}
+	tl := ktau.MergeTimeline(tp.Trace(), app.KD().Trace().Snapshot(), k.Ktau().Reg.Name)
+	win := ktau.TimelineWindow(tl, "region", 0)
+	if win == nil {
+		t.Fatal("no region window")
+	}
+	var sawKernel bool
+	for _, e := range win {
+		if e.Kernel && e.Name == "sys_write" {
+			sawKernel = true
+		}
+	}
+	if !sawKernel {
+		t.Error("kernel syscall not inside the user region window")
+	}
+	var buf bytes.Buffer
+	ktau.RenderTimeline(&buf, win, k.Params().HZ)
+	if !strings.Contains(buf.String(), "region") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPublicAPILMBench(t *testing.T) {
+	c := publicCluster(t, 2)
+	if d := ktau.LMBenchNullSyscall(c.Node(0).K, 200); d <= 0 || d > 10*time.Microsecond {
+		t.Errorf("null syscall = %v", d)
+	}
+	if d := ktau.LMBenchCtxSwitch(c.Node(0).K, 50); d <= 0 || d > 100*time.Microsecond {
+		t.Errorf("ctx switch = %v", d)
+	}
+	lat, bw := ktau.LMBenchTCP(c.Node(0).Stack, c.Node(1).Stack, 10, 500_000)
+	if lat <= 0 || bw <= 0 {
+		t.Errorf("tcp lat=%v bw=%v", lat, bw)
+	}
+}
+
+// TestAdaptiveMeasurementControl demonstrates the paper's §6 vision of
+// dynamically adaptive kernel measurement: a controller daemon watches
+// KTAUD's harvested profiles and narrows the enabled instrumentation groups
+// at runtime once it has seen enough, without reboot or recompilation.
+func TestAdaptiveMeasurementControl(t *testing.T) {
+	c := publicCluster(t, 1)
+	k := c.Node(0).K
+	fs := ktau.NewProcFS(k.Ktau())
+	h := ktau.OpenKtau(fs)
+
+	app := k.Spawn("app", func(u *ktau.UCtx) {
+		for i := 0; i < 200; i++ {
+			u.Compute(500 * time.Microsecond)
+			u.Syscall("sys_write", nil)
+		}
+	}, ktau.SpawnOpts{Kind: ktau.KindUser})
+
+	var narrowedAt int
+	daemon := k.Spawn("adaptd", ktau.KTAUD(fs, ktau.KTAUDConfig{
+		Interval: 5 * time.Millisecond,
+		Rounds:   10,
+		OnSnapshot: func(round int, snaps []ktau.Snapshot) {
+			if narrowedAt > 0 {
+				return
+			}
+			// Once syscall activity is confirmed, drop everything except
+			// the scheduler subsystem to minimise perturbation.
+			for _, s := range snaps {
+				if ev := s.FindEvent("sys_write"); ev != nil && ev.Calls > 20 {
+					if err := h.DisableGroups(ktau.GroupAll &^ ktau.GroupSched); err != nil {
+						t.Error(err)
+					}
+					narrowedAt = round + 1
+					return
+				}
+			}
+		},
+	}), ktau.SpawnOpts{Kind: ktau.KindDaemon})
+
+	if !c.RunUntilDone([]*ktau.Task{app, daemon}, time.Minute) {
+		t.Fatal("run did not finish")
+	}
+	if narrowedAt == 0 {
+		t.Fatal("controller never narrowed instrumentation")
+	}
+	// After narrowing, syscall events stopped accumulating while scheduler
+	// events continued.
+	snap, err := h.GetProfile(ktau.ScopeOther, app.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := snap.FindEvent("sys_write")
+	if sw == nil {
+		t.Fatal("sys_write vanished entirely")
+	}
+	if sw.Calls >= 200 {
+		t.Errorf("sys_write calls = %d; narrowing had no effect", sw.Calls)
+	}
+	if tick := snap.FindEvent("scheduler_tick"); tick == nil || tick.Calls == 0 {
+		t.Error("scheduler instrumentation should still be live")
+	}
+	if !k.Ktau().Enabled(ktau.GroupSched) || k.Ktau().Enabled(ktau.GroupSyscall) {
+		t.Error("runtime masks not in the narrowed state")
+	}
+}
+
+// TestCountersThroughPublicAPI checks the future-work performance-counter
+// integration end to end: per-event counter columns flow from the kernel's
+// virtual PMCs through /proc/ktau and libKtau to the client.
+func TestCountersThroughPublicAPI(t *testing.T) {
+	c := publicCluster(t, 1)
+	k := c.Node(0).K
+	app := k.Spawn("app", func(u *ktau.UCtx) {
+		u.Syscall("sys_write", func(kc *ktau.KCtx) { kc.Use(5 * time.Millisecond) })
+	}, ktau.SpawnOpts{Kind: ktau.KindUser})
+	if !c.RunUntilDone([]*ktau.Task{app}, time.Minute) {
+		t.Fatal("app stuck")
+	}
+	h := ktau.OpenKtau(ktau.NewProcFS(k.Ktau()))
+	snap, err := h.GetProfile(ktau.ScopeOther, app.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.CounterNames) == 0 || snap.CounterNames[0] != "PAPI_TOT_INS" {
+		t.Fatalf("counter names = %v", snap.CounterNames)
+	}
+	ev := snap.FindEvent("sys_write")
+	if ev == nil || ev.Ctr[ktau.CtrInstructions] <= 0 {
+		t.Errorf("no instruction counts on sys_write: %+v", ev)
+	}
+	var buf bytes.Buffer
+	ktau.FormatProfile(&buf, snap, k.Params().HZ)
+	if !strings.Contains(buf.String(), "PAPI_TOT_INS") {
+		t.Error("formatted profile missing counter column")
+	}
+}
