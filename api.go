@@ -14,6 +14,7 @@ import (
 	"ktau/internal/libktau"
 	"ktau/internal/mpisim"
 	"ktau/internal/netsim"
+	"ktau/internal/perfmon"
 	"ktau/internal/procfs"
 	"ktau/internal/sim"
 	"ktau/internal/tau"
@@ -244,6 +245,12 @@ type KTAUDConfig = libktau.DaemonConfig
 // KTAUD returns a Program implementing the KTAUD daemon (§4.5).
 func KTAUD(fs *ProcFS, cfg KTAUDConfig) Program { return libktau.Daemon(fs, cfg) }
 
+// SummarizeRound writes the one-line-per-process round summary used by
+// cmd/ktaud's quiet mode.
+func SummarizeRound(w io.Writer, round int, now time.Duration, snaps []Snapshot) {
+	libktau.SummarizeRound(w, round, now, snaps)
+}
+
 // RunKtau wraps a program like the runKtau client: run it, then fetch its
 // own kernel profile into result.
 func RunKtau(fs *ProcFS, body Program, result *Snapshot) Program {
@@ -464,4 +471,82 @@ func EP(cfg EPConfig) func(*Rank) { return workload.EP(cfg) }
 // handing KTAU traces to Vampir.
 func WriteChromeTrace(w io.Writer, tl []TimelineEvent, hz int64, pid int) error {
 	return ktrace.WriteChromeTrace(w, tl, hz, pid)
+}
+
+// ---- online cluster monitoring (perfmon, §4.5 at cluster scale) ----
+
+// PerfMon is a deployed cluster-wide monitoring pipeline: per-node kmond
+// agents shipping delta-encoded kernel profiles over the simulated network
+// to an elected collector.
+type PerfMon = perfmon.PerfMon
+
+// PerfMonConfig parameterises a monitoring deployment (interval, rounds,
+// store bounds, detector tuning, rank classification).
+type PerfMonConfig = perfmon.Config
+
+// PerfMonStore is the collector's bounded time-series database.
+type PerfMonStore = perfmon.Store
+
+// PerfMonStoreConfig bounds the store (ring retention, downsampling).
+type PerfMonStoreConfig = perfmon.StoreConfig
+
+// PerfMonSample is one stored time-series point of a (node, event) series.
+type PerfMonSample = perfmon.Sample
+
+// PerfMonNodeInfo summarises one monitored node's collection state.
+type PerfMonNodeInfo = perfmon.NodeInfo
+
+// EventTotal is a series' cumulative state since monitoring began.
+type EventTotal = perfmon.EventTotal
+
+// HotEvent is one kernel routine's cluster-wide activity over a window.
+type HotEvent = perfmon.HotEvent
+
+// DetectConfig tunes the online OS-noise detector.
+type DetectConfig = perfmon.DetectConfig
+
+// NoiseReport is the cluster-wide OS-noise view (the live Figs. 8-10).
+type NoiseReport = perfmon.NoiseReport
+
+// NodeNoise is one node's OS-noise assessment.
+type NodeNoise = perfmon.NodeNoise
+
+// RankLoad is one application rank's estimated CPU load over a window.
+type RankLoad = perfmon.RankLoad
+
+// MonitorFrame is one delta-encoded collection frame.
+type MonitorFrame = perfmon.Frame
+
+// TimerTickEvent is the kernel timer-tick event name the detectors use for
+// tick-sampled occupancy estimation.
+const TimerTickEvent = perfmon.TimerTickEvent
+
+// DeployPerfMon elects a collector, wires every node to it over the
+// simulated network, and spawns the monitoring tasks. Drive the engine
+// afterwards (e.g. RunUntilDone over pm.Tasks()).
+func DeployPerfMon(c *Cluster, cfg PerfMonConfig) *PerfMon { return perfmon.Deploy(c, cfg) }
+
+// ElectCollector returns the node index perfmon would elect as collector.
+func ElectCollector(c *Cluster) int { return perfmon.Elect(c) }
+
+// NewPerfMonStore creates an empty time-series store (for offline ingest).
+func NewPerfMonStore(cfg PerfMonStoreConfig) *PerfMonStore { return perfmon.NewStore(cfg) }
+
+// EncodeMonitorFrame serialises a collection frame to its wire payload.
+func EncodeMonitorFrame(f MonitorFrame) []byte { return perfmon.EncodeFrame(f) }
+
+// DecodeMonitorFrame parses a wire payload back into a frame.
+func DecodeMonitorFrame(b []byte) (MonitorFrame, error) { return perfmon.DecodeFrame(b) }
+
+// LiveOptions configures a monitored (online) Chiba run.
+type LiveOptions = experiments.LiveOptions
+
+// LiveResult pairs a run's offline harvest with the online pipeline's view.
+type LiveResult = experiments.LiveResult
+
+// RunChibaLive executes one Chiba configuration with the perfmon pipeline
+// deployed alongside the job, returning both the live store and the usual
+// offline harvest for cross-checking.
+func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
+	return experiments.RunChibaLive(spec, opts)
 }

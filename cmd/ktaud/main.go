@@ -56,10 +56,7 @@ func main() {
 	}
 	if *quiet {
 		cfg.OnSnapshot = func(round int, snaps []ktau.Snapshot) {
-			fmt.Printf("round %d at %v: %d processes\n", round, c.Eng.Now(), len(snaps))
-			for _, s := range snaps {
-				fmt.Printf("  pid %-7d %-14s events=%d\n", s.PID, s.Name, len(s.Events))
-			}
+			ktau.SummarizeRound(os.Stdout, round, c.Eng.Now().Duration(), snaps)
 		}
 	} else {
 		cfg.Out = os.Stdout

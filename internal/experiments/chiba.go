@@ -25,6 +25,17 @@ var computeContexts = map[string]bool{
 
 // RunChiba executes one Chiba configuration and extracts all metrics.
 func RunChiba(spec ChibaSpec) *ChibaResult {
+	c, w, tasks := launchChiba(spec)
+	defer c.Shutdown()
+	completed := c.RunUntilDone(tasks, 10*time.Minute)
+	c.Settle(5 * time.Millisecond) // let in-flight acks and interrupts land
+	return harvest(spec, c, w, tasks, completed)
+}
+
+// launchChiba boots the cluster for a Chiba configuration and spawns the MPI
+// job, returning just before the engine is driven — the seam where the live
+// monitoring variant (RunChibaLive) deploys its pipeline.
+func launchChiba(spec ChibaSpec) (*cluster.Cluster, *mpisim.World, []*kernel.Task) {
 	if spec.Ranks <= 0 || spec.PerNode <= 0 || spec.Ranks%spec.PerNode != 0 {
 		panic("experiments: Ranks must be a positive multiple of PerNode")
 	}
@@ -48,7 +59,6 @@ func RunChiba(spec ChibaSpec) *ChibaResult {
 		Ktau:   mopts,
 		Seed:   spec.Seed,
 	})
-	defer c.Shutdown()
 
 	if spec.Daemons {
 		for _, n := range c.Nodes {
@@ -94,11 +104,7 @@ func RunChiba(spec ChibaSpec) *ChibaResult {
 		body = workload.LU(cfg)
 	}
 
-	tasks := w.Launch(spec.Work.String(), body)
-	completed := c.RunUntilDone(tasks, 10*time.Minute)
-	c.Settle(5 * time.Millisecond) // let in-flight acks and interrupts land
-
-	return harvest(spec, c, w, tasks, completed)
+	return c, w, w.Launch(spec.Work.String(), body)
 }
 
 // harvest extracts all per-rank and per-node metrics before shutdown.

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"time"
+
+	"ktau/internal/perfmon"
+	"ktau/internal/workload"
+)
+
+// LiveOptions configures a monitored (online) Chiba run.
+type LiveOptions struct {
+	// PerfMon configures the monitoring pipeline. RankPrefix defaults to
+	// "<Work>.rank" so detectors classify MPI ranks automatically.
+	PerfMon perfmon.Config
+	// NoisyNodes injects the §5.1 overhead daemon on these node indices,
+	// using Noisy (or workload.OverheadDaemon timing when zero).
+	NoisyNodes []int
+	Noisy      workload.DaemonSpec
+}
+
+// LiveNodeData is one node's kernel activity as the online store saw it,
+// converted to the same units as the offline NodeData for cross-checking.
+type LiveNodeData struct {
+	Name string
+	// GroupExcl is cumulative kernel exclusive time per instrumentation
+	// group, summed from the store's per-event totals.
+	GroupExcl map[string]time.Duration
+	// TCPRcvCalls is the cumulative tcp_v4_rcv activation count.
+	TCPRcvCalls uint64
+	// WireBytes is the collection payload the node shipped (0 on the
+	// collector, which ingests locally).
+	WireBytes uint64
+}
+
+// LiveResult pairs the offline post-mortem harvest of a run with the state
+// the online pipeline accumulated while watching the same run — the two
+// views the cross-check tests compare.
+type LiveResult struct {
+	*ChibaResult
+	// Store is the collector's time-series database at end of run.
+	Store *perfmon.Store
+	// Collector is the elected collector node index.
+	Collector int
+	// Noise is the final online OS-noise report.
+	Noise perfmon.NoiseReport
+	// LiveNodes mirrors ChibaResult.Nodes from the store's perspective,
+	// node index order.
+	LiveNodes []LiveNodeData
+	// Drained reports whether the pipeline delivered every final frame.
+	Drained bool
+}
+
+// RunChibaLive executes one Chiba configuration with the perfmon pipeline
+// deployed alongside the job: every node's kmond agent ships deltas to the
+// elected collector over the same simulated network the MPI job uses, while
+// the job runs. After the job exits the pipeline performs one final round,
+// and the result carries both the live store and the usual offline harvest
+// for comparison.
+func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
+	c, w, tasks := launchChiba(spec)
+	defer c.Shutdown()
+
+	for _, idx := range opts.NoisyNodes {
+		if idx < 0 || idx >= len(c.Nodes) {
+			continue
+		}
+		d := opts.Noisy
+		if d.Period <= 0 {
+			d = workload.OverheadDaemon()
+		}
+		workload.StartDaemon(c.Node(idx).K, d)
+	}
+
+	pcfg := opts.PerfMon
+	if pcfg.RankPrefix == "" {
+		pcfg.RankPrefix = spec.Work.String() + ".rank"
+	}
+	pm := perfmon.Deploy(c, pcfg)
+
+	completed := c.RunUntilDone(tasks, 10*time.Minute)
+	pm.Stop()
+	drained := c.RunUntilDone(pm.Tasks(), time.Minute)
+	c.Settle(5 * time.Millisecond)
+
+	res := harvest(spec, c, w, tasks, completed)
+	store := pm.Store()
+	out := &LiveResult{
+		ChibaResult: res,
+		Store:       store,
+		Collector:   pm.Collector(),
+		Noise:       store.DetectNoise(pm.Config().Detect, pm.Config().RankPrefix),
+		Drained:     drained,
+	}
+	wire := map[string]uint64{}
+	for _, info := range store.Nodes() {
+		wire[info.Name] = info.Bytes
+	}
+	for _, n := range c.Nodes {
+		ld := LiveNodeData{
+			Name:      n.Name,
+			GroupExcl: map[string]time.Duration{},
+			WireBytes: wire[n.Name],
+		}
+		for _, t := range store.Totals(n.Name) {
+			ld.GroupExcl[t.Group.String()] += n.K.DurationOf(t.Excl)
+			if t.Name == "tcp_v4_rcv" {
+				ld.TCPRcvCalls = t.Calls
+			}
+		}
+		out.LiveNodes = append(out.LiveNodes, ld)
+	}
+	return out
+}

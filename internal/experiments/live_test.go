@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/perfmon"
+	"ktau/internal/workload"
+)
+
+// liveSpec is the small Chiba configuration the live-pipeline tests run: 8
+// single-rank nodes, short LU, system daemons on.
+func liveSpec() ChibaSpec {
+	spec := DefaultChiba(8, 1)
+	spec.Iters = 4
+	spec.Seed = 97
+	return spec
+}
+
+func liveOpts() LiveOptions {
+	return LiveOptions{
+		PerfMon: perfmon.Config{Interval: 20 * time.Millisecond},
+		// The §5.1 anomaly, compressed so several bursts land within the
+		// short run.
+		NoisyNodes: []int{5},
+		Noisy: workload.DaemonSpec{
+			Name: "overhead", Period: 50 * time.Millisecond, Busy: 25 * time.Millisecond,
+		},
+	}
+}
+
+// TestChibaLiveCrossCheck re-runs the Chiba scenario through the online
+// pipeline and cross-checks the collector's per-node totals against the
+// offline harvest of the very same run. The store cannot exceed the
+// post-mortem truth (counters are monotonic and the final collection round
+// precedes the harvest), and must capture the large majority of it.
+func TestChibaLiveCrossCheck(t *testing.T) {
+	res := RunChibaLive(liveSpec(), liveOpts())
+	if !res.Completed {
+		t.Fatal("job did not complete")
+	}
+	if !res.Drained {
+		t.Fatal("pipeline did not drain its final frames")
+	}
+	if len(res.LiveNodes) != len(res.Nodes) {
+		t.Fatalf("live view has %d nodes, offline %d", len(res.LiveNodes), len(res.Nodes))
+	}
+	for i, ld := range res.LiveNodes {
+		nd := res.Nodes[i]
+		if ld.Name != nd.Name {
+			t.Fatalf("node %d: live %s vs offline %s", i, ld.Name, nd.Name)
+		}
+		// tcp_v4_rcv calls: unit-free, driven by both MPI and collection
+		// traffic — the sharpest agreement check.
+		if nd.TCPRcvCalls == 0 {
+			t.Fatalf("%s: offline saw no TCP receive activity", nd.Name)
+		}
+		lo, hi := nd.TCPRcvCalls*7/10, nd.TCPRcvCalls
+		if ld.TCPRcvCalls < lo || ld.TCPRcvCalls > hi {
+			t.Errorf("%s: live tcp_v4_rcv calls %d outside [%d, %d] of offline %d",
+				nd.Name, ld.TCPRcvCalls, lo, hi, nd.TCPRcvCalls)
+		}
+		// Group exclusive time, for every group the offline table reports
+		// meaningfully (>1ms): live within [70%, 100.1%] of offline.
+		for g, off := range nd.GroupExcl {
+			if off < time.Millisecond {
+				continue
+			}
+			live := ld.GroupExcl[g]
+			if live < off*7/10 || live > off+off/1000+time.Millisecond {
+				t.Errorf("%s group %s: live %v vs offline %v", nd.Name, g, live, off)
+			}
+		}
+	}
+	// Collection traffic must itself be visible: every non-collector node
+	// shipped bytes, and the collector's kernel profile shows the receives.
+	collector := res.LiveNodes[res.Collector]
+	if collector.WireBytes != 0 {
+		t.Fatalf("collector reports %d wire bytes, want 0 (local ingest)", collector.WireBytes)
+	}
+	for i, ld := range res.LiveNodes {
+		if i != res.Collector && ld.WireBytes == 0 {
+			t.Errorf("%s shipped no collection bytes", ld.Name)
+		}
+	}
+	if collector.TCPRcvCalls == 0 {
+		t.Error("collector shows no TCP receive activity despite ingesting frames")
+	}
+}
+
+// TestChibaLiveFlagsInjectedNoise runs the live pipeline against a run with
+// the §5.1 overhead daemon injected on one node and requires the online
+// detector to identify that node — the live Fig. 9/10 view.
+func TestChibaLiveFlagsInjectedNoise(t *testing.T) {
+	res := RunChibaLive(liveSpec(), liveOpts())
+	noisy := res.Nodes[5].Name
+	found := false
+	for _, name := range res.Noise.Flagged {
+		if name == noisy {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Flagged = %v, must include %s", res.Noise.Flagged, noisy)
+	}
+	var nn perfmon.NodeNoise
+	for _, cand := range res.Noise.Nodes {
+		if cand.Node == noisy {
+			nn = cand
+		}
+	}
+	if len(nn.TopDaemons) == 0 || nn.TopDaemons[0].Name != "overhead" {
+		t.Fatalf("%s TopDaemons = %+v, want overhead first", noisy, nn.TopDaemons)
+	}
+	// The noisy node's share must dominate the cluster.
+	for _, other := range res.Noise.Nodes {
+		if other.Node != noisy && other.Share >= nn.Share {
+			t.Errorf("%s share %.5f >= noisy node's %.5f", other.Node, other.Share, nn.Share)
+		}
+	}
+	// Per-rank attribution on the noisy node names its resident rank.
+	if len(nn.Ranks) == 0 || nn.Ranks[0].Name != "LU.rank5" {
+		t.Fatalf("%s Ranks = %+v, want LU.rank5", noisy, nn.Ranks)
+	}
+}

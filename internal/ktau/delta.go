@@ -1,0 +1,164 @@
+package ktau
+
+import "sort"
+
+// EventDelta is one event's change between two snapshots of the same
+// profile. Counters in a live profile only grow, so the deltas are normally
+// non-negative; when the profile was reset between the two snapshots (a
+// counter moved backwards) the entry is marked Absolute and carries the new
+// snapshot's full values instead.
+type EventDelta struct {
+	ID    EventID
+	Name  string
+	Group Group
+	// Absolute marks a reset: the D* fields hold the new snapshot's full
+	// values rather than differences.
+	Absolute bool
+	DCalls   uint64
+	DSubrs   uint64
+	DIncl    int64
+	DExcl    int64
+	DCtr     [MaxCounters]int64
+}
+
+// SnapshotDelta is the change of one profile between round N-1 (Base) and
+// round N. It is what KTAUD-style collectors ship each round instead of the
+// whole profile: events with no activity in the window are omitted, which on
+// a steady-state node shrinks the payload to the handful of routines that
+// actually ran.
+type SnapshotDelta struct {
+	PID     int
+	Name    string
+	FromTSC int64 // Base snapshot's TSC (0 when Base was empty)
+	ToTSC   int64
+	Events  []EventDelta
+}
+
+// Empty reports whether the delta carries no event activity.
+func (d SnapshotDelta) Empty() bool { return len(d.Events) == 0 }
+
+// TotalDExcl sums the exclusive-cycle deltas over all events.
+func (d SnapshotDelta) TotalDExcl() int64 {
+	var t int64
+	for _, e := range d.Events {
+		t += e.DExcl
+	}
+	return t
+}
+
+// FindDelta returns the delta record for the named event, or nil.
+func (d SnapshotDelta) FindDelta(name string) *EventDelta {
+	for i := range d.Events {
+		if d.Events[i].Name == name {
+			return &d.Events[i]
+		}
+	}
+	return nil
+}
+
+// DeltaSnapshot computes cur − prev, keyed by event name (IDs are stable
+// within one node but names are the cross-node identity). Events present in
+// prev but unchanged in cur are omitted. Passing a zero-value prev yields a
+// delta equivalent to the full snapshot.
+func DeltaSnapshot(prev, cur Snapshot) SnapshotDelta {
+	d := SnapshotDelta{
+		PID:     cur.PID,
+		Name:    cur.Name,
+		FromTSC: prev.TSC,
+		ToTSC:   cur.TSC,
+	}
+	prevBy := make(map[string]*EventSnap, len(prev.Events))
+	for i := range prev.Events {
+		prevBy[prev.Events[i].Name] = &prev.Events[i]
+	}
+	for _, e := range cur.Events {
+		p := prevBy[e.Name]
+		if p == nil {
+			d.Events = append(d.Events, EventDelta{
+				ID: e.ID, Name: e.Name, Group: e.Group,
+				DCalls: e.Calls, DSubrs: e.Subrs, DIncl: e.Incl, DExcl: e.Excl,
+				DCtr: e.Ctr,
+			})
+			continue
+		}
+		if e.Calls < p.Calls || e.Incl < p.Incl || e.Excl < p.Excl {
+			// Profile was reset in between: ship the absolute state.
+			d.Events = append(d.Events, EventDelta{
+				ID: e.ID, Name: e.Name, Group: e.Group, Absolute: true,
+				DCalls: e.Calls, DSubrs: e.Subrs, DIncl: e.Incl, DExcl: e.Excl,
+				DCtr: e.Ctr,
+			})
+			continue
+		}
+		ed := EventDelta{
+			ID: e.ID, Name: e.Name, Group: e.Group,
+			DCalls: e.Calls - p.Calls,
+			DSubrs: e.Subrs - p.Subrs,
+			DIncl:  e.Incl - p.Incl,
+			DExcl:  e.Excl - p.Excl,
+		}
+		var ctrChanged bool
+		for ci := range e.Ctr {
+			ed.DCtr[ci] = e.Ctr[ci] - p.Ctr[ci]
+			if ed.DCtr[ci] != 0 {
+				ctrChanged = true
+			}
+		}
+		if ed.DCalls == 0 && ed.DSubrs == 0 && ed.DIncl == 0 && ed.DExcl == 0 && !ctrChanged {
+			continue // no activity in the window
+		}
+		d.Events = append(d.Events, ed)
+	}
+	return d
+}
+
+// ApplySnapshotDelta reconstructs the round-N snapshot from the round-N−1
+// snapshot and the delta between them: the inverse of DeltaSnapshot for the
+// event data (metadata such as Created/Exited is not carried by deltas).
+// Events are returned sorted by ID, matching SnapshotTask's ordering.
+func ApplySnapshotDelta(prev Snapshot, d SnapshotDelta) Snapshot {
+	out := Snapshot{
+		PID:          d.PID,
+		Name:         d.Name,
+		TSC:          d.ToTSC,
+		Created:      prev.Created,
+		ExitedAt:     prev.ExitedAt,
+		Exited:       prev.Exited,
+		TraceLost:    prev.TraceLost,
+		CounterNames: prev.CounterNames,
+	}
+	byName := make(map[string]*EventSnap, len(prev.Events))
+	for _, e := range prev.Events {
+		e := e
+		byName[e.Name] = &e
+	}
+	for _, ed := range d.Events {
+		e := byName[ed.Name]
+		if e == nil || ed.Absolute {
+			byName[ed.Name] = &EventSnap{
+				ID: ed.ID, Name: ed.Name, Group: ed.Group,
+				Calls: ed.DCalls, Subrs: ed.DSubrs, Incl: ed.DIncl, Excl: ed.DExcl,
+				Ctr: ed.DCtr,
+			}
+			continue
+		}
+		e.Calls += ed.DCalls
+		e.Subrs += ed.DSubrs
+		e.Incl += ed.DIncl
+		e.Excl += ed.DExcl
+		for ci := range e.Ctr {
+			e.Ctr[ci] += ed.DCtr[ci]
+		}
+	}
+	out.Events = make([]EventSnap, 0, len(byName))
+	for _, e := range byName {
+		out.Events = append(out.Events, *e)
+	}
+	sort.Slice(out.Events, func(i, j int) bool {
+		if out.Events[i].ID != out.Events[j].ID {
+			return out.Events[i].ID < out.Events[j].ID
+		}
+		return out.Events[i].Name < out.Events[j].Name
+	})
+	return out
+}

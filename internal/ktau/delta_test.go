@@ -1,0 +1,150 @@
+package ktau
+
+import (
+	"reflect"
+	"testing"
+)
+
+// driveRound runs one entry/exit activation of ev lasting d cycles.
+func driveRound(m *Measurement, env *fakeEnv, td *TaskData, ev EventID, d int64) {
+	m.Entry(td, ev)
+	env.advance(d)
+	m.Exit(td, ev)
+}
+
+func TestDeltaSnapshotNoChange(t *testing.T) {
+	m, env := newTestM(Options{})
+	td := m.CreateTask(1, "p")
+	ev := m.Event("sys_read", GroupSyscall)
+	driveRound(m, env, td, ev, 100)
+
+	a := m.SnapshotTask(td)
+	b := m.SnapshotTask(td)
+	d := DeltaSnapshot(a, b)
+	if !d.Empty() {
+		t.Fatalf("delta of identical profile state not empty: %+v", d.Events)
+	}
+	if d.FromTSC != a.TSC || d.ToTSC != b.TSC {
+		t.Errorf("delta TSC range = %d..%d, want %d..%d", d.FromTSC, d.ToTSC, a.TSC, b.TSC)
+	}
+}
+
+func TestDeltaSnapshotCapturesWindowActivity(t *testing.T) {
+	m, env := newTestM(Options{})
+	td := m.CreateTask(1, "p")
+	read := m.Event("sys_read", GroupSyscall)
+	sched := m.Event("schedule", GroupSched)
+
+	driveRound(m, env, td, read, 100)
+	prev := m.SnapshotTask(td)
+
+	driveRound(m, env, td, read, 40)
+	driveRound(m, env, td, sched, 70) // new event in this window
+	cur := m.SnapshotTask(td)
+
+	d := DeltaSnapshot(prev, cur)
+	if len(d.Events) != 2 {
+		t.Fatalf("delta has %d events, want 2 (%+v)", len(d.Events), d.Events)
+	}
+	r := d.FindDelta("sys_read")
+	if r == nil || r.DCalls != 1 || r.DExcl != 40 || r.Absolute {
+		t.Errorf("sys_read delta = %+v, want 1 call / 40 excl", r)
+	}
+	s := d.FindDelta("schedule")
+	if s == nil || s.DCalls != 1 || s.DExcl != 70 {
+		t.Errorf("schedule delta = %+v, want 1 call / 70 excl", s)
+	}
+	if d.TotalDExcl() != 110 {
+		t.Errorf("TotalDExcl = %d, want 110", d.TotalDExcl())
+	}
+}
+
+func TestDeltaApplyRoundTrip(t *testing.T) {
+	m, env := newTestM(Options{})
+	td := m.CreateTask(7, "worker")
+	read := m.Event("sys_read", GroupSyscall)
+	tcp := m.Event("tcp_recvmsg", GroupTCP)
+
+	var prev Snapshot // empty base: first round ships the full profile
+	var reconstructed Snapshot
+	for round := 0; round < 5; round++ {
+		driveRound(m, env, td, read, int64(10*(round+1)))
+		if round%2 == 0 {
+			driveRound(m, env, td, tcp, 33)
+		}
+		cur := m.SnapshotTask(td)
+		d := DeltaSnapshot(prev, cur)
+		reconstructed = ApplySnapshotDelta(reconstructed, d)
+		prev = cur
+	}
+
+	want := m.SnapshotTask(td)
+	if len(reconstructed.Events) != len(want.Events) {
+		t.Fatalf("reconstructed %d events, want %d", len(reconstructed.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		if !reflect.DeepEqual(reconstructed.Events[i], want.Events[i]) {
+			t.Errorf("event %d mismatch:\n got  %+v\n want %+v",
+				i, reconstructed.Events[i], want.Events[i])
+		}
+	}
+	if reconstructed.TSC != want.TSC {
+		t.Errorf("TSC = %d, want %d", reconstructed.TSC, want.TSC)
+	}
+}
+
+func TestDeltaSnapshotReset(t *testing.T) {
+	m, env := newTestM(Options{})
+	td := m.CreateTask(1, "p")
+	ev := m.Event("sys_read", GroupSyscall)
+	driveRound(m, env, td, ev, 500)
+	prev := m.SnapshotTask(td)
+
+	m.Reset(td) // counters move backwards: next delta must go absolute
+	driveRound(m, env, td, ev, 60)
+	cur := m.SnapshotTask(td)
+
+	d := DeltaSnapshot(prev, cur)
+	r := d.FindDelta("sys_read")
+	if r == nil {
+		t.Fatal("no sys_read delta after reset")
+	}
+	if !r.Absolute {
+		t.Fatalf("reset not detected: %+v", r)
+	}
+	if r.DCalls != 1 || r.DExcl != 60 {
+		t.Errorf("absolute values = %d calls / %d excl, want 1/60", r.DCalls, r.DExcl)
+	}
+
+	// Applying the absolute entry replaces, not accumulates.
+	got := ApplySnapshotDelta(prev, d)
+	e := got.FindEvent("sys_read")
+	if e == nil || e.Excl != 60 || e.Calls != 1 {
+		t.Errorf("apply after reset = %+v, want calls=1 excl=60", e)
+	}
+}
+
+func TestDeltaShrinksSteadyStateOutput(t *testing.T) {
+	// The satellite motivation: on a node where only a few routines run in a
+	// window, the delta carries only those routines, not the whole registry.
+	m, env := newTestM(Options{})
+	td := m.CreateTask(1, "p")
+	var evs []EventID
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		evs = append(evs, m.Event("sys_"+n, GroupSyscall))
+	}
+	for _, ev := range evs {
+		driveRound(m, env, td, ev, 10)
+	}
+	prev := m.SnapshotTask(td)
+	driveRound(m, env, td, evs[2], 5) // only one routine active this window
+	cur := m.SnapshotTask(td)
+
+	d := DeltaSnapshot(prev, cur)
+	if len(d.Events) != 1 || d.Events[0].Name != "sys_c" {
+		t.Fatalf("delta = %+v, want exactly sys_c", d.Events)
+	}
+	if len(cur.Events) != 8 {
+		t.Fatalf("full snapshot should still carry 8 events, has %d", len(cur.Events))
+	}
+}

@@ -87,6 +87,16 @@ func Daemon(fs *procfs.FS, cfg DaemonConfig) kernel.Program {
 	}
 }
 
+// SummarizeRound writes the one-line-per-process round summary the quiet
+// mode of cmd/ktaud prints: an alternative to full ASCII dumps when only
+// liveness and event counts matter.
+func SummarizeRound(w io.Writer, round int, now time.Duration, snaps []ktau.Snapshot) {
+	fmt.Fprintf(w, "round %d at %v: %d processes\n", round, now, len(snaps))
+	for _, s := range snaps {
+		fmt.Fprintf(w, "  pid %-7d %-14s events=%d\n", s.PID, s.Name, len(s.Events))
+	}
+}
+
 // RunKtau wraps a program the way the runKtau client of §4.5 wraps a
 // command (like time(1)): it runs body and, when it finishes, retrieves the
 // process's own detailed KTAU profile through libKtau.

@@ -1,0 +1,119 @@
+package libktau
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/procfs"
+	"ktau/internal/sim"
+)
+
+func newDaemonTestKernel(t *testing.T) (*sim.Engine, *kernel.Kernel, *procfs.FS) {
+	t.Helper()
+	eng := sim.NewEngine()
+	kp := kernel.DefaultParams()
+	kp.CostJitter = 0
+	kp.PageFaultRate = 0
+	k := kernel.NewKernel(eng, "n0", kp, sim.NewRNG(3), ktau.Options{
+		Compiled: ktau.GroupAll, Boot: ktau.GroupAll, RetainExited: true,
+	})
+	t.Cleanup(k.Shutdown)
+	return eng, k, procfs.New(k.Ktau())
+}
+
+func runUntil(eng *sim.Engine, deadline time.Duration, done func() bool) {
+	limit := eng.Now().Add(deadline)
+	for !done() && eng.Now() < limit {
+		if !eng.Step() {
+			break
+		}
+	}
+}
+
+// TestKTAUDQuietPath covers the cmd/ktaud quiet mode: OnSnapshot consumers
+// with no Out writer get every round, and the SummarizeRound renderer
+// produces the per-process summary lines.
+func TestKTAUDQuietPath(t *testing.T) {
+	eng, k, fs := newDaemonTestKernel(t)
+
+	app := k.Spawn("blackbox", func(u *kernel.UCtx) {
+		for i := 0; i < 8; i++ {
+			u.Compute(2 * time.Millisecond)
+			u.Syscall("sys_write", nil)
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindUser})
+
+	var out bytes.Buffer
+	var rounds int
+	ktaud := k.Spawn("ktaud", Daemon(fs, DaemonConfig{
+		Interval: 5 * time.Millisecond,
+		Rounds:   4,
+		// Quiet mode: OnSnapshot only, Out deliberately nil.
+		OnSnapshot: func(round int, snaps []ktau.Snapshot) {
+			if round != rounds {
+				t.Errorf("round = %d, want %d (rounds must arrive in order)", round, rounds)
+			}
+			rounds++
+			SummarizeRound(&out, round, eng.Now().Duration(), snaps)
+		},
+	}), kernel.SpawnOpts{Kind: kernel.KindDaemon})
+
+	runUntil(eng, 5*time.Second, func() bool { return app.Exited() && ktaud.Exited() })
+	if rounds != 4 {
+		t.Fatalf("OnSnapshot fired %d times, want 4", rounds)
+	}
+	text := out.String()
+	if strings.Count(text, "round ") != 4 {
+		t.Errorf("summary missing round headers:\n%s", text)
+	}
+	if !strings.Contains(text, "blackbox") {
+		t.Errorf("summary never mentions the monitored app:\n%s", text)
+	}
+	if !strings.Contains(text, "ktaud") {
+		t.Errorf("summary must include the daemon observing itself:\n%s", text)
+	}
+}
+
+// TestKTAUDPIDRestriction covers the PIDs-restricted collection path: only
+// the listed processes are retrieved each round.
+func TestKTAUDPIDRestriction(t *testing.T) {
+	eng, k, fs := newDaemonTestKernel(t)
+
+	mk := func(name string) *kernel.Task {
+		return k.Spawn(name, func(u *kernel.UCtx) {
+			for i := 0; i < 8; i++ {
+				u.Compute(2 * time.Millisecond)
+				u.Syscall("sys_write", nil)
+			}
+		}, kernel.SpawnOpts{Kind: kernel.KindUser})
+	}
+	a, b := mk("watched"), mk("ignored")
+
+	var seen []string
+	ktaud := k.Spawn("ktaud", Daemon(fs, DaemonConfig{
+		Interval: 5 * time.Millisecond,
+		Rounds:   3,
+		PIDs:     []int{a.PID()},
+		OnSnapshot: func(round int, snaps []ktau.Snapshot) {
+			for _, s := range snaps {
+				seen = append(seen, s.Name)
+			}
+		},
+	}), kernel.SpawnOpts{Kind: kernel.KindDaemon})
+
+	runUntil(eng, 5*time.Second, func() bool {
+		return a.Exited() && b.Exited() && ktaud.Exited()
+	})
+	if len(seen) == 0 {
+		t.Fatal("restricted daemon collected nothing")
+	}
+	for _, name := range seen {
+		if name != "watched" {
+			t.Errorf("restricted daemon collected %q, want only \"watched\"", name)
+		}
+	}
+}

@@ -49,24 +49,14 @@ func (h Handle) GetProfiles(scope Scope, pid int) ([]ktau.Snapshot, error) {
 	case ScopeKernelWide:
 		target = procfs.PIDKernelWide
 	}
-	size, err := h.fs.ProfileSize(target)
+	blob, err := procfs.ReadRetry(
+		func() (int, error) { return h.fs.ProfileSize(target) },
+		func(buf []byte) (int, error) { return h.fs.ProfileRead(target, buf) },
+		procfs.DefaultReadAttempts)
 	if err != nil {
 		return nil, err
 	}
-	for attempt := 0; attempt < 8; attempt++ {
-		buf := make([]byte, size)
-		n, err := h.fs.ProfileRead(target, buf)
-		if err == nil {
-			return DecodeProfiles(buf[:n])
-		}
-		var short procfs.ErrShortBuffer
-		if errors.As(err, &short) {
-			size = short.Needed
-			continue
-		}
-		return nil, err
-	}
-	return nil, errors.New("libktau: profile size kept changing")
+	return DecodeProfiles(blob)
 }
 
 // GetProfile retrieves a single profile (self/other/kernel-wide scopes).
@@ -83,24 +73,14 @@ func (h Handle) GetProfile(scope Scope, pid int) (ktau.Snapshot, error) {
 
 // GetTrace drains and decodes a process's kernel trace buffer.
 func (h Handle) GetTrace(pid int) (TraceDump, error) {
-	size, err := h.fs.TraceSize(pid)
+	blob, err := procfs.ReadRetry(
+		func() (int, error) { return h.fs.TraceSize(pid) },
+		func(buf []byte) (int, error) { return h.fs.TraceRead(pid, buf) },
+		procfs.DefaultReadAttempts)
 	if err != nil {
 		return TraceDump{}, err
 	}
-	for attempt := 0; attempt < 8; attempt++ {
-		buf := make([]byte, size)
-		n, err := h.fs.TraceRead(pid, buf)
-		if err == nil {
-			return DecodeTrace(buf[:n])
-		}
-		var short procfs.ErrShortBuffer
-		if errors.As(err, &short) {
-			size = short.Needed
-			continue
-		}
-		return TraceDump{}, err
-	}
-	return TraceDump{}, errors.New("libktau: trace size kept changing")
+	return DecodeTrace(blob)
 }
 
 // EnableGroups turns instrumentation groups on at runtime.

@@ -1,0 +1,278 @@
+// Package perfmon is the cluster-wide online monitoring pipeline: the layer
+// the paper's title promises ("integrated parallel performance views") built
+// on top of KTAU's per-node machinery. Each node runs a KTAUD-style agent
+// (§4.5) that reads /proc/ktau on an interval, delta-encodes the kernel-wide
+// profile against the previous round, and ships the frame over the simulated
+// TCP network to an elected collector node. Collection traffic therefore
+// flows through the same instrumented TCP path as application traffic, so
+// the pipeline observes its own interference — the self-observation property
+// KTAU claims.
+//
+// The collector maintains a bounded ring-buffer time-series store (per node
+// × kernel event × {calls, incl, excl}) with configurable retention and
+// downsampling, answers cluster-wide queries (top-K hottest kernel routines,
+// per-node merges, time-window slices), runs online detectors (OS-noise /
+// daemon interference as in Figs. 8-10, slow-node ranking), and exports
+// Prometheus text, JSON lines and a human ASCII cluster view.
+package perfmon
+
+import (
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/libktau"
+	"ktau/internal/procfs"
+	"ktau/internal/tcpsim"
+)
+
+// Config parameterises a deployment.
+type Config struct {
+	// Interval between collection rounds on every agent (default 100ms).
+	Interval time.Duration
+	// Rounds bounds each agent's collection loop (0 = run until Stop or
+	// kernel shutdown). The final round is flagged so sinks drain cleanly.
+	Rounds int
+	// Store bounds the collector's time-series memory.
+	Store StoreConfig
+	// Detect configures the online detectors.
+	Detect DetectConfig
+	// RankPrefix identifies application processes by task-name prefix (e.g.
+	// "LU.rank"); everything else except idle tasks counts as system/daemon
+	// activity for the noise detector. Empty disables rank classification.
+	RankPrefix string
+	// ReadCostPerKB models agent-side processing cost per KiB of profile
+	// data each round (default 20us/KB, as KTAUD).
+	ReadCostPerKB time.Duration
+	// Collector overrides the election result when >= 0 (default -1).
+	Collector int
+}
+
+func (c *Config) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.ReadCostPerKB <= 0 {
+		c.ReadCostPerKB = 20 * time.Microsecond
+	}
+	c.Store.defaults()
+	c.Detect.defaults()
+}
+
+// Elect picks the collector node deterministically: the node with the most
+// CPUs wins (it absorbs the aggregation load), ties broken by lowest index —
+// a stand-in for a leader election among identical daemons.
+func Elect(c *cluster.Cluster) int {
+	best := 0
+	for i, n := range c.Nodes {
+		if n.K.NumCPUs() > c.Node(best).K.NumCPUs() {
+			best = i
+		}
+	}
+	return best
+}
+
+// link carries the Go-side payload queue of one agent→collector connection;
+// the simulated TCP stream carries matching byte counts (the same framing
+// convention mpisim uses), so the transfer is fully charged as kernel work
+// on both nodes while the decoded payload rides alongside deterministically.
+type link struct {
+	agentConn *tcpsim.Conn // agent-side endpoint
+	sinkConn  *tcpsim.Conn // collector-side endpoint
+	pending   [][]byte     // encoded frames in flight, FIFO
+}
+
+// PerfMon is a deployed monitoring pipeline.
+type PerfMon struct {
+	cfg       Config
+	c         *cluster.Cluster
+	store     *Store
+	collector int
+	agents    []*kernel.Task
+	sinks     []*kernel.Task
+	stopped   bool
+}
+
+// Deploy elects a collector, connects every other node to it over the
+// simulated network, and spawns the per-node agent daemons ("kmond") plus
+// one sink task per connection on the collector. Call before launching the
+// workload; drive the engine afterwards (e.g. cluster.RunUntilDone on
+// Tasks()).
+func Deploy(c *cluster.Cluster, cfg Config) *PerfMon {
+	cfg.defaults()
+	collector := cfg.Collector
+	if collector < 0 || collector >= len(c.Nodes) {
+		collector = Elect(c)
+	}
+	pm := &PerfMon{
+		cfg:       cfg,
+		c:         c,
+		store:     NewStore(cfg.Store),
+		collector: collector,
+	}
+	for i, n := range c.Nodes {
+		if i == collector {
+			// The collector monitors itself without a network hop.
+			pm.agents = append(pm.agents, pm.spawnAgent(i, n, nil))
+			continue
+		}
+		agentConn, sinkConn := tcpsim.Connect(n.Stack, c.Node(collector).Stack)
+		l := &link{agentConn: agentConn, sinkConn: sinkConn}
+		pm.agents = append(pm.agents, pm.spawnAgent(i, n, l))
+		pm.sinks = append(pm.sinks, pm.spawnSink(c.Node(collector), l))
+	}
+	return pm
+}
+
+// Store returns the collector's time-series store.
+func (pm *PerfMon) Store() *Store { return pm.store }
+
+// Collector returns the elected collector node index.
+func (pm *PerfMon) Collector() int { return pm.collector }
+
+// Config returns the deployment configuration (defaults applied).
+func (pm *PerfMon) Config() Config { return pm.cfg }
+
+// Tasks returns every task the deployment spawned (agents then sinks);
+// RunUntilDone over these drains the pipeline after Stop or bounded Rounds.
+func (pm *PerfMon) Tasks() []*kernel.Task {
+	out := make([]*kernel.Task, 0, len(pm.agents)+len(pm.sinks))
+	out = append(out, pm.agents...)
+	out = append(out, pm.sinks...)
+	return out
+}
+
+// Agents returns the per-node collection daemons (node order).
+func (pm *PerfMon) Agents() []*kernel.Task { return pm.agents }
+
+// Sinks returns the collector-side receiver tasks.
+func (pm *PerfMon) Sinks() []*kernel.Task { return pm.sinks }
+
+// Stop asks every agent to perform one final collection round (flagged
+// Last) and exit; sinks exit after ingesting the final frame. Drive the
+// engine afterwards to drain the pipeline.
+func (pm *PerfMon) Stop() { pm.stopped = true }
+
+// groupExcl sums exclusive cycles of one group in a snapshot delta.
+func groupExcl(evs []ktau.EventDelta, g ktau.Group) int64 {
+	var t int64
+	for _, e := range evs {
+		if e.Group == g {
+			t += e.DExcl
+		}
+	}
+	return t
+}
+
+// spawnAgent starts the per-node collection daemon. l == nil means the node
+// is the collector: frames are ingested locally instead of shipped.
+func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, l *link) *kernel.Task {
+	fs := procfs.New(n.K.Ktau())
+	h := libktau.Open(fs)
+	cfg := pm.cfg
+	return n.K.Spawn("kmond", func(u *kernel.UCtx) {
+		var prevKW ktau.Snapshot
+		prevProc := map[int]ktau.Snapshot{}
+		for round := 0; ; round++ {
+			if cfg.Rounds > 0 && round >= cfg.Rounds {
+				return
+			}
+			final := pm.stopped
+			if !final {
+				u.Sleep(cfg.Interval)
+				final = pm.stopped // may have been stopped while sleeping
+			}
+
+			// The session-less two-call protocol, charged to the agent
+			// exactly as KTAUD charges it.
+			u.Syscall("sys_ioctl", func(kc *kernel.KCtx) { kc.Use(2 * time.Microsecond) })
+			kw, errKW := h.GetProfile(libktau.ScopeKernelWide, 0)
+			procs, errAll := h.GetProfiles(libktau.ScopeAll, 0)
+			u.Syscall("sys_read", func(kc *kernel.KCtx) { kc.Use(4 * time.Microsecond) })
+			if errKW != nil || errAll != nil {
+				continue
+			}
+
+			f := Frame{
+				Node:    n.Name,
+				NodeIdx: idx,
+				Round:   round,
+				CPUs:    u.Kernel().NumCPUs(),
+				FromTSC: prevKW.TSC,
+				ToTSC:   kw.TSC,
+				Last:    final || (cfg.Rounds > 0 && round == cfg.Rounds-1),
+			}
+			f.Kernel = ktau.DeltaSnapshot(prevKW, kw).Events
+			prevKW = kw
+			for _, ps := range procs {
+				pd := ktau.DeltaSnapshot(prevProc[ps.PID], ps)
+				prevProc[ps.PID] = ps
+				if pd.Empty() {
+					continue
+				}
+				var ticks uint64
+				if te := pd.FindDelta(TimerTickEvent); te != nil {
+					ticks = te.DCalls
+				}
+				f.Procs = append(f.Procs, ProcDelta{
+					PID:    ps.PID,
+					Name:   ps.Name,
+					DTotal: pd.TotalDExcl(),
+					DIRQ:   groupExcl(pd.Events, ktau.GroupIRQ),
+					DBH:    groupExcl(pd.Events, ktau.GroupBH),
+					DSched: groupExcl(pd.Events, ktau.GroupSched),
+					DTCP:   groupExcl(pd.Events, ktau.GroupTCP),
+					DTicks: ticks,
+				})
+			}
+
+			payload := EncodeFrame(f)
+			// User-space processing: snapshot walk + delta encode.
+			readBytes := 0
+			for _, s := range procs {
+				readBytes += 64 + 48*len(s.Events) + 64*len(s.Atomics) + 64*len(s.Mapped)
+			}
+			u.Compute(time.Duration(readBytes/1024+1) * cfg.ReadCostPerKB)
+
+			if l == nil {
+				// Collector-local round: no network hop.
+				pm.store.Ingest(f, 0)
+			} else {
+				l.pending = append(l.pending, payload)
+				l.agentConn.Send(u, FrameHeaderBytes+len(payload))
+			}
+			if f.Last {
+				return
+			}
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
+}
+
+// spawnSink starts one collector-side receiver for a link: it blocks in
+// tcp_recvmsg for the fixed preamble, learns the payload length from the
+// framing queue, receives the payload, decodes and ingests it.
+func (pm *PerfMon) spawnSink(n *cluster.Node, l *link) *kernel.Task {
+	cfg := pm.cfg
+	return n.K.Spawn("kmon-sink", func(u *kernel.UCtx) {
+		for {
+			l.sinkConn.Recv(u, FrameHeaderBytes)
+			if len(l.pending) == 0 {
+				panic("perfmon: frame preamble arrived with no queued payload (framing bug)")
+			}
+			payload := l.pending[0]
+			l.pending = l.pending[1:]
+			l.sinkConn.Recv(u, len(payload))
+			f, err := DecodeFrame(payload)
+			if err != nil {
+				panic("perfmon: undecodable frame: " + err.Error())
+			}
+			// User-space decode + store update cost.
+			u.Compute(time.Duration(len(payload)/1024+1) * cfg.ReadCostPerKB)
+			pm.store.Ingest(f, FrameHeaderBytes+len(payload))
+			if f.Last {
+				return
+			}
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
+}

@@ -1,0 +1,141 @@
+package perfmon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the store's cumulative state in the Prometheus
+// text exposition format: per (node, event) counters for calls and
+// inclusive/exclusive cycles, plus pipeline meta-series. Label values are
+// %q-quoted, which covers the \\, \" and \n escapes the format requires.
+// Output is fully deterministic (nodes in first-seen order, events sorted
+// by name).
+func (st *Store) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# HELP ktau_kernel_event_calls_total Kernel event activations observed by perfmon.")
+	fmt.Fprintln(bw, "# TYPE ktau_kernel_event_calls_total counter")
+	for _, node := range st.NodeNames() {
+		for _, t := range st.Totals(node) {
+			fmt.Fprintf(bw, "ktau_kernel_event_calls_total{node=%q,event=%q,group=%q} %d\n",
+				node, t.Name, t.Group.String(), t.Calls)
+		}
+	}
+	fmt.Fprintln(bw, "# HELP ktau_kernel_event_cycles_total Kernel event cycles observed by perfmon.")
+	fmt.Fprintln(bw, "# TYPE ktau_kernel_event_cycles_total counter")
+	for _, node := range st.NodeNames() {
+		for _, t := range st.Totals(node) {
+			fmt.Fprintf(bw, "ktau_kernel_event_cycles_total{node=%q,event=%q,group=%q,kind=\"incl\"} %d\n",
+				node, t.Name, t.Group.String(), t.Incl)
+			fmt.Fprintf(bw, "ktau_kernel_event_cycles_total{node=%q,event=%q,group=%q,kind=\"excl\"} %d\n",
+				node, t.Name, t.Group.String(), t.Excl)
+		}
+	}
+	fmt.Fprintln(bw, "# HELP ktau_perfmon_rounds_total Collection rounds ingested per node.")
+	fmt.Fprintln(bw, "# TYPE ktau_perfmon_rounds_total counter")
+	for _, info := range st.Nodes() {
+		fmt.Fprintf(bw, "ktau_perfmon_rounds_total{node=%q} %d\n", info.Name, info.Rounds)
+	}
+	fmt.Fprintln(bw, "# HELP ktau_perfmon_wire_bytes_total Collection payload bytes shipped per node.")
+	fmt.Fprintln(bw, "# TYPE ktau_perfmon_wire_bytes_total counter")
+	for _, info := range st.Nodes() {
+		fmt.Fprintf(bw, "ktau_perfmon_wire_bytes_total{node=%q} %d\n", info.Name, info.Bytes)
+	}
+	fmt.Fprintln(bw, "# HELP ktau_perfmon_frames_total Frames ingested by the collector.")
+	fmt.Fprintln(bw, "# TYPE ktau_perfmon_frames_total counter")
+	fmt.Fprintf(bw, "ktau_perfmon_frames_total %d\n", st.Frames())
+	return bw.Flush()
+}
+
+// jsonSample is the JSON-lines record shape (fixed field order via struct).
+type jsonSample struct {
+	Node   string `json:"node"`
+	Round  int    `json:"round"`
+	Event  string `json:"event"`
+	Group  string `json:"group"`
+	DCalls uint64 `json:"dcalls"`
+	DIncl  int64  `json:"dincl"`
+	DExcl  int64  `json:"dexcl"`
+}
+
+// WriteJSONLines renders the retained time-series as one JSON object per
+// line: a (node, round, event) activity delta per record, events sorted by
+// name within a node, samples in chronological order. window limits the
+// slice (0 = everything retained).
+func (st *Store) WriteJSONLines(w io.Writer, window int) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, node := range st.NodeNames() {
+		for _, t := range st.Totals(node) { // sorted by event name
+			for _, smp := range st.Series(node, t.Name, window) {
+				rec := jsonSample{
+					Node: node, Round: smp.Round, Event: t.Name,
+					Group: t.Group.String(), DCalls: smp.DCalls,
+					DIncl: smp.DIncl, DExcl: smp.DExcl,
+				}
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteClusterView renders the live human view: per-node collection state
+// and noise assessment, the cluster's hottest kernel routines, and — when a
+// noise report flags nodes — the per-rank interference attribution, in the
+// spirit of libktau's ASCII renderers.
+func (st *Store) WriteClusterView(w io.Writer, rep NoiseReport, topK int) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	fmt.Fprintf(bw, "== perfmon cluster view: %d nodes, %d frames ==\n", len(st.NodeNames()), st.Frames())
+	fmt.Fprintf(bw, "%-8s %4s %7s %10s %9s %9s %9s  %s\n",
+		"node", "cpus", "rounds", "wire(B)", "irq(kc)", "bh(kc)", "noise", "status")
+	byName := map[string]NodeNoise{}
+	for _, nn := range rep.Nodes {
+		byName[nn.Node] = nn
+	}
+	for _, info := range st.Nodes() {
+		nn := byName[info.Name]
+		status := "ok"
+		if nn.Flagged {
+			status = "NOISY"
+		}
+		fmt.Fprintf(bw, "%-8s %4d %7d %10d %9d %9d %8.3f%%  %s\n",
+			info.Name, info.CPUs, info.Rounds, info.Bytes,
+			nn.IRQ/1000, nn.BH/1000, nn.Share*100, status)
+	}
+	fmt.Fprintf(bw, "cluster median noise share %.3f%%, flag threshold %.3f%%\n",
+		rep.MedianShare*100, rep.Threshold*100)
+
+	if topK > 0 {
+		fmt.Fprintf(bw, "-- top %d kernel routines cluster-wide (window excl cycles) --\n", topK)
+		for i, h := range st.TopK(topK, rep.Window) {
+			fmt.Fprintf(bw, "%2d. %-24s %-9s calls=%-8d excl=%d\n",
+				i+1, h.Name, h.Group.String(), h.Calls, h.Excl)
+		}
+	}
+
+	for _, nn := range rep.Nodes {
+		if !nn.Flagged {
+			continue
+		}
+		fmt.Fprintf(bw, "-- %s: noise attribution --\n", nn.Node)
+		for i, d := range nn.TopDaemons {
+			if i >= 3 {
+				break
+			}
+			fmt.Fprintf(bw, "   daemon %-14s pid=%-6d cycles=%d\n", d.Name, d.PID, d.Cycles)
+		}
+		for i, r := range nn.Ranks {
+			if i >= 4 {
+				break
+			}
+			fmt.Fprintf(bw, "   rank   %-14s pid=%-6d interference=%d sched=%d\n",
+				r.Name, r.PID, r.Interference, r.Sched)
+		}
+	}
+}

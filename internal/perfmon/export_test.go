@@ -1,0 +1,122 @@
+package perfmon
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStore hand-feeds a store with a small fixed scenario: two nodes,
+// three kernel events, three rounds, one rank and one daemon per node. The
+// exporters' output over it is pinned by the golden files.
+func goldenStore() *Store {
+	st := NewStore(StoreConfig{Retention: 8})
+	for idx, node := range []string{"alpha", "beta"} {
+		for round := 0; round < 3; round++ {
+			mult := int64(idx + 1)
+			f := Frame{
+				Node: node, NodeIdx: idx, Round: round, CPUs: 2,
+				FromTSC: int64(round) * 1000, ToTSC: int64(round+1) * 1000,
+				Last: round == 2,
+				Kernel: []ktau.EventDelta{
+					{Name: TimerTickEvent, Group: ktau.GroupIRQ, DCalls: 10, DIncl: 20 * mult, DExcl: 20 * mult},
+					{Name: "do_softirq", Group: ktau.GroupBH, DCalls: 4, DIncl: 9 * mult, DExcl: 8 * mult},
+					{Name: "tcp_v4_rcv", Group: ktau.GroupTCP, DCalls: 6, DIncl: 30 * mult, DExcl: 30 * mult},
+				},
+				Procs: []ProcDelta{
+					{PID: 40 + idx, Name: fmt.Sprintf("app.rank%d", idx), DTotal: 50, DIRQ: 10, DBH: 5, DSched: 35, DTicks: 3},
+					{PID: 60 + idx, Name: "crond", DTotal: 12, DIRQ: 4, DSched: 8, DTicks: uint64(idx)},
+				},
+			}
+			st.Ingest(f, 128)
+		}
+	}
+	return st
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenStore().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	checkGolden(t, "export.prom", buf.Bytes())
+}
+
+func TestJSONLinesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenStore().WriteJSONLines(&buf, 0); err != nil {
+		t.Fatalf("WriteJSONLines: %v", err)
+	}
+	checkGolden(t, "export.jsonl", buf.Bytes())
+}
+
+func TestClusterViewGolden(t *testing.T) {
+	st := goldenStore()
+	rep := st.DetectNoise(DetectConfig{}, "app.rank")
+	var buf bytes.Buffer
+	st.WriteClusterView(&buf, rep, 3)
+	checkGolden(t, "clusterview.txt", buf.Bytes())
+}
+
+func TestJSONLinesWindow(t *testing.T) {
+	var all, last bytes.Buffer
+	st := goldenStore()
+	if err := st.WriteJSONLines(&all, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteJSONLines(&last, 1); err != nil {
+		t.Fatal(err)
+	}
+	nAll := strings.Count(all.String(), "\n")
+	nLast := strings.Count(last.String(), "\n")
+	if nAll != 3*nLast {
+		t.Fatalf("window slicing broken: %d lines total, %d in last window", nAll, nLast)
+	}
+}
+
+func TestPrometheusEscapesLabels(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	st.Ingest(Frame{
+		Node: `no"de`, Round: 0, CPUs: 1, ToTSC: 10,
+		Kernel: []ktau.EventDelta{{Name: "ev\\il\nname", Group: ktau.GroupIRQ, DCalls: 1, DExcl: 1}},
+	}, 0)
+	var buf bytes.Buffer
+	if err := st.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`no\"de`, `ev\\il\nname`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("escaped label %q missing from output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "il\nname") {
+		t.Fatal("raw newline leaked into a label")
+	}
+}

@@ -1,0 +1,257 @@
+package perfmon
+
+import (
+	"fmt"
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+// feedFrame builds a simple one-event-per-call frame for store tests.
+func feedFrame(node string, idx, round int, event string, g ktau.Group, calls uint64, excl int64) Frame {
+	return Frame{
+		Node: node, NodeIdx: idx, Round: round, CPUs: 2,
+		FromTSC: int64(round) * 100, ToTSC: int64(round+1) * 100,
+		Kernel: []ktau.EventDelta{{Name: event, Group: g, DCalls: calls, DIncl: excl, DExcl: excl}},
+	}
+}
+
+func TestStoreTotalsAndTopK(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	for round := 0; round < 5; round++ {
+		st.Ingest(feedFrame("a", 0, round, "tcp_v4_rcv", ktau.GroupTCP, 10, 1000), 64)
+		st.Ingest(feedFrame("b", 1, round, "tcp_v4_rcv", ktau.GroupTCP, 5, 400), 64)
+		st.Ingest(feedFrame("b", 1, round, "do_IRQ[timer]", ktau.GroupIRQ, 2, 50), 0)
+	}
+	if got := st.NodeNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("NodeNames = %v", got)
+	}
+	if st.Frames() != 15 {
+		t.Fatalf("Frames = %d, want 15", st.Frames())
+	}
+	tot, ok := st.Total("a", "tcp_v4_rcv")
+	if !ok || tot.Calls != 50 || tot.Excl != 5000 {
+		t.Fatalf("Total(a, tcp_v4_rcv) = %+v ok=%v", tot, ok)
+	}
+	top := st.TopK(0, 0)
+	if len(top) != 2 {
+		t.Fatalf("TopK len = %d, want 2", len(top))
+	}
+	if top[0].Name != "tcp_v4_rcv" || top[0].Excl != 7000 || top[0].Calls != 75 || top[0].Nodes != 2 {
+		t.Fatalf("TopK[0] = %+v", top[0])
+	}
+	if top[1].Name != "do_IRQ[timer]" || top[1].Excl != 250 {
+		t.Fatalf("TopK[1] = %+v", top[1])
+	}
+	if got := st.TopK(1, 0); len(got) != 1 || got[0].Name != "tcp_v4_rcv" {
+		t.Fatalf("TopK(1) = %+v", got)
+	}
+	// Wire accounting: node a shipped 5 frames of 64 bytes.
+	if info := st.Nodes()[0]; info.Bytes != 320 || info.Rounds != 5 || info.CPUs != 2 {
+		t.Fatalf("Nodes()[0] = %+v", info)
+	}
+}
+
+func TestStoreWindowSlices(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	for round := 0; round < 10; round++ {
+		st.Ingest(feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, int64(round+1)), 0)
+	}
+	all := st.Series("a", "schedule", 0)
+	if len(all) != 10 {
+		t.Fatalf("Series(all) len = %d", len(all))
+	}
+	last3 := st.Series("a", "schedule", 3)
+	if len(last3) != 3 || last3[0].Round != 7 || last3[2].Round != 9 {
+		t.Fatalf("Series(3) = %+v", last3)
+	}
+	// Window totals: last 3 rounds carry 8+9+10 exclusive cycles.
+	nw := st.NodeWindow("a", 3)
+	if len(nw) != 1 || nw[0].Excl != 27 {
+		t.Fatalf("NodeWindow(3) = %+v", nw)
+	}
+	if w := st.WallCycles("a", 3); w != 300 {
+		t.Fatalf("WallCycles(3) = %d, want 300", w)
+	}
+	if w := st.WallCycles("a", 0); w != 1000 {
+		t.Fatalf("WallCycles(0) = %d, want 1000", w)
+	}
+}
+
+func TestStoreRetentionEviction(t *testing.T) {
+	st := NewStore(StoreConfig{Retention: 4})
+	for round := 0; round < 10; round++ {
+		st.Ingest(feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, 10), 0)
+	}
+	got := st.Series("a", "schedule", 0)
+	if len(got) != 4 || got[0].Round != 6 || got[3].Round != 9 {
+		t.Fatalf("retained series = %+v", got)
+	}
+	// Cumulative totals survive eviction.
+	tot, _ := st.Total("a", "schedule")
+	if tot.Calls != 10 || tot.Excl != 100 {
+		t.Fatalf("Total after eviction = %+v", tot)
+	}
+	if marks := st.Marks("a"); len(marks) != 4 || marks[0].Round != 6 {
+		t.Fatalf("Marks = %+v", marks)
+	}
+}
+
+func TestStoreDownsampling(t *testing.T) {
+	st := NewStore(StoreConfig{Retention: 8, Downsample: 4})
+	for round := 0; round < 8; round++ {
+		st.Ingest(feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, 10), 0)
+	}
+	got := st.Series("a", "schedule", 0)
+	if len(got) != 2 {
+		t.Fatalf("downsampled series len = %d, want 2", len(got))
+	}
+	if got[0].Round != 3 || got[0].DCalls != 4 || got[0].DExcl != 40 {
+		t.Fatalf("sample 0 = %+v", got[0])
+	}
+	if got[1].Round != 7 || got[1].DExcl != 40 {
+		t.Fatalf("sample 1 = %+v", got[1])
+	}
+	marks := st.Marks("a")
+	if len(marks) != 2 || marks[0].FromTSC != 0 || marks[0].ToTSC != 400 {
+		t.Fatalf("marks = %+v", marks)
+	}
+	// A flagged-last frame flushes a partial accumulation.
+	f := feedFrame("a", 0, 8, "schedule", ktau.GroupSched, 1, 10)
+	f.Last = true
+	st.Ingest(f, 0)
+	if got := st.Series("a", "schedule", 0); len(got) != 3 || got[2].DCalls != 1 {
+		t.Fatalf("after Last flush: %+v", got)
+	}
+}
+
+func TestStoreAbsoluteReset(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	st.Ingest(feedFrame("a", 0, 0, "schedule", ktau.GroupSched, 100, 5000), 0)
+	f := feedFrame("a", 0, 1, "schedule", ktau.GroupSched, 3, 60)
+	f.Kernel[0].Absolute = true // the node's counters were reset
+	st.Ingest(f, 0)
+	tot, _ := st.Total("a", "schedule")
+	if tot.Calls != 3 || tot.Excl != 60 {
+		t.Fatalf("Total after reset = %+v, want fresh 3/60", tot)
+	}
+}
+
+func TestStoreProcWindow(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	for round := 0; round < 4; round++ {
+		f := Frame{
+			Node: "a", Round: round, CPUs: 1,
+			FromTSC: int64(round) * 100, ToTSC: int64(round+1) * 100,
+			Procs: []ProcDelta{
+				{PID: 9, Name: "crond", DTotal: 100, DIRQ: 40, DSched: 60},
+				{PID: 4, Name: "LU.rank2", DTotal: 10, DIRQ: 4, DBH: 2, DSched: 4},
+			},
+		}
+		st.Ingest(f, 0)
+	}
+	got := st.ProcWindow("a", 2)
+	if len(got) != 2 {
+		t.Fatalf("ProcWindow len = %d", len(got))
+	}
+	if got[0].PID != 4 || got[0].DTotal != 20 || got[0].DIRQ != 8 {
+		t.Fatalf("ProcWindow[0] = %+v", got[0])
+	}
+	if got[1].PID != 9 || got[1].DTotal != 200 || got[1].DSched != 120 {
+		t.Fatalf("ProcWindow[1] = %+v", got[1])
+	}
+}
+
+func TestStoreUnknownNodeQueriesAreNil(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	if st.Totals("ghost") != nil || st.Series("ghost", "x", 0) != nil ||
+		st.NodeWindow("ghost", 0) != nil || st.ProcWindow("ghost", 0) != nil ||
+		st.Marks("ghost") != nil || st.WallCycles("ghost", 0) != 0 {
+		t.Fatal("unknown-node queries must return empty results")
+	}
+	if _, ok := st.Total("ghost", "x"); ok {
+		t.Fatal("Total on unknown node reported ok")
+	}
+}
+
+func TestDetectNoiseFlagsOutlier(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	// Eight 2-CPU nodes with 10000-cycle rounds and 100 timer ticks per
+	// round, so one tick samples 10000*2/100 = 200 cycles of occupancy. One
+	// node (node5) hosts a hot daemon absorbing 20 ticks per round; every
+	// node hosts one rank with mild interference.
+	for idx := 0; idx < 8; idx++ {
+		node := fmt.Sprintf("node%d", idx)
+		for round := 0; round < 5; round++ {
+			f := Frame{
+				Node: node, NodeIdx: idx, Round: round, CPUs: 2,
+				FromTSC: int64(round) * 10000, ToTSC: int64(round+1) * 10000,
+				Kernel: []ktau.EventDelta{
+					{Name: TimerTickEvent, Group: ktau.GroupIRQ, DCalls: 100, DIncl: 200, DExcl: 200},
+				},
+				Procs: []ProcDelta{
+					{PID: 100 + idx, Name: "app.rank" + fmt.Sprint(idx), DTotal: 12, DIRQ: 4, DBH: 2, DSched: 6, DTicks: 30},
+					{PID: 1, Name: "swapper/0", DTotal: 500, DIRQ: 500, DTicks: 50}, // idle: ignored
+				},
+			}
+			if idx == 5 {
+				f.Procs = append(f.Procs, ProcDelta{PID: 66, Name: "overhead", DTotal: 400, DIRQ: 300, DTicks: 20})
+			}
+			st.Ingest(f, 0)
+		}
+	}
+	rep := st.DetectNoise(DetectConfig{}, "app.rank")
+	if len(rep.Flagged) != 1 || rep.Flagged[0] != "node5" {
+		t.Fatalf("Flagged = %v, want [node5]", rep.Flagged)
+	}
+	nn := rep.Nodes[5]
+	// 100 ticks at 200 cycles each: the daemon stole an estimated 20000
+	// cycles of the node's 100000-cycle capacity.
+	if !nn.Flagged || nn.Daemon != 20000 {
+		t.Fatalf("node5 = %+v", nn)
+	}
+	if nn.Share < 0.20 || nn.Share > 0.21 { // (20000+30)/100000
+		t.Fatalf("node5 share = %v", nn.Share)
+	}
+	if len(nn.TopDaemons) != 1 || nn.TopDaemons[0].Name != "overhead" || nn.TopDaemons[0].Ticks != 100 {
+		t.Fatalf("node5 TopDaemons = %+v", nn.TopDaemons)
+	}
+	if len(nn.Ranks) != 1 || nn.Ranks[0].Name != "app.rank5" || nn.Ranks[0].Interference != 30 {
+		t.Fatalf("node5 Ranks = %+v", nn.Ranks)
+	}
+	// Quiet node: noise is rank interference only; rank and idle tick
+	// absorption contribute nothing.
+	q := rep.Nodes[0]
+	if q.Flagged || q.Noise != 30 || q.Daemon != 0 {
+		t.Fatalf("node0 = %+v", q)
+	}
+}
+
+func TestRankImbalance(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	// One-CPU nodes, 1000-cycle window, 10 ticks → 100 cycles per tick.
+	ticks := []uint64{2, 2, 8, 2}
+	for idx, tk := range ticks {
+		node := fmt.Sprintf("node%d", idx)
+		st.Ingest(Frame{
+			Node: node, NodeIdx: idx, Round: 0, CPUs: 1, ToTSC: 1000,
+			Kernel: []ktau.EventDelta{
+				{Name: TimerTickEvent, Group: ktau.GroupIRQ, DCalls: 10, DIncl: 20, DExcl: 20},
+			},
+			Procs: []ProcDelta{{PID: 10 + idx, Name: fmt.Sprintf("app.rank%d", idx), DTotal: 30, DTicks: tk}},
+		}, 0)
+	}
+	got := st.RankImbalance(0, "app.rank")
+	if len(got) != 4 {
+		t.Fatalf("RankImbalance len = %d", len(got))
+	}
+	if got[0].Name != "app.rank2" || got[0].CPUCycles != 800 {
+		t.Fatalf("heaviest = %+v", got[0])
+	}
+	if got[0].Ratio < 2.28 || got[0].Ratio > 2.29 { // 800 / 350
+		t.Fatalf("heaviest ratio = %v", got[0].Ratio)
+	}
+	if st.RankImbalance(0, "") != nil {
+		t.Fatal("empty prefix must disable the ranking")
+	}
+}

@@ -1,0 +1,109 @@
+package procfs
+
+import (
+	"errors"
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+// retryEnv is a minimal ktau.Env for driving a measurement directly.
+type retryEnv struct{ cycles int64 }
+
+func (e *retryEnv) Cycles() int64       { return e.cycles }
+func (e *retryEnv) AddOverhead(c int64) {}
+
+// TestReadRetryProfileGrowsBetweenCalls reproduces the session-less race the
+// interface is designed around: a new process appears (and an existing
+// profile grows) between the ProfileSize and ProfileRead calls, so the first
+// read fails with ErrShortBuffer and the retry must succeed with the larger
+// size.
+func TestReadRetryProfileGrowsBetweenCalls(t *testing.T) {
+	env := &retryEnv{}
+	m := ktau.NewMeasurement(env, ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll})
+	fs := New(m)
+
+	ev := m.Event("sys_read", ktau.GroupSyscall)
+	td := m.CreateTask(10, "p0")
+	m.Entry(td, ev)
+	env.cycles += 100
+	m.Exit(td, ev)
+
+	grown := false
+	grow := func() {
+		if grown {
+			return
+		}
+		grown = true
+		// A second process appears and records activity after Size was
+		// answered: the ScopeAll blob is now bigger than reported.
+		td2 := m.CreateTask(11, "p1")
+		m.Entry(td2, ev)
+		env.cycles += 250
+		m.Exit(td2, ev)
+	}
+
+	var sizes, reads int
+	blob, err := ReadRetry(
+		func() (int, error) {
+			sizes++
+			return fs.ProfileSize(PIDAll)
+		},
+		func(buf []byte) (int, error) {
+			grow() // mutate between the two calls, before the read sees buf
+			reads++
+			return fs.ProfileRead(PIDAll, buf)
+		},
+		DefaultReadAttempts)
+	if err != nil {
+		t.Fatalf("ReadRetry failed: %v", err)
+	}
+	if sizes != 1 {
+		t.Errorf("size queried %d times, want exactly 1 (retries reuse ErrShortBuffer.Needed)", sizes)
+	}
+	if reads != 2 {
+		t.Errorf("read attempted %d times, want 2 (short, then success)", reads)
+	}
+	// The retried read must carry both processes.
+	want, err := fs.ProfileSize(PIDAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != want {
+		t.Errorf("blob is %d bytes, want %d", len(blob), want)
+	}
+}
+
+// TestReadRetryExhausted: a target whose size grows on every attempt must
+// fail with ErrRetryExhausted rather than loop forever.
+func TestReadRetryExhausted(t *testing.T) {
+	n := 16
+	_, err := ReadRetry(
+		func() (int, error) { return n, nil },
+		func(buf []byte) (int, error) {
+			n += 8 // always bigger than the caller's buffer
+			return 0, ErrShortBuffer{Needed: n}
+		},
+		3)
+	var exhausted ErrRetryExhausted
+	if !errors.As(err, &exhausted) {
+		t.Fatalf("err = %v, want ErrRetryExhausted", err)
+	}
+	if exhausted.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", exhausted.Attempts)
+	}
+}
+
+// TestReadRetryPropagatesHardErrors: non-ErrShortBuffer errors pass through.
+func TestReadRetryPropagatesHardErrors(t *testing.T) {
+	env := &retryEnv{}
+	m := ktau.NewMeasurement(env, ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll})
+	fs := New(m)
+	_, err := ReadRetry(
+		func() (int, error) { return fs.ProfileSize(12345) },
+		func(buf []byte) (int, error) { return fs.ProfileRead(12345, buf) },
+		0)
+	if !errors.Is(err, ErrNoSuchPID) {
+		t.Fatalf("err = %v, want ErrNoSuchPID", err)
+	}
+}

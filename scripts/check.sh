@@ -1,0 +1,37 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md): every PR must leave this green.
+#
+#   gofmt      -- all Go sources formatted
+#   go vet     -- static checks
+#   go build   -- whole module compiles
+#   go test    -- full test suite
+#   go test -race  -- data-race check on the non-simulation packages
+#                     (packages driven by the discrete-event engine serialise
+#                     their goroutines through it, so the full suite under
+#                     -race is slow without adding coverage; the pure
+#                     data-structure packages are the ones with real
+#                     concurrency surface)
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (non-simulation packages) =="
+go test -race ./internal/analysis/ ./internal/ktau/ ./internal/ktrace/ ./internal/procfs/
+
+echo "check.sh: all green"
