@@ -8,6 +8,7 @@ import (
 	"ktau/internal/blockio"
 	"ktau/internal/cluster"
 	"ktau/internal/experiments"
+	"ktau/internal/faultsim"
 	"ktau/internal/kernel"
 	iktau "ktau/internal/ktau"
 	"ktau/internal/ktrace"
@@ -523,10 +524,12 @@ const TimerTickEvent = perfmon.TimerTickEvent
 
 // DeployPerfMon elects a collector, wires every node to it over the
 // simulated network, and spawns the monitoring tasks. Drive the engine
-// afterwards (e.g. RunUntilDone over pm.Tasks()).
-func DeployPerfMon(c *Cluster, cfg PerfMonConfig) *PerfMon { return perfmon.Deploy(c, cfg) }
+// afterwards (e.g. RunUntilDone over pm.Tasks()). It errors on a cluster
+// with no live node to collect on.
+func DeployPerfMon(c *Cluster, cfg PerfMonConfig) (*PerfMon, error) { return perfmon.Deploy(c, cfg) }
 
-// ElectCollector returns the node index perfmon would elect as collector.
+// ElectCollector returns the node index perfmon would elect as collector,
+// or -1 when no node is live.
 func ElectCollector(c *Cluster) int { return perfmon.Elect(c) }
 
 // NewPerfMonStore creates an empty time-series store (for offline ingest).
@@ -549,4 +552,47 @@ type LiveResult = experiments.LiveResult
 // offline harvest for cross-checking.
 func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
 	return experiments.RunChibaLive(spec, opts)
+}
+
+// ---- fault injection (faultsim) ----
+
+// FaultKind classifies an injected fault.
+type FaultKind = faultsim.Kind
+
+// The fault kinds a plan can schedule.
+const (
+	FaultPacketLoss    = faultsim.PacketLoss
+	FaultPacketDup     = faultsim.PacketDup
+	FaultPacketCorrupt = faultsim.PacketCorrupt
+	FaultExtraLatency  = faultsim.ExtraLatency
+	FaultPartition     = faultsim.Partition
+	FaultNodeCrash     = faultsim.NodeCrash
+	FaultCPUSlow       = faultsim.CPUSlow
+	FaultDaemonStall   = faultsim.DaemonStall
+	FaultProcfsError   = faultsim.ProcfsError
+)
+
+// Fault is one entry in a fault plan.
+type Fault = faultsim.Fault
+
+// FaultPlan is a complete, seeded fault schedule. Its randomness is
+// independent of the cluster's: same seed and plan, byte-identical run.
+type FaultPlan = faultsim.Plan
+
+// FaultInjector is an applied plan with its deterministic effect counters.
+type FaultInjector = faultsim.Injector
+
+// ApplyFaults validates the plan and arms every fault on the cluster's
+// engine; call it before driving the engine.
+func ApplyFaults(c *Cluster, p FaultPlan) (*FaultInjector, error) {
+	return faultsim.Apply(c, p)
+}
+
+// FaultStudy is the "Chiba with faults" experiment: clean vs degraded vs
+// collector-crash monitored runs.
+type FaultStudy = experiments.FaultStudy
+
+// RunFaultStudy executes the fault study at one rank per node.
+func RunFaultStudy(ranks int, seed uint64) *FaultStudy {
+	return experiments.RunFaultStudy(ranks, seed)
 }

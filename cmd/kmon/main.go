@@ -66,12 +66,16 @@ func main() {
 		})
 	}
 
-	pm := ktau.DeployPerfMon(c, ktau.PerfMonConfig{
+	pm, err := ktau.DeployPerfMon(c, ktau.PerfMonConfig{
 		Interval:   *interval,
 		Rounds:     *rounds,
 		RankPrefix: "app.rank",
 		Detect:     ktau.DetectConfig{Window: *window},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmon:", err)
+		os.Exit(1)
+	}
 	if !c.RunUntilDone(pm.Tasks(), 10*time.Minute) {
 		fmt.Fprintln(os.Stderr, "kmon: pipeline did not drain within the deadline")
 		os.Exit(1)

@@ -32,6 +32,7 @@ var experimentOrder = []string{
 	"fig2a", "fig2c", "fig2e",
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"ionode", // §6 future-work extension, not a paper table/figure
+	"faults", // monitored run under an injected fault plan, not a paper table/figure
 }
 
 var experimentRunners = map[string]runner{
@@ -50,6 +51,7 @@ var experimentRunners = map[string]runner{
 	"fig9":   func(ranks int, out io.Writer) { ktau.RunFig9(ranks).Render(out) },
 	"fig10":  func(ranks int, out io.Writer) { ktau.RunFig10(ranks).Render(out) },
 	"ionode": func(ranks int, out io.Writer) { ktau.RunIONodeStudy(1).Render(out) },
+	"faults": func(ranks int, out io.Writer) { ktau.RunFaultStudy(ranks, 1).Render(out) },
 }
 
 func main() {

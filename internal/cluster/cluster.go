@@ -13,6 +13,7 @@ import (
 	"ktau/internal/kernel"
 	"ktau/internal/ktau"
 	"ktau/internal/netsim"
+	"ktau/internal/procfs"
 	"ktau/internal/sim"
 	"ktau/internal/tcpsim"
 )
@@ -59,6 +60,10 @@ type Node struct {
 	K     *kernel.Kernel
 	NIC   *netsim.NIC
 	Stack *tcpsim.Stack
+	// FS is the node's /proc/ktau instance. All on-node clients (monitoring
+	// agents, tools) should read through it so node-level fault injection
+	// reaches every reader.
+	FS *procfs.FS
 }
 
 // Cluster is a booted multi-node system.
@@ -107,6 +112,7 @@ func New(cfg Config) *Cluster {
 			K:     k,
 			NIC:   nic,
 			Stack: tcpsim.NewStack(k, nic, cfg.TCP),
+			FS:    procfs.New(k.Ktau()),
 		}
 		c.Nodes = append(c.Nodes, n)
 		c.byName[spec.Name] = n
@@ -128,13 +134,19 @@ func (c *Cluster) Shutdown() {
 }
 
 // RunUntilDone drives the engine until every listed task has exited or the
-// virtual deadline passes; it returns whether all finished.
+// virtual deadline passes; it returns whether all finished. Tasks whose node
+// has crashed are treated as finished: they can never exit, and waiting on
+// them would spin the deadline down for nothing (the work they represent is
+// lost, which callers can observe via Kernel.Crashed).
 func (c *Cluster) RunUntilDone(tasks []*kernel.Task, deadline time.Duration) bool {
+	settled := func(t *kernel.Task) bool {
+		return t.Exited() || t.Kernel().Crashed()
+	}
 	limit := c.Eng.Now().Add(deadline)
 	for c.Eng.Now() < limit {
 		done := true
 		for _, t := range tasks {
-			if !t.Exited() {
+			if !settled(t) {
 				done = false
 				break
 			}
@@ -147,7 +159,7 @@ func (c *Cluster) RunUntilDone(tasks []*kernel.Task, deadline time.Duration) boo
 		}
 	}
 	for _, t := range tasks {
-		if !t.Exited() {
+		if !settled(t) {
 			return false
 		}
 	}

@@ -57,6 +57,7 @@ func launchChiba(spec ChibaSpec) (*cluster.Cluster, *mpisim.World, []*kernel.Tas
 		Nodes:  specs,
 		Kernel: kp,
 		Ktau:   mopts,
+		TCP:    spec.TCP,
 		Seed:   spec.Seed,
 	})
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"ktau/internal/faultsim"
 	"ktau/internal/perfmon"
 	"ktau/internal/workload"
 )
@@ -16,6 +17,13 @@ type LiveOptions struct {
 	// using Noisy (or workload.OverheadDaemon timing when zero).
 	NoisyNodes []int
 	Noisy      workload.DaemonSpec
+	// Faults, when non-nil, is applied to the cluster before the job and the
+	// pipeline start: the "Chiba with faults" configuration.
+	Faults *faultsim.Plan
+	// JobDeadline caps the job's virtual runtime (default 10 minutes). Fault
+	// runs that crash a node leave the surviving ranks blocked on a dead
+	// peer forever, so crash scenarios set a tight cap.
+	JobDeadline time.Duration
 }
 
 // LiveNodeData is one node's kernel activity as the online store saw it,
@@ -48,6 +56,10 @@ type LiveResult struct {
 	LiveNodes []LiveNodeData
 	// Drained reports whether the pipeline delivered every final frame.
 	Drained bool
+	// Injector carries the applied fault plan's counters (nil without faults).
+	Injector *faultsim.Injector
+	// Failovers counts collector re-elections the pipeline performed.
+	Failovers int
 }
 
 // RunChibaLive executes one Chiba configuration with the perfmon pipeline
@@ -71,13 +83,29 @@ func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
 		workload.StartDaemon(c.Node(idx).K, d)
 	}
 
+	var inj *faultsim.Injector
+	if opts.Faults != nil {
+		var err error
+		inj, err = faultsim.Apply(c, *opts.Faults)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+	}
+
 	pcfg := opts.PerfMon
 	if pcfg.RankPrefix == "" {
 		pcfg.RankPrefix = spec.Work.String() + ".rank"
 	}
-	pm := perfmon.Deploy(c, pcfg)
+	pm, err := perfmon.Deploy(c, pcfg)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 
-	completed := c.RunUntilDone(tasks, 10*time.Minute)
+	deadline := opts.JobDeadline
+	if deadline <= 0 {
+		deadline = 10 * time.Minute
+	}
+	completed := c.RunUntilDone(tasks, deadline)
 	pm.Stop()
 	drained := c.RunUntilDone(pm.Tasks(), time.Minute)
 	c.Settle(5 * time.Millisecond)
@@ -90,6 +118,8 @@ func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
 		Collector:   pm.Collector(),
 		Noise:       store.DetectNoise(pm.Config().Detect, pm.Config().RankPrefix),
 		Drained:     drained,
+		Injector:    inj,
+		Failovers:   pm.Failovers(),
 	}
 	wire := map[string]uint64{}
 	for _, info := range store.Nodes() {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ktau/internal/ktau"
+	"ktau/internal/tcpsim"
 )
 
 // Workload selects the application under measurement.
@@ -115,6 +116,10 @@ type ChibaSpec struct {
 	Daemons bool
 	// TraceCapacity enables per-task kernel tracing with the given ring size.
 	TraceCapacity int
+	// TCP overrides the per-node network stack cost model when non-zero
+	// (fault studies shrink the send window so broken links are detected
+	// within a few collection rounds).
+	TCP tcpsim.Params
 	// Seed drives all simulation randomness.
 	Seed uint64
 }

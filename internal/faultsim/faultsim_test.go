@@ -1,0 +1,224 @@
+package faultsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/procfs"
+	"ktau/internal/tcpsim"
+)
+
+func testCluster(t *testing.T, nodes int, seed uint64) *cluster.Cluster {
+	t.Helper()
+	kp := kernel.DefaultParams()
+	kp.CostJitter = 0
+	kp.PageFaultRate = 0
+	c := cluster.New(cluster.Config{
+		Nodes:  cluster.UniformNodes("n", nodes),
+		Kernel: kp,
+		Ktau:   ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll, RetainExited: true},
+		Seed:   seed,
+	})
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	c := testCluster(t, 2, 1)
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"unknown kind", Plan{Faults: []Fault{{Kind: Kind(99)}}}},
+		{"unknown node", Plan{Faults: []Fault{{Kind: NodeCrash, Node: "ghost"}}}},
+		{"missing node", Plan{Faults: []Fault{{Kind: NodeCrash}}}},
+		{"zero rate", Plan{Faults: []Fault{{Kind: PacketLoss, Rate: 0}}}},
+		{"rate above one", Plan{Faults: []Fault{{Kind: PacketLoss, Rate: 1.5}}}},
+		{"slow factor below one", Plan{Faults: []Fault{{Kind: CPUSlow, Node: "n0", Factor: 0.5}}}},
+		{"latency unset", Plan{Faults: []Fault{{Kind: ExtraLatency, Node: "n0"}}}},
+		{"stall without window", Plan{Faults: []Fault{{Kind: DaemonStall, Node: "n0"}}}},
+		{"negative time", Plan{Faults: []Fault{{Kind: NodeCrash, Node: "n0", At: -time.Second}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Apply(c, tc.plan); err == nil {
+			t.Errorf("%s: Apply accepted invalid plan", tc.name)
+		}
+	}
+}
+
+func TestNodeCrashHaltsNode(t *testing.T) {
+	c := testCluster(t, 2, 1)
+	inj, err := Apply(c, Plan{Faults: []Fault{
+		{Kind: NodeCrash, Node: "n1", At: 5 * time.Millisecond},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := c.Node(0).K.Spawn("w", func(u *kernel.UCtx) {
+		u.Compute(20 * time.Millisecond)
+	}, kernel.SpawnOpts{})
+	doomed := c.Node(1).K.Spawn("w", func(u *kernel.UCtx) {
+		u.Compute(20 * time.Millisecond)
+	}, kernel.SpawnOpts{})
+	if !c.RunUntilDone([]*kernel.Task{healthy, doomed}, time.Second) {
+		t.Fatal("run did not settle: crashed-node task should count as lost")
+	}
+	if !c.Node(1).K.Crashed() {
+		t.Error("n1 should be crashed")
+	}
+	if doomed.Exited() {
+		t.Error("task on crashed node must not have exited")
+	}
+	if !healthy.Exited() {
+		t.Error("healthy node's task should have finished")
+	}
+	if inj.Stats.Crashes != 1 {
+		t.Errorf("Crashes = %d, want 1", inj.Stats.Crashes)
+	}
+}
+
+func TestCPUSlowStretchesCompute(t *testing.T) {
+	baseline := func() time.Duration {
+		c := testCluster(t, 1, 1)
+		w := c.Node(0).K.Spawn("w", func(u *kernel.UCtx) {
+			u.Compute(10 * time.Millisecond)
+		}, kernel.SpawnOpts{})
+		if !c.RunUntilDone([]*kernel.Task{w}, time.Second) {
+			t.Fatal("baseline did not finish")
+		}
+		return w.Runtime()
+	}()
+
+	c := testCluster(t, 1, 1)
+	if _, err := Apply(c, Plan{Faults: []Fault{
+		{Kind: CPUSlow, Node: "n0", Factor: 3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Node(0).K.Spawn("w", func(u *kernel.UCtx) {
+		u.Compute(10 * time.Millisecond)
+	}, kernel.SpawnOpts{})
+	if !c.RunUntilDone([]*kernel.Task{w}, time.Second) {
+		t.Fatal("slowed run did not finish")
+	}
+	if w.Runtime() < 2*baseline {
+		t.Errorf("slowed runtime %v vs baseline %v: want >= 2x", w.Runtime(), baseline)
+	}
+}
+
+func TestDaemonStallParksWakeups(t *testing.T) {
+	c := testCluster(t, 1, 1)
+	if _, err := Apply(c, Plan{Faults: []Fault{
+		{Kind: DaemonStall, Node: "n0", Task: "slowd", At: 0, For: 20 * time.Millisecond},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var wokeAt time.Duration
+	d := c.Node(0).K.Spawn("slowd", func(u *kernel.UCtx) {
+		u.Sleep(time.Millisecond)
+		wokeAt = u.Kernel().Now().Duration()
+	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
+	if !c.RunUntilDone([]*kernel.Task{d}, time.Second) {
+		t.Fatal("daemon did not finish")
+	}
+	if wokeAt < 20*time.Millisecond {
+		t.Errorf("daemon woke at %v, want >= stall end 20ms", wokeAt)
+	}
+}
+
+func TestProcfsErrorWindow(t *testing.T) {
+	c := testCluster(t, 1, 1)
+	inj, err := Apply(c, Plan{Faults: []Fault{
+		{Kind: ProcfsError, Node: "n0", At: 0, For: 10 * time.Millisecond, Rate: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(0).FS.ProfileSize(procfs.PIDKernelWide); !errors.Is(err, procfs.ErrTransient) {
+		t.Errorf("in-window read: err = %v, want ErrTransient", err)
+	}
+	c.Settle(20 * time.Millisecond)
+	if _, err := c.Node(0).FS.ProfileSize(procfs.PIDKernelWide); err != nil {
+		t.Errorf("post-window read failed: %v", err)
+	}
+	if inj.Stats.ProcfsErrors == 0 {
+		t.Error("ProcfsErrors counter not bumped")
+	}
+}
+
+// transfer runs one 40 KiB node0→node1 transfer under the plan and returns
+// the virtual completion time plus the injector.
+func transfer(t *testing.T, seed uint64, plan Plan) (time.Duration, *Injector) {
+	t.Helper()
+	c := testCluster(t, 2, seed)
+	inj, err := Apply(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 40 << 10
+	ab, ba := tcpsim.Connect(c.Node(0).Stack, c.Node(1).Stack)
+	snd := c.Node(0).K.Spawn("s", func(u *kernel.UCtx) { ab.Send(u, bytes) }, kernel.SpawnOpts{})
+	rcv := c.Node(1).K.Spawn("r", func(u *kernel.UCtx) { ba.Recv(u, bytes) }, kernel.SpawnOpts{})
+	if !c.RunUntilDone([]*kernel.Task{snd, rcv}, 10*time.Second) {
+		t.Fatal("transfer did not finish")
+	}
+	return c.Eng.Now().Duration(), inj
+}
+
+func TestPacketLossSlowsTransferDeterministically(t *testing.T) {
+	clean, _ := transfer(t, 7, Plan{})
+	lossy := Plan{
+		Seed:           42,
+		RedeliverAfter: 5 * time.Millisecond,
+		Faults: []Fault{
+			{Kind: PacketLoss, Node: "n1", Rate: 0.2},
+		},
+	}
+	t1, i1 := transfer(t, 7, lossy)
+	t2, i2 := transfer(t, 7, lossy)
+	if i1.Stats.Losses == 0 {
+		t.Fatal("no losses injected at rate 0.2")
+	}
+	if t1 != t2 || i1.Stats != i2.Stats {
+		t.Errorf("same seed diverged: t=%v/%v stats=%+v/%+v", t1, t2, i1.Stats, i2.Stats)
+	}
+	if t1 <= clean {
+		t.Errorf("lossy transfer (%v) not slower than clean (%v)", t1, clean)
+	}
+}
+
+func TestPartitionDelaysPastWindow(t *testing.T) {
+	window := 15 * time.Millisecond
+	took, inj := transfer(t, 7, Plan{
+		RedeliverAfter: time.Millisecond,
+		Faults: []Fault{
+			{Kind: Partition, Node: "n1", At: 0, For: window},
+		},
+	})
+	if took < window {
+		t.Errorf("transfer finished at %v, inside the partition window %v", took, window)
+	}
+	if inj.Stats.Partitioned == 0 {
+		t.Error("no frames held back by the partition")
+	}
+}
+
+func TestDupAndCorruptCounted(t *testing.T) {
+	_, inj := transfer(t, 7, Plan{
+		Seed: 9,
+		Faults: []Fault{
+			{Kind: PacketDup, Node: "n1", Rate: 0.5},
+			{Kind: PacketCorrupt, Node: "n0", Rate: 0.3},
+		},
+	})
+	if inj.Stats.Dups == 0 {
+		t.Error("no duplicates injected at rate 0.5")
+	}
+	if inj.Stats.Corruptions == 0 {
+		t.Error("no corruptions injected at rate 0.3")
+	}
+}

@@ -89,9 +89,9 @@ func (k *Kernel) startWork(c *CPU) {
 		panic("kernel: startWork with completion already pending")
 	}
 	t.work.remaining += k.takeDebt()
-	t.work.rate = 1
+	t.work.rate = k.Slowdown()
 	if t.work.user && k.params.SMPMemContention > 0 && k.siblingBusyUser(c) {
-		t.work.rate = 1 + k.params.SMPMemContention
+		t.work.rate *= 1 + k.params.SMPMemContention
 	}
 	c.workStart = k.eng.Now()
 	wall := time.Duration(float64(t.work.remaining) * t.work.rate)
@@ -136,6 +136,9 @@ func (k *Kernel) suspendWork(c *CPU) {
 
 // finishWork fires when the active segment has been fully consumed.
 func (k *Kernel) finishWork(c *CPU) {
+	if k.dead() {
+		return
+	}
 	t := c.curr
 	if t == nil || t.work == nil {
 		panic("kernel: finishWork without current work")
@@ -169,7 +172,7 @@ func (k *Kernel) finishWork(c *CPU) {
 // raiseIRQOn queues a hardware interrupt on c and begins servicing if the
 // CPU is not already in interrupt context.
 func (k *Kernel) raiseIRQOn(c *CPU, r irqReq) {
-	if k.shutdown {
+	if k.dead() {
 		return
 	}
 	c.irqQueue = append(c.irqQueue, r)
@@ -193,8 +196,11 @@ func (k *Kernel) serviceNextIRQ(c *CPU) {
 	td := c.profTask().kd
 	irqStart := k.eng.Now()
 	k.m.Entry(td, r.ev)
-	dur := r.cost + k.takeDebt()
+	dur := k.stretch(r.cost + k.takeDebt())
 	k.eng.After(dur, func() {
+		if k.dead() {
+			return
+		}
 		k.m.Exit(td, r.ev)
 		if r.post != nil {
 			r.post()
@@ -210,8 +216,11 @@ func (k *Kernel) serviceNextIRQ(c *CPU) {
 		k.m.Entry(td, k.evSoftirq)
 		b := &BHCtx{k: k, c: c, td: td}
 		r.bh(b)
-		bhDur := b.cost + k.takeDebt()
+		bhDur := k.stretch(b.cost + k.takeDebt())
 		k.eng.After(bhDur, func() {
+			if k.dead() {
+				return
+			}
 			k.m.Exit(td, k.evSoftirq)
 			c.IRQTime += k.eng.Now().Sub(irqStart)
 			for _, fn := range b.defers {

@@ -39,7 +39,13 @@ type Kernel struct {
 	// that has been charged but not yet folded into a scheduled duration.
 	ohDebt time.Duration
 
+	// slow stretches every scheduled duration on this node (1 = full speed);
+	// the fault layer uses it to model a thermally-throttled or misconfigured
+	// slow node.
+	slow float64
+
 	shutdown bool
+	crashed  bool
 
 	// Stats are node-global counters used by tests and experiments.
 	Stats struct {
@@ -189,6 +195,60 @@ func (k *Kernel) DevIRQEvent(src string) ktau.EventID {
 	return ev
 }
 
+// Crash halts the node at the current virtual instant, as a power failure
+// or panic would: no further instruction executes. Every in-flight activity
+// — running work segments, pending interrupts, sleeps about to expire — is
+// silently discarded; task goroutines stay parked (and task states frozen)
+// until Shutdown releases them. Crash is what the fault layer calls for a
+// node-crash fault; it is irreversible.
+func (k *Kernel) Crash() {
+	if k.crashed {
+		return
+	}
+	k.crashed = true
+	for _, c := range k.cpus {
+		if c.completion != nil {
+			k.eng.Cancel(c.completion)
+			c.completion = nil
+		}
+	}
+}
+
+// Crashed reports whether the node has halted.
+func (k *Kernel) Crashed() bool { return k.crashed }
+
+// dead reports whether the node should execute nothing further: every
+// engine-callback entry point checks it so events scheduled before a crash
+// (or shutdown) become no-ops.
+func (k *Kernel) dead() bool { return k.shutdown || k.crashed }
+
+// SetSlowdown stretches all subsequent scheduled durations on this node by
+// factor (CPU work, interrupt handlers, context switches). factor <= 1
+// restores full speed. Segments already in flight keep their original pace;
+// the change applies from their next (re)start.
+func (k *Kernel) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	k.slow = factor
+}
+
+// Slowdown returns the current slowdown factor (1 = full speed).
+func (k *Kernel) Slowdown() float64 {
+	if k.slow < 1 {
+		return 1
+	}
+	return k.slow
+}
+
+// stretch applies the node's slowdown factor to a scheduled duration.
+func (k *Kernel) stretch(d time.Duration) time.Duration {
+	if k.slow <= 1 {
+		return d
+	}
+	return time.Duration(float64(d) * k.slow)
+}
+
 // Shutdown releases all parked task goroutines. After Shutdown the kernel
 // must not be used further; it exists so that tests and repeated experiment
 // runs do not leak goroutines.
@@ -211,7 +271,7 @@ func (k *Kernel) startTicks(c *CPU) {
 	offset := time.Duration(int64(k.params.TickInterval) * int64(c.ID) / int64(len(k.cpus)+1))
 	var fire func()
 	fire = func() {
-		if k.shutdown {
+		if k.dead() {
 			return
 		}
 		k.timerIRQ(c)
@@ -235,6 +295,9 @@ func (k *Kernel) timerIRQ(c *CPU) {
 // bottom-half handler. The servicing CPU is chosen by the node's interrupt
 // routing policy: pinned, balanced round-robin, or CPU0.
 func (k *Kernel) RaiseDevIRQ(src string, bh func(*BHCtx)) {
+	if k.dead() {
+		return
+	}
 	k.Stats.DevIRQs++
 	c := k.routeIRQ()
 	k.raiseIRQOn(c, irqReq{

@@ -43,7 +43,7 @@ func (k *Kernel) enqueue(c *CPU, t *Task) {
 // the CPU is busy, already switching, or in interrupt context (the
 // return-from-interrupt path re-invokes it).
 func (k *Kernel) reschedule(c *CPU) {
-	if k.shutdown || c.curr != nil || c.switching || c.irqDepth > 0 {
+	if k.dead() || c.curr != nil || c.switching || c.irqDepth > 0 {
 		return
 	}
 	t := k.pickTask(c)
@@ -89,8 +89,11 @@ func (k *Kernel) pickTask(c *CPU) *Task {
 // deferred to the return-from-interrupt path.
 func (k *Kernel) switchTo(c *CPU, t *Task) {
 	c.switching = true
-	cost := k.jitter(k.params.CtxSwitchCost) + k.takeDebt()
+	cost := k.stretch(k.jitter(k.params.CtxSwitchCost) + k.takeDebt())
 	k.eng.After(cost, func() {
+		if k.dead() {
+			return
+		}
 		c.switching = false
 		if c.irqDepth > 0 {
 			c.pendingDispatch = t
@@ -204,7 +207,20 @@ func (k *Kernel) Wake(t *Task) { k.WakeFrom(t, -1) }
 // else the least-loaded allowed CPU. A long-running current task may be
 // preempted (wake preemption).
 func (k *Kernel) WakeFrom(t *Task, wakerCPU int) {
-	if t.state != StateSleeping {
+	if k.dead() || t.state != StateSleeping {
+		return
+	}
+	// A stalled task's wakeups are parked until the stall window closes —
+	// the fault layer's "daemon stall" knob. Multiple wake sources collapse
+	// into one deferred wake, like wakeups missed while descheduled.
+	if t.stalledUntil > k.eng.Now() {
+		if !t.stallWakePending {
+			t.stallWakePending = true
+			k.eng.At(t.stalledUntil, func() {
+				t.stallWakePending = false
+				k.WakeFrom(t, -1)
+			})
+		}
 		return
 	}
 	c := k.placeTask(t, wakerCPU)

@@ -137,6 +137,12 @@ type Task struct {
 	sigHandlers    map[int]func(int)
 	ctr            [NumCounters]int64 // virtual performance counters
 
+	// stalledUntil parks this task's wakeups until the given virtual time
+	// (the fault layer's daemon-stall knob); stallWakePending collapses
+	// concurrent wake sources into one deferred wake.
+	stalledUntil     sim.Time
+	stallWakePending bool
+
 	// Accounting, readable by experiments and tests.
 	StartAt       sim.Time
 	EndAt         sim.Time
@@ -151,6 +157,22 @@ type Task struct {
 
 // PID returns the process id.
 func (t *Task) PID() int { return t.pid }
+
+// Kernel returns the node's kernel this task belongs to.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// StallUntil parks the task's wakeups until the given virtual time: while
+// stalled, a sleeping task stays asleep however often it is woken, and every
+// parked wake is delivered once the window closes. A task that is currently
+// running is unaffected until it next blocks.
+func (t *Task) StallUntil(until sim.Time) {
+	if until > t.stalledUntil {
+		t.stalledUntil = until
+	}
+}
+
+// Stalled reports whether the task's wakeups are currently parked.
+func (t *Task) Stalled() bool { return t.stalledUntil > t.k.eng.Now() }
 
 // Name returns the process name.
 func (t *Task) Name() string { return t.name }

@@ -48,18 +48,62 @@ type Frame struct {
 	Src, Dst string // node names
 	Bytes    int    // wire size including overhead
 	Payload  any
+	// Dup marks a duplicated copy injected by the fault layer. The receiving
+	// protocol charges receive-path cost for it but discards the payload
+	// (TCP's sequence-number check).
+	Dup bool
+	// Corrupt marks a frame whose payload was damaged in flight. The
+	// receiving protocol delivers it but taints the stream so the
+	// application-level consumer can discard the affected message.
+	Corrupt bool
 }
+
+// Impairment is the fault layer's verdict on one transmitted frame. The zero
+// value means "deliver normally".
+type Impairment struct {
+	// Drop loses the frame. Unless RedeliverAfter is positive the frame is
+	// gone for good; with RedeliverAfter the sender's retransmission is
+	// modelled as the same frame arriving that much later than it otherwise
+	// would have (TCP reliability collapsed into added latency).
+	Drop bool
+	// RedeliverAfter is the retransmission delay applied to dropped frames.
+	RedeliverAfter time.Duration
+	// Duplicate delivers a second copy of the frame (flagged Frame.Dup)
+	// immediately after the original.
+	Duplicate bool
+	// Corrupt flags the frame's payload as damaged in flight.
+	Corrupt bool
+	// Extra is additional one-way latency for this frame.
+	Extra time.Duration
+}
+
+// ImpairFunc inspects a frame about to be transmitted (Src/Dst already set)
+// and returns the fault verdict. It runs in engine context and must be
+// deterministic for reproducible runs.
+type ImpairFunc func(f Frame) Impairment
 
 // Network is the switched interconnect joining all node NICs.
 type Network struct {
-	eng  *sim.Engine
-	spec LinkSpec
-	nics map[string]*NIC
+	eng    *sim.Engine
+	spec   LinkSpec
+	nics   map[string]*NIC
+	impair ImpairFunc
 
-	// Stats counts delivered traffic.
+	// Stats counts delivered traffic and fault-layer activity.
 	Stats struct {
 		Frames uint64
 		Bytes  uint64
+		// Dropped counts frames lost by the fault layer (including those
+		// later redelivered as retransmissions).
+		Dropped uint64
+		// Retransmits counts dropped frames that were redelivered.
+		Retransmits uint64
+		// Duplicated counts injected duplicate copies.
+		Duplicated uint64
+		// Corrupted counts frames flagged corrupt in flight.
+		Corrupted uint64
+		// Delayed counts frames given extra latency.
+		Delayed uint64
 	}
 }
 
@@ -76,6 +120,9 @@ func New(eng *sim.Engine, spec LinkSpec) *Network {
 
 // Spec returns the link parameters.
 func (n *Network) Spec() LinkSpec { return n.spec }
+
+// SetImpair installs (or clears, with nil) the fault layer's per-frame hook.
+func (n *Network) SetImpair(fn ImpairFunc) { n.impair = fn }
 
 // Attach creates (or returns) the NIC for a node.
 func (n *Network) Attach(node string) *NIC {
@@ -135,6 +182,33 @@ func (nic *NIC) Send(f Frame) {
 		tx := n.txTime(f.Bytes)
 		nic.txFreeAt = start.Add(tx)
 		arrival = nic.txFreeAt.Add(n.spec.Latency)
+	}
+
+	// Fault layer: loopback traffic never touches the wire and is exempt.
+	if n.impair != nil && f.Dst != nic.Node {
+		imp := n.impair(f)
+		if imp.Extra > 0 {
+			arrival = arrival.Add(imp.Extra)
+			n.Stats.Delayed++
+		}
+		if imp.Corrupt {
+			f.Corrupt = true
+			n.Stats.Corrupted++
+		}
+		if imp.Drop {
+			n.Stats.Dropped++
+			if imp.RedeliverAfter <= 0 {
+				return // lost for good
+			}
+			n.Stats.Retransmits++
+			arrival = arrival.Add(imp.RedeliverAfter)
+		}
+		if imp.Duplicate {
+			n.Stats.Duplicated++
+			dup := f
+			dup.Dup = true
+			n.eng.At(arrival, func() { dst.deliver(dup) })
+		}
 	}
 	n.eng.At(arrival, func() { dst.deliver(f) })
 }

@@ -14,16 +14,24 @@
 // per-node merges, time-window slices), runs online detectors (OS-noise /
 // daemon interference as in Figs. 8-10, slow-node ranking), and exports
 // Prometheus text, JSON lines and a human ASCII cluster view.
+//
+// The pipeline is fault-tolerant: agents retry transient procfs errors with
+// bounded backoff and ship explicit gap frames when a round's data stays
+// unreadable; sinks receive with timeouts, count-and-drop damaged frames,
+// and mark a node down instead of blocking forever when it stops reporting;
+// and when the collector node itself dies, agents detect the broken link,
+// re-elect a live collector and reconnect — the store (held by the PerfMon,
+// not the dead node) keeps every pre-crash sample.
 package perfmon
 
 import (
+	"errors"
 	"time"
 
 	"ktau/internal/cluster"
 	"ktau/internal/kernel"
 	"ktau/internal/ktau"
 	"ktau/internal/libktau"
-	"ktau/internal/procfs"
 	"ktau/internal/tcpsim"
 )
 
@@ -47,6 +55,22 @@ type Config struct {
 	ReadCostPerKB time.Duration
 	// Collector overrides the election result when >= 0 (default -1).
 	Collector int
+	// ReadRetries bounds how many times an agent retries a failed procfs
+	// read within one round before shipping a gap frame (default 3).
+	ReadRetries int
+	// ReadBackoff is the sleep between procfs read retries (default
+	// Interval/10).
+	ReadBackoff time.Duration
+	// RecvTimeout bounds each sink receive; a sink that times out checks its
+	// peer's health instead of blocking forever (default 4×Interval).
+	RecvTimeout time.Duration
+	// SendTimeout bounds each agent's frame transmission; an expired send
+	// marks the collector link broken and triggers re-election (default
+	// 4×Interval).
+	SendTimeout time.Duration
+	// PeerDownAfter is how many consecutive receive timeouts a sink
+	// tolerates before marking its node down and exiting (default 3).
+	PeerDownAfter int
 }
 
 func (c *Config) defaults() {
@@ -56,17 +80,36 @@ func (c *Config) defaults() {
 	if c.ReadCostPerKB <= 0 {
 		c.ReadCostPerKB = 20 * time.Microsecond
 	}
+	if c.ReadRetries <= 0 {
+		c.ReadRetries = 3
+	}
+	if c.ReadBackoff <= 0 {
+		c.ReadBackoff = c.Interval / 10
+	}
+	if c.RecvTimeout <= 0 {
+		c.RecvTimeout = 4 * c.Interval
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 4 * c.Interval
+	}
+	if c.PeerDownAfter <= 0 {
+		c.PeerDownAfter = 3
+	}
 	c.Store.defaults()
 	c.Detect.defaults()
 }
 
-// Elect picks the collector node deterministically: the node with the most
-// CPUs wins (it absorbs the aggregation load), ties broken by lowest index —
-// a stand-in for a leader election among identical daemons.
+// Elect picks the collector node deterministically among live nodes: the
+// node with the most CPUs wins (it absorbs the aggregation load), ties
+// broken by lowest index — a stand-in for a leader election among identical
+// daemons. It returns -1 when no live node exists.
 func Elect(c *cluster.Cluster) int {
-	best := 0
+	best := -1
 	for i, n := range c.Nodes {
-		if n.K.NumCPUs() > c.Node(best).K.NumCPUs() {
+		if n.K.Crashed() {
+			continue
+		}
+		if best < 0 || n.K.NumCPUs() > c.Node(best).K.NumCPUs() {
 			best = i
 		}
 	}
@@ -78,6 +121,7 @@ func Elect(c *cluster.Cluster) int {
 // convention mpisim uses), so the transfer is fully charged as kernel work
 // on both nodes while the decoded payload rides alongside deterministically.
 type link struct {
+	nodeIdx   int          // monitored node this link carries
 	agentConn *tcpsim.Conn // agent-side endpoint
 	sinkConn  *tcpsim.Conn // collector-side endpoint
 	pending   [][]byte     // encoded frames in flight, FIFO
@@ -91,6 +135,10 @@ type PerfMon struct {
 	collector int
 	agents    []*kernel.Task
 	sinks     []*kernel.Task
+	// links is indexed by node; the collector's own entry is nil (it ingests
+	// locally). Entries are swapped during failover.
+	links     []*link
+	failovers int
 	stopped   bool
 }
 
@@ -98,44 +146,57 @@ type PerfMon struct {
 // simulated network, and spawns the per-node agent daemons ("kmond") plus
 // one sink task per connection on the collector. Call before launching the
 // workload; drive the engine afterwards (e.g. cluster.RunUntilDone on
-// Tasks()).
-func Deploy(c *cluster.Cluster, cfg Config) *PerfMon {
+// Tasks()). It fails when the cluster has no live node to collect on.
+func Deploy(c *cluster.Cluster, cfg Config) (*PerfMon, error) {
 	cfg.defaults()
+	if len(c.Nodes) == 0 {
+		return nil, errors.New("perfmon: cannot deploy on an empty cluster")
+	}
 	collector := cfg.Collector
-	if collector < 0 || collector >= len(c.Nodes) {
+	if collector < 0 || collector >= len(c.Nodes) || c.Node(collector).K.Crashed() {
 		collector = Elect(c)
+	}
+	if collector < 0 {
+		return nil, errors.New("perfmon: no live node to collect on")
 	}
 	pm := &PerfMon{
 		cfg:       cfg,
 		c:         c,
 		store:     NewStore(cfg.Store),
 		collector: collector,
+		links:     make([]*link, len(c.Nodes)),
 	}
 	for i, n := range c.Nodes {
 		if i == collector {
 			// The collector monitors itself without a network hop.
-			pm.agents = append(pm.agents, pm.spawnAgent(i, n, nil))
+			pm.agents = append(pm.agents, pm.spawnAgent(i, n))
 			continue
 		}
 		agentConn, sinkConn := tcpsim.Connect(n.Stack, c.Node(collector).Stack)
-		l := &link{agentConn: agentConn, sinkConn: sinkConn}
-		pm.agents = append(pm.agents, pm.spawnAgent(i, n, l))
+		l := &link{nodeIdx: i, agentConn: agentConn, sinkConn: sinkConn}
+		pm.links[i] = l
+		pm.agents = append(pm.agents, pm.spawnAgent(i, n))
 		pm.sinks = append(pm.sinks, pm.spawnSink(c.Node(collector), l))
 	}
-	return pm
+	return pm, nil
 }
 
 // Store returns the collector's time-series store.
 func (pm *PerfMon) Store() *Store { return pm.store }
 
-// Collector returns the elected collector node index.
+// Collector returns the current collector node index (it changes when the
+// elected node dies and the agents fail over).
 func (pm *PerfMon) Collector() int { return pm.collector }
+
+// Failovers returns how many collector re-elections have happened.
+func (pm *PerfMon) Failovers() int { return pm.failovers }
 
 // Config returns the deployment configuration (defaults applied).
 func (pm *PerfMon) Config() Config { return pm.cfg }
 
 // Tasks returns every task the deployment spawned (agents then sinks);
 // RunUntilDone over these drains the pipeline after Stop or bounded Rounds.
+// Failover spawns replacement sinks, so re-query after driving the engine.
 func (pm *PerfMon) Tasks() []*kernel.Task {
 	out := make([]*kernel.Task, 0, len(pm.agents)+len(pm.sinks))
 	out = append(out, pm.agents...)
@@ -146,7 +207,8 @@ func (pm *PerfMon) Tasks() []*kernel.Task {
 // Agents returns the per-node collection daemons (node order).
 func (pm *PerfMon) Agents() []*kernel.Task { return pm.agents }
 
-// Sinks returns the collector-side receiver tasks.
+// Sinks returns the collector-side receiver tasks (including any
+// replacements spawned by failover).
 func (pm *PerfMon) Sinks() []*kernel.Task { return pm.sinks }
 
 // Stop asks every agent to perform one final collection round (flagged
@@ -165,15 +227,88 @@ func groupExcl(evs []ktau.EventDelta, g ktau.Group) int64 {
 	return t
 }
 
-// spawnAgent starts the per-node collection daemon. l == nil means the node
-// is the collector: frames are ingested locally instead of shipped.
-func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, l *link) *kernel.Task {
-	fs := procfs.New(n.K.Ktau())
-	h := libktau.Open(fs)
+// agentState is the delta-encoding baseline one agent carries between
+// rounds. It is split out of the agent loop so the round logic is testable
+// without a cluster.
+type agentState struct {
+	prevKW   ktau.Snapshot
+	prevProc map[int]ktau.Snapshot
+}
+
+func newAgentState() *agentState {
+	return &agentState{prevProc: make(map[int]ktau.Snapshot)}
+}
+
+// buildFrame delta-encodes one successfully read round against the baseline
+// and advances it. PIDs absent from the current read are evicted from the
+// baseline: once a process is gone from procfs it can never produce another
+// delta, and keeping its snapshot would grow the map without bound under
+// process churn.
+func (a *agentState) buildFrame(node string, idx, round, cpus int, last bool,
+	kw ktau.Snapshot, procs []ktau.Snapshot) Frame {
+	f := Frame{
+		Node:    node,
+		NodeIdx: idx,
+		Round:   round,
+		CPUs:    cpus,
+		FromTSC: a.prevKW.TSC,
+		ToTSC:   kw.TSC,
+		Last:    last,
+	}
+	f.Kernel = ktau.DeltaSnapshot(a.prevKW, kw).Events
+	a.prevKW = kw
+	next := make(map[int]ktau.Snapshot, len(procs))
+	for _, ps := range procs {
+		pd := ktau.DeltaSnapshot(a.prevProc[ps.PID], ps)
+		next[ps.PID] = ps
+		if pd.Empty() {
+			continue
+		}
+		var ticks uint64
+		if te := pd.FindDelta(TimerTickEvent); te != nil {
+			ticks = te.DCalls
+		}
+		f.Procs = append(f.Procs, ProcDelta{
+			PID:    ps.PID,
+			Name:   ps.Name,
+			DTotal: pd.TotalDExcl(),
+			DIRQ:   groupExcl(pd.Events, ktau.GroupIRQ),
+			DBH:    groupExcl(pd.Events, ktau.GroupBH),
+			DSched: groupExcl(pd.Events, ktau.GroupSched),
+			DTCP:   groupExcl(pd.Events, ktau.GroupTCP),
+			DTicks: ticks,
+		})
+	}
+	a.prevProc = next
+	return f
+}
+
+// gapFrame builds the placeholder for a round whose data stayed unreadable.
+// The baseline is left untouched, so the next successful round's deltas
+// cover the whole span including this gap.
+func (a *agentState) gapFrame(node string, idx, round, cpus int, last bool) Frame {
+	return Frame{
+		Node:    node,
+		NodeIdx: idx,
+		Round:   round,
+		CPUs:    cpus,
+		FromTSC: a.prevKW.TSC,
+		ToTSC:   a.prevKW.TSC,
+		Last:    last,
+		Gap:     true,
+	}
+}
+
+// spawnAgent starts the per-node collection daemon. The agent reads through
+// the node's shared procfs instance (so injected procfs faults reach it),
+// retries transient errors with bounded backoff, and always emits a frame
+// per round — a gap frame when the data stayed unreadable — so the sink's
+// Last-frame handshake cannot be skipped.
+func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node) *kernel.Task {
+	h := libktau.Open(n.FS)
 	cfg := pm.cfg
 	return n.K.Spawn("kmond", func(u *kernel.UCtx) {
-		var prevKW ktau.Snapshot
-		prevProc := map[int]ktau.Snapshot{}
+		st := newAgentState()
 		for round := 0; ; round++ {
 			if cfg.Rounds > 0 && round >= cfg.Rounds {
 				return
@@ -183,65 +318,47 @@ func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, l *link) *kernel.Task {
 				u.Sleep(cfg.Interval)
 				final = pm.stopped // may have been stopped while sleeping
 			}
+			last := final || (cfg.Rounds > 0 && round == cfg.Rounds-1)
 
 			// The session-less two-call protocol, charged to the agent
-			// exactly as KTAUD charges it.
-			u.Syscall("sys_ioctl", func(kc *kernel.KCtx) { kc.Use(2 * time.Microsecond) })
-			kw, errKW := h.GetProfile(libktau.ScopeKernelWide, 0)
-			procs, errAll := h.GetProfiles(libktau.ScopeAll, 0)
-			u.Syscall("sys_read", func(kc *kernel.KCtx) { kc.Use(4 * time.Microsecond) })
-			if errKW != nil || errAll != nil {
-				continue
+			// exactly as KTAUD charges it; transient faults are retried
+			// with backoff inside the round.
+			var kw ktau.Snapshot
+			var procs []ktau.Snapshot
+			readOK := false
+			for attempt := 0; attempt < cfg.ReadRetries; attempt++ {
+				if attempt > 0 {
+					u.Sleep(cfg.ReadBackoff)
+				}
+				u.Syscall("sys_ioctl", func(kc *kernel.KCtx) { kc.Use(2 * time.Microsecond) })
+				var errKW, errAll error
+				kw, errKW = h.GetProfile(libktau.ScopeKernelWide, 0)
+				procs, errAll = h.GetProfiles(libktau.ScopeAll, 0)
+				u.Syscall("sys_read", func(kc *kernel.KCtx) { kc.Use(4 * time.Microsecond) })
+				if errKW == nil && errAll == nil {
+					readOK = true
+					break
+				}
 			}
 
-			f := Frame{
-				Node:    n.Name,
-				NodeIdx: idx,
-				Round:   round,
-				CPUs:    u.Kernel().NumCPUs(),
-				FromTSC: prevKW.TSC,
-				ToTSC:   kw.TSC,
-				Last:    final || (cfg.Rounds > 0 && round == cfg.Rounds-1),
-			}
-			f.Kernel = ktau.DeltaSnapshot(prevKW, kw).Events
-			prevKW = kw
-			for _, ps := range procs {
-				pd := ktau.DeltaSnapshot(prevProc[ps.PID], ps)
-				prevProc[ps.PID] = ps
-				if pd.Empty() {
-					continue
-				}
-				var ticks uint64
-				if te := pd.FindDelta(TimerTickEvent); te != nil {
-					ticks = te.DCalls
-				}
-				f.Procs = append(f.Procs, ProcDelta{
-					PID:    ps.PID,
-					Name:   ps.Name,
-					DTotal: pd.TotalDExcl(),
-					DIRQ:   groupExcl(pd.Events, ktau.GroupIRQ),
-					DBH:    groupExcl(pd.Events, ktau.GroupBH),
-					DSched: groupExcl(pd.Events, ktau.GroupSched),
-					DTCP:   groupExcl(pd.Events, ktau.GroupTCP),
-					DTicks: ticks,
-				})
+			var f Frame
+			if readOK {
+				f = st.buildFrame(n.Name, idx, round, u.Kernel().NumCPUs(), last, kw, procs)
+			} else {
+				f = st.gapFrame(n.Name, idx, round, u.Kernel().NumCPUs(), last)
 			}
 
 			payload := EncodeFrame(f)
-			// User-space processing: snapshot walk + delta encode.
-			readBytes := 0
-			for _, s := range procs {
-				readBytes += 64 + 48*len(s.Events) + 64*len(s.Atomics) + 64*len(s.Mapped)
+			if readOK {
+				// User-space processing: snapshot walk + delta encode.
+				readBytes := 0
+				for _, s := range procs {
+					readBytes += 64 + 48*len(s.Events) + 64*len(s.Atomics) + 64*len(s.Mapped)
+				}
+				u.Compute(time.Duration(readBytes/1024+1) * cfg.ReadCostPerKB)
 			}
-			u.Compute(time.Duration(readBytes/1024+1) * cfg.ReadCostPerKB)
 
-			if l == nil {
-				// Collector-local round: no network hop.
-				pm.store.Ingest(f, 0)
-			} else {
-				l.pending = append(l.pending, payload)
-				l.agentConn.Send(u, FrameHeaderBytes+len(payload))
-			}
+			pm.ship(idx, n, u, f, payload)
 			if f.Last {
 				return
 			}
@@ -249,23 +366,119 @@ func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, l *link) *kernel.Task {
 	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
 }
 
-// spawnSink starts one collector-side receiver for a link: it blocks in
-// tcp_recvmsg for the fixed preamble, learns the payload length from the
-// framing queue, receives the payload, decodes and ingests it.
+// ship delivers one frame to the current collector: locally when this node
+// is the collector, otherwise over the node's link. A send that times out
+// means the collector is unreachable — the agent re-elects and reconnects.
+func (pm *PerfMon) ship(idx int, n *cluster.Node, u *kernel.UCtx, f Frame, payload []byte) {
+	l := pm.links[idx]
+	if idx == pm.collector && l == nil {
+		pm.store.Ingest(f, 0)
+		return
+	}
+	if l != nil {
+		l.pending = append(l.pending, payload)
+		if l.agentConn.SendTimeout(u, FrameHeaderBytes+len(payload), pm.cfg.SendTimeout) {
+			return
+		}
+		// The send stalled: the stream (and anything still queued on it) is
+		// considered lost. The store sees the hole as missed rounds.
+		l.pending = nil
+	}
+	pm.reroute(idx, n, u, f, payload)
+}
+
+// reroute reconnects a node to the current collector after its link broke,
+// re-electing first when the collector node itself is dead. The frame that
+// triggered the reroute is re-shipped on the fresh link (or ingested
+// locally when this node just became the collector).
+func (pm *PerfMon) reroute(idx int, n *cluster.Node, u *kernel.UCtx, f Frame, payload []byte) {
+	if pm.c.Node(pm.collector).K.Crashed() {
+		dead := pm.c.Node(pm.collector).Name
+		next := Elect(pm.c)
+		if next < 0 {
+			// Nobody left to collect on: degrade to silence. The agent keeps
+			// running so a later operator intervention could still reach it.
+			pm.links[idx] = nil
+			return
+		}
+		pm.collector = next
+		pm.failovers++
+		pm.store.MarkDown(dead)
+	}
+	if idx == pm.collector {
+		pm.links[idx] = nil
+		pm.store.Ingest(f, 0)
+		return
+	}
+	cn := pm.c.Node(pm.collector)
+	agentConn, sinkConn := tcpsim.Connect(n.Stack, cn.Stack)
+	l := &link{nodeIdx: idx, agentConn: agentConn, sinkConn: sinkConn}
+	pm.links[idx] = l
+	pm.sinks = append(pm.sinks, pm.spawnSink(cn, l))
+	l.pending = append(l.pending, payload)
+	if !l.agentConn.SendTimeout(u, FrameHeaderBytes+len(payload), pm.cfg.SendTimeout) {
+		// Still unreachable (e.g. the replacement died too, or a partition):
+		// give up on this round; the next round retries the whole path.
+		l.pending = nil
+	}
+}
+
+// spawnSink starts one collector-side receiver for a link: it waits (with a
+// timeout) for the fixed preamble, learns the payload length from the
+// framing queue, receives the payload, decodes and ingests it. Damaged or
+// desynced frames are counted and dropped, never fatal; a link that stays
+// silent is diagnosed — node crashed, link replaced by failover, agent
+// finished — and the sink always exits rather than blocking forever.
 func (pm *PerfMon) spawnSink(n *cluster.Node, l *link) *kernel.Task {
 	cfg := pm.cfg
 	return n.K.Spawn("kmon-sink", func(u *kernel.UCtx) {
+		node := pm.c.Node(l.nodeIdx)
+		timeouts := 0
 		for {
-			l.sinkConn.Recv(u, FrameHeaderBytes)
+			if !l.sinkConn.RecvTimeout(u, FrameHeaderBytes, cfg.RecvTimeout) {
+				timeouts++
+				if pm.links[l.nodeIdx] != l {
+					return // failover replaced this link; the new sink owns the stream
+				}
+				if node.K.Crashed() {
+					pm.store.MarkDown(node.Name)
+					return
+				}
+				if pm.agents[l.nodeIdx].Exited() && len(l.pending) == 0 {
+					return // agent finished and the stream is drained
+				}
+				if timeouts >= cfg.PeerDownAfter {
+					pm.store.MarkDown(node.Name)
+					return
+				}
+				continue
+			}
+			timeouts = 0
 			if len(l.pending) == 0 {
-				panic("perfmon: frame preamble arrived with no queued payload (framing bug)")
+				// Framing desync: preamble bytes with no queued payload.
+				pm.store.Drop(node.Name)
+				continue
 			}
 			payload := l.pending[0]
+			if !l.sinkConn.RecvTimeout(u, len(payload), cfg.RecvTimeout) {
+				timeouts++
+				if pm.links[l.nodeIdx] != l || node.K.Crashed() || timeouts >= cfg.PeerDownAfter {
+					pm.store.Drop(node.Name)
+					if node.K.Crashed() || timeouts >= cfg.PeerDownAfter {
+						pm.store.MarkDown(node.Name)
+					}
+					return
+				}
+				continue // body still in flight; wait again without consuming
+			}
 			l.pending = l.pending[1:]
-			l.sinkConn.Recv(u, len(payload))
+			corrupt := l.sinkConn.TakeCorrupt()
 			f, err := DecodeFrame(payload)
-			if err != nil {
-				panic("perfmon: undecodable frame: " + err.Error())
+			if corrupt || err != nil {
+				// Damaged in flight or undecodable: count and drop. The hole
+				// shows up as a missed round on the node.
+				pm.store.Drop(node.Name)
+				continue
 			}
 			// User-space decode + store update cost.
 			u.Compute(time.Duration(len(payload)/1024+1) * cfg.ReadCostPerKB)

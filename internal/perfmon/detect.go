@@ -82,6 +82,10 @@ type NodeNoise struct {
 	Share float64
 	// Flagged marks the node as anomalously noisy vs the cluster median.
 	Flagged bool
+	// Down marks a node that stopped reporting (its sink gave up on it —
+	// typically a crash). Down nodes are excluded from the cluster median
+	// and never flagged as noisy: no data is not the same as quiet.
+	Down bool
 	// TopDaemons lists the noisiest system processes, largest first.
 	TopDaemons []ProcNoise
 	// Ranks lists application ranks on the node with their interference,
@@ -114,7 +118,7 @@ func (st *Store) DetectNoise(cfg DetectConfig, rankPrefix string) NoiseReport {
 	rep := NoiseReport{Window: cfg.Window}
 	var shares []float64
 	for _, node := range st.NodeNames() {
-		nn := NodeNoise{Node: node}
+		nn := NodeNoise{Node: node, Down: st.Down(node)}
 		for _, info := range st.Nodes() {
 			if info.Name == node {
 				nn.CPUs = info.CPUs
@@ -180,7 +184,9 @@ func (st *Store) DetectNoise(cfg DetectConfig, rankPrefix string) NoiseReport {
 		if nn.Wall > 0 {
 			nn.Share = float64(nn.Noise) / (float64(nn.Wall) * float64(nn.CPUs))
 		}
-		shares = append(shares, nn.Share)
+		if !nn.Down {
+			shares = append(shares, nn.Share)
+		}
 		rep.Nodes = append(rep.Nodes, nn)
 	}
 	if len(shares) == 0 {
@@ -197,7 +203,7 @@ func (st *Store) DetectNoise(cfg DetectConfig, rankPrefix string) NoiseReport {
 		rep.Threshold = cfg.MinNoiseShare
 	}
 	for i := range rep.Nodes {
-		if rep.Nodes[i].Share > rep.Threshold {
+		if !rep.Nodes[i].Down && rep.Nodes[i].Share > rep.Threshold {
 			rep.Nodes[i].Flagged = true
 			rep.Flagged = append(rep.Flagged, rep.Nodes[i].Node)
 		}

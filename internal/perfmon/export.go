@@ -46,6 +46,19 @@ func (st *Store) WritePrometheus(w io.Writer) error {
 	fmt.Fprintln(bw, "# HELP ktau_perfmon_frames_total Frames ingested by the collector.")
 	fmt.Fprintln(bw, "# TYPE ktau_perfmon_frames_total counter")
 	fmt.Fprintf(bw, "ktau_perfmon_frames_total %d\n", st.Frames())
+	fmt.Fprintln(bw, "# HELP ktau_perfmon_dropped_frames_total Frames received but discarded (undecodable, corrupt or desynced).")
+	fmt.Fprintln(bw, "# TYPE ktau_perfmon_dropped_frames_total counter")
+	fmt.Fprintf(bw, "ktau_perfmon_dropped_frames_total %d\n", st.Drops())
+	fmt.Fprintln(bw, "# HELP ktau_perfmon_missed_rounds_total Collection rounds whose frames never arrived, per node.")
+	fmt.Fprintln(bw, "# TYPE ktau_perfmon_missed_rounds_total counter")
+	for _, info := range st.Nodes() {
+		fmt.Fprintf(bw, "ktau_perfmon_missed_rounds_total{node=%q} %d\n", info.Name, info.Missed)
+	}
+	fmt.Fprintln(bw, "# HELP ktau_perfmon_gap_rounds_total Rounds the agent reported unreadable, per node.")
+	fmt.Fprintln(bw, "# TYPE ktau_perfmon_gap_rounds_total counter")
+	for _, info := range st.Nodes() {
+		fmt.Fprintf(bw, "ktau_perfmon_gap_rounds_total{node=%q} %d\n", info.Name, info.Gaps)
+	}
 	return bw.Flush()
 }
 
@@ -103,6 +116,12 @@ func (st *Store) WriteClusterView(w io.Writer, rep NoiseReport, topK int) {
 		status := "ok"
 		if nn.Flagged {
 			status = "NOISY"
+		}
+		if info.Down {
+			status = "DOWN"
+		}
+		if info.Missed > 0 || info.Gaps > 0 {
+			status += fmt.Sprintf(" (missed %d, gaps %d)", info.Missed, info.Gaps)
 		}
 		fmt.Fprintf(bw, "%-8s %4d %7d %10d %9d %9d %8.3f%%  %s\n",
 			info.Name, info.CPUs, info.Rounds, info.Bytes,

@@ -1,0 +1,225 @@
+package perfmon
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/netsim"
+	"ktau/internal/procfs"
+	"ktau/internal/tcpsim"
+)
+
+// bootFaultCluster boots a small monitored cluster with a deliberately tiny
+// TCP send window, so a broken agent→collector link backs up (and the send
+// times out) within a couple of collection rounds instead of tens.
+func bootFaultCluster(t *testing.T, nodes int, seed uint64, rounds int) (*cluster.Cluster, *PerfMon) {
+	t.Helper()
+	// The window must stay above the delayed-ack threshold (2×MTU = 3000
+	// bytes) or every healthy flow deadlocks waiting for an ack that is never
+	// owed; 4 KiB is the smallest round figure above it.
+	tcp := tcpsim.DefaultParams()
+	tcp.SndBuf = 4 * 1024
+	c := cluster.New(cluster.Config{
+		Nodes: cluster.UniformNodes("node", nodes),
+		Ktau: ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true},
+		TCP:  tcp,
+		Seed: seed,
+	})
+	for i, n := range c.Nodes {
+		n.K.Spawn(fmt.Sprintf("app.rank%d", i), func(u *kernel.UCtx) {
+			for {
+				u.Compute(2 * time.Millisecond)
+				u.Sleep(1 * time.Millisecond)
+			}
+		}, kernel.SpawnOpts{})
+	}
+	pm, err := Deploy(c, Config{
+		Interval:   20 * time.Millisecond,
+		Rounds:     rounds,
+		RankPrefix: "app.rank",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, pm
+}
+
+// drain drives the pipeline to completion, re-querying Tasks because
+// failover spawns replacement sinks mid-run.
+func drain(t *testing.T, c *cluster.Cluster, pm *PerfMon) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		done := c.RunUntilDone(pm.Tasks(), time.Minute)
+		// The task list may have grown while the engine ran (failover spawns
+		// replacement sinks), so completion only counts on a fresh list.
+		settled := true
+		for _, task := range pm.Tasks() {
+			if !task.Exited() && !task.Kernel().Crashed() {
+				settled = false
+			}
+		}
+		if done && settled {
+			return
+		}
+	}
+	for _, task := range pm.Tasks() {
+		if !task.Exited() && !task.Kernel().Crashed() {
+			t.Fatalf("pipeline task %s (pid %d) never finished", task.Name(), task.PID())
+		}
+	}
+}
+
+// runCollectorCrash boots the cluster, kills the collector node mid-run and
+// drains the pipeline, returning the final store.
+func runCollectorCrash(t *testing.T, seed uint64) (*PerfMon, *Store) {
+	t.Helper()
+	c, pm := bootFaultCluster(t, 4, seed, 25)
+	t.Cleanup(c.Shutdown)
+	crashAt := c.Eng.Now().Add(150 * time.Millisecond)
+	c.Eng.At(crashAt, func() { c.Node(0).K.Crash() })
+	drain(t, c, pm)
+	return pm, pm.Store()
+}
+
+func TestCollectorCrashFailsOver(t *testing.T) {
+	pm, st := runCollectorCrash(t, 7)
+
+	if pm.Failovers() != 1 {
+		t.Fatalf("Failovers = %d, want 1", pm.Failovers())
+	}
+	if pm.Collector() != 1 {
+		t.Fatalf("Collector after failover = %d, want 1", pm.Collector())
+	}
+	if !st.Down("node0") {
+		t.Fatal("dead collector node0 not marked down")
+	}
+
+	// The store lives on the PerfMon, not the dead node: every sample
+	// ingested before the crash must still be there.
+	var pre NodeInfo
+	for _, info := range st.Nodes() {
+		if info.Name == "node0" {
+			pre = info
+		}
+	}
+	if pre.Rounds == 0 {
+		t.Fatal("store lost node0's pre-crash samples")
+	}
+	if len(st.Totals("node0")) == 0 {
+		t.Fatal("store lost node0's cumulative totals")
+	}
+
+	// Surviving nodes keep reporting to the new collector; the rounds lost
+	// in the dead collector's never-acked streams are marked as missed, not
+	// silently absorbed.
+	var missed, survivors int
+	for _, info := range st.Nodes() {
+		if info.Name == "node0" {
+			continue
+		}
+		missed += info.Missed
+		if info.Rounds > pre.Rounds {
+			survivors++
+		}
+	}
+	if missed == 0 {
+		t.Fatal("no missed rounds recorded despite frames lost in the failover")
+	}
+	if survivors != 3 {
+		t.Fatalf("%d surviving nodes out-collected the dead one, want 3", survivors)
+	}
+}
+
+func TestCollectorCrashDeterministic(t *testing.T) {
+	var outs []string
+	for i := 0; i < 2; i++ {
+		_, st := runCollectorCrash(t, 11)
+		var prom, jsonl bytes.Buffer
+		if err := st.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.WriteJSONLines(&jsonl, 0); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, prom.String()+jsonl.String())
+	}
+	if outs[0] != outs[1] {
+		t.Fatal("same seed produced different exporter output under a collector crash")
+	}
+}
+
+func TestSinkDropsCorruptFrames(t *testing.T) {
+	c, pm := bootFaultCluster(t, 3, 5, 20)
+	defer c.Shutdown()
+
+	// Corrupt every monitoring frame node1 sends during an early window (the
+	// final rounds stay clean so the Last handshake is undamaged).
+	from := c.Eng.Now().Add(30 * time.Millisecond)
+	to := c.Eng.Now().Add(150 * time.Millisecond)
+	c.Net.SetImpair(func(f netsim.Frame) netsim.Impairment {
+		now := c.Eng.Now()
+		if f.Src == "node1" && f.Dst == "node0" && now >= from && now < to {
+			return netsim.Impairment{Corrupt: true}
+		}
+		return netsim.Impairment{}
+	})
+
+	drain(t, c, pm)
+	st := pm.Store()
+	if st.Drops() == 0 {
+		t.Fatal("no frames counted as dropped despite corruption")
+	}
+	var n1 NodeInfo
+	for _, info := range st.Nodes() {
+		if info.Name == "node1" {
+			n1 = info
+		}
+	}
+	if n1.Drops == 0 || n1.Missed == 0 {
+		t.Fatalf("node1 info = %+v, want drops and missed rounds recorded", n1)
+	}
+	// The pipeline recovered: node1's later frames were ingested and it is
+	// not considered down.
+	if n1.Rounds == 0 || n1.Down {
+		t.Fatalf("node1 info = %+v, want post-corruption recovery", n1)
+	}
+}
+
+func TestUnreadableFinalRoundStillEmitsLast(t *testing.T) {
+	c, pm := bootFaultCluster(t, 2, 9, 6)
+	defer c.Shutdown()
+
+	// node1's /proc/ktau fails every read from mid-run on — including every
+	// retry of the final round. The agent must ship a gap Last frame so the
+	// sink's Recv does not block forever (the collector.go:193 regression).
+	failFrom := c.Eng.Now().Add(60 * time.Millisecond)
+	c.Node(1).FS.SetFaultHook(func(op string) error {
+		if c.Eng.Now() >= failFrom {
+			return procfs.ErrTransient
+		}
+		return nil
+	})
+
+	if !c.RunUntilDone(pm.Tasks(), time.Minute) {
+		t.Fatal("pipeline hung: sink never saw a Last frame")
+	}
+	st := pm.Store()
+	var n1 NodeInfo
+	for _, info := range st.Nodes() {
+		if info.Name == "node1" {
+			n1 = info
+		}
+	}
+	if n1.Gaps == 0 {
+		t.Fatalf("node1 info = %+v, want gap rounds recorded", n1)
+	}
+	if n1.Rounds != 6 {
+		t.Fatalf("node1 ingested %d rounds, want all 6 (gaps included)", n1.Rounds)
+	}
+}

@@ -15,8 +15,8 @@ import (
 const (
 	// FrameMagic identifies a perfmon frame ("KMON").
 	FrameMagic = 0x4b4d4f4e
-	// FrameVersion is the wire format version.
-	FrameVersion = 1
+	// FrameVersion is the wire format version (2 added the Gap flag).
+	FrameVersion = 2
 	// FrameHeaderBytes is the fixed on-wire preamble preceding each frame's
 	// payload: magic(4) + version(4) + payload length(4) + reserved(4).
 	FrameHeaderBytes = 16
@@ -62,6 +62,11 @@ type Frame struct {
 	ToTSC   int64
 	// Last marks the agent's final round; the sink exits after ingesting it.
 	Last bool
+	// Gap marks a round whose data could not be read (persistent procfs
+	// failure): the frame carries no deltas and an empty window (FromTSC ==
+	// ToTSC), and the agent's delta baseline is left untouched so the next
+	// successful round's deltas cover the gap.
+	Gap bool
 	// Kernel is the kernel-wide profile delta for the window.
 	Kernel []ktau.EventDelta
 	// Procs summarises every process that had kernel activity in the window.
@@ -93,6 +98,11 @@ func EncodeFrame(f Frame) []byte {
 	i64(f.FromTSC)
 	i64(f.ToTSC)
 	if f.Last {
+		u8(1)
+	} else {
+		u8(0)
+	}
+	if f.Gap {
 		u8(1)
 	} else {
 		u8(0)
@@ -141,6 +151,7 @@ func DecodeFrame(blob []byte) (Frame, error) {
 	f.FromTSC = r.i64()
 	f.ToTSC = r.i64()
 	f.Last = r.u8() == 1
+	f.Gap = r.u8() == 1
 	nev := int(r.u32())
 	for i := 0; i < nev && r.err == nil; i++ {
 		var e ktau.EventDelta

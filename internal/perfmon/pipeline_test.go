@@ -45,11 +45,14 @@ func bootMonitoredCluster(seed uint64) (*cluster.Cluster, *PerfMon) {
 	workload.StartDaemon(c.Node(noisyNode).K, workload.DaemonSpec{
 		Name: "overhead", Period: 120 * time.Millisecond, Busy: 80 * time.Millisecond,
 	})
-	pm := Deploy(c, Config{
+	pm, err := Deploy(c, Config{
 		Interval:   100 * time.Millisecond,
 		Rounds:     testRounds,
 		RankPrefix: "app.rank",
 	})
+	if err != nil {
+		panic(err)
+	}
 	return c, pm
 }
 

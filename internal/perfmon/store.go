@@ -114,18 +114,23 @@ type procSeries struct {
 
 // nodeState is everything the store retains about one monitored node.
 type nodeState struct {
-	name     string
-	idx      int
-	cpus     int
-	rounds   int // frames ingested
-	bytes    uint64
-	lastTSC  int64
-	firstTSC int64
-	marks    *ring[RoundMark]
-	markAcc  RoundMark
-	accRuns  int // rounds accumulated toward the next stored sample
-	events   map[string]*eventSeries
-	procs    map[int]*procSeries
+	name      string
+	idx       int
+	cpus      int
+	rounds    int // frames ingested
+	bytes     uint64
+	lastTSC   int64
+	firstTSC  int64
+	marks     *ring[RoundMark]
+	markAcc   RoundMark
+	accRuns   int // rounds accumulated toward the next stored sample
+	events    map[string]*eventSeries
+	procs     map[int]*procSeries
+	lastRound int // highest round ingested (-1 before the first frame)
+	missed    int // rounds skipped in the round sequence (frames never arrived)
+	gaps      int // Gap frames ingested (the agent could not read its data)
+	drops     uint64
+	down      bool
 }
 
 // Store is the collector's bounded time-series database: per node × kernel
@@ -136,6 +141,7 @@ type Store struct {
 	nodes  map[string]*nodeState
 	order  []string // ingestion-order node names, for deterministic iteration
 	frames uint64
+	drops  uint64 // frames received but discarded (undecodable, corrupt, desynced)
 }
 
 // NewStore creates an empty store.
@@ -150,6 +156,29 @@ func (st *Store) Config() StoreConfig { return st.cfg }
 // Frames returns the total number of ingested frames.
 func (st *Store) Frames() uint64 { return st.frames }
 
+// Drops returns the total number of discarded frames.
+func (st *Store) Drops() uint64 { return st.drops }
+
+// Drop counts a frame that arrived but could not be ingested (undecodable
+// payload, corrupted in flight, or framing desync). node may be empty when
+// the frame was too damaged to attribute.
+func (st *Store) Drop(node string) {
+	st.drops++
+	if node != "" {
+		st.node(node).drops++
+	}
+}
+
+// MarkDown records that a node has stopped reporting (its sink gave up on
+// it). A later ingested frame from the node clears the mark.
+func (st *Store) MarkDown(node string) { st.node(node).down = true }
+
+// Down reports whether the node is currently marked down.
+func (st *Store) Down(node string) bool {
+	ns := st.nodes[node]
+	return ns != nil && ns.down
+}
+
 // NodeNames returns monitored node names in first-seen order.
 func (st *Store) NodeNames() []string {
 	out := make([]string, len(st.order))
@@ -162,12 +191,13 @@ func (st *Store) node(name string) *nodeState {
 		return ns
 	}
 	ns := &nodeState{
-		name:     name,
-		idx:      len(st.order),
-		marks:    newRing[RoundMark](st.cfg.Retention),
-		events:   make(map[string]*eventSeries),
-		procs:    make(map[int]*procSeries),
-		firstTSC: -1,
+		name:      name,
+		idx:       len(st.order),
+		marks:     newRing[RoundMark](st.cfg.Retention),
+		events:    make(map[string]*eventSeries),
+		procs:     make(map[int]*procSeries),
+		firstTSC:  -1,
+		lastRound: -1,
 	}
 	st.nodes[name] = ns
 	st.order = append(st.order, name)
@@ -183,6 +213,18 @@ func (st *Store) Ingest(f Frame, wireBytes int) {
 	ns.cpus = f.CPUs
 	ns.rounds++
 	ns.bytes += uint64(wireBytes)
+	ns.down = false // hearing from the node proves it back
+	if ns.lastRound >= 0 && f.Round > ns.lastRound+1 {
+		// Frames for the intervening rounds never arrived (lost in a
+		// failover or dropped): record the hole.
+		ns.missed += f.Round - ns.lastRound - 1
+	}
+	if f.Round > ns.lastRound {
+		ns.lastRound = f.Round
+	}
+	if f.Gap {
+		ns.gaps++
+	}
 	if ns.firstTSC < 0 {
 		ns.firstTSC = f.FromTSC
 	}
@@ -283,6 +325,14 @@ type NodeInfo struct {
 	// FirstTSC/LastTSC bound the monitored span on the node's clock.
 	FirstTSC int64
 	LastTSC  int64
+	// Missed counts rounds whose frames never arrived (holes in the round
+	// sequence); Gaps counts rounds the agent reported as unreadable; Drops
+	// counts frames received from the node but discarded.
+	Missed int
+	Gaps   int
+	Drops  uint64
+	// Down marks a node whose sink gave up waiting for it.
+	Down bool
 }
 
 // Nodes returns per-node collection state in first-seen order.
@@ -293,6 +343,7 @@ func (st *Store) Nodes() []NodeInfo {
 		out = append(out, NodeInfo{
 			Name: ns.name, Idx: ns.idx, CPUs: ns.cpus, Rounds: ns.rounds,
 			Bytes: ns.bytes, FirstTSC: ns.firstTSC, LastTSC: ns.lastTSC,
+			Missed: ns.missed, Gaps: ns.gaps, Drops: ns.drops, Down: ns.down,
 		})
 	}
 	return out

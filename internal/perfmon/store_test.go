@@ -78,6 +78,49 @@ func TestStoreWindowSlices(t *testing.T) {
 	}
 }
 
+func TestRingWraparound(t *testing.T) {
+	r := newRing[int](4)
+	for i := 0; i < 4; i++ {
+		r.push(i)
+	}
+	// Exactly at capacity: everything retained, oldest first.
+	if got := r.items(); r.len() != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("at capacity: len=%d items=%v", r.len(), got)
+	}
+	// One past capacity: only the oldest element is evicted and iteration
+	// order stays oldest-first across the wrap point.
+	r.push(4)
+	got := r.items()
+	if r.len() != 4 || len(got) != 4 {
+		t.Fatalf("past capacity: len=%d items=%v", r.len(), got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("past capacity items = %v, want [1 2 3 4]", got)
+		}
+	}
+}
+
+func TestStoreRetentionBoundary(t *testing.T) {
+	st := NewStore(StoreConfig{Retention: 4})
+	// Exactly Retention rounds: all retained, none evicted.
+	for round := 0; round < 4; round++ {
+		st.Ingest(feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, 10), 0)
+	}
+	if got := st.Series("a", "schedule", 0); len(got) != 4 || got[0].Round != 0 {
+		t.Fatalf("at Retention: %+v", got)
+	}
+	// One more round evicts exactly the oldest sample and its mark.
+	st.Ingest(feedFrame("a", 0, 4, "schedule", ktau.GroupSched, 1, 10), 0)
+	got := st.Series("a", "schedule", 0)
+	if len(got) != 4 || got[0].Round != 1 || got[3].Round != 4 {
+		t.Fatalf("at Retention+1: %+v", got)
+	}
+	if marks := st.Marks("a"); len(marks) != 4 || marks[0].Round != 1 {
+		t.Fatalf("marks at Retention+1 = %+v", marks)
+	}
+}
+
 func TestStoreRetentionEviction(t *testing.T) {
 	st := NewStore(StoreConfig{Retention: 4})
 	for round := 0; round < 10; round++ {
@@ -122,6 +165,31 @@ func TestStoreDownsampling(t *testing.T) {
 	st.Ingest(f, 0)
 	if got := st.Series("a", "schedule", 0); len(got) != 3 || got[2].DCalls != 1 {
 		t.Fatalf("after Last flush: %+v", got)
+	}
+}
+
+func TestStoreDownsampleBoundary(t *testing.T) {
+	st := NewStore(StoreConfig{Downsample: 3})
+	// Two rounds accumulate invisibly: no sample or mark is stored until the
+	// downsample boundary is reached.
+	for round := 0; round < 2; round++ {
+		st.Ingest(feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, 10), 0)
+	}
+	if got := st.Series("a", "schedule", 0); len(got) != 0 {
+		t.Fatalf("partial accumulation visible: %+v", got)
+	}
+	if marks := st.Marks("a"); len(marks) != 0 {
+		t.Fatalf("partial marks visible: %+v", marks)
+	}
+	// The third round completes the sample: one stored point carrying all
+	// three rounds, with the mark spanning the whole accumulated window.
+	st.Ingest(feedFrame("a", 0, 2, "schedule", ktau.GroupSched, 1, 10), 0)
+	got := st.Series("a", "schedule", 0)
+	if len(got) != 1 || got[0].Round != 2 || got[0].DCalls != 3 || got[0].DExcl != 30 {
+		t.Fatalf("after boundary: %+v", got)
+	}
+	if marks := st.Marks("a"); len(marks) != 1 || marks[0].FromTSC != 0 || marks[0].ToTSC != 300 {
+		t.Fatalf("marks after boundary: %+v", marks)
 	}
 }
 

@@ -43,13 +43,36 @@ func (e ErrShortBuffer) Error() string {
 // ErrNoSuchPID reports an unknown process.
 var ErrNoSuchPID = errors.New("procfs: no such pid")
 
+// ErrTransient reports a transient read failure (the fault layer's model of
+// a momentarily unreadable /proc entry, e.g. copy_to_user hitting a paged-out
+// buffer). Unlike ErrShortBuffer it carries no corrective size: the caller's
+// only recourse is to back off and try the whole two-call protocol again.
+var ErrTransient = errors.New("procfs: transient read error")
+
+// FaultHook is consulted before every read-side operation; returning a
+// non-nil error fails the operation with it. op names the entry point
+// ("profile.size", "profile.read", "trace.size", "trace.read").
+type FaultHook func(op string) error
+
 // FS is one node's /proc/ktau.
 type FS struct {
-	m *ktau.Measurement
+	m     *ktau.Measurement
+	fault FaultHook
 }
 
 // New exposes a measurement system through the proc interface.
 func New(m *ktau.Measurement) *FS { return &FS{m: m} }
+
+// SetFaultHook installs (or with nil clears) the fault-injection hook.
+func (fs *FS) SetFaultHook(h FaultHook) { fs.fault = h }
+
+// checkFault runs the installed fault hook, if any.
+func (fs *FS) checkFault(op string) error {
+	if fs.fault == nil {
+		return nil
+	}
+	return fs.fault(op)
+}
 
 // Measurement returns the underlying measurement system (for tests).
 func (fs *FS) Measurement() *ktau.Measurement { return fs.m }
@@ -79,6 +102,9 @@ func (fs *FS) snapshots(pid int) ([]ktau.Snapshot, error) {
 // ProfileSize returns the bytes needed to read the profile(s) of pid right
 // now (first half of the session-less two-call protocol).
 func (fs *FS) ProfileSize(pid int) (int, error) {
+	if err := fs.checkFault("profile.size"); err != nil {
+		return 0, err
+	}
 	snaps, err := fs.snapshots(pid)
 	if err != nil {
 		return 0, err
@@ -90,6 +116,9 @@ func (fs *FS) ProfileSize(pid int) (int, error) {
 // written. If buf is too small for the data as it exists *now*, it returns
 // ErrShortBuffer with the currently needed size.
 func (fs *FS) ProfileRead(pid int, buf []byte) (int, error) {
+	if err := fs.checkFault("profile.read"); err != nil {
+		return 0, err
+	}
 	snaps, err := fs.snapshots(pid)
 	if err != nil {
 		return 0, err
@@ -104,6 +133,9 @@ func (fs *FS) ProfileRead(pid int, buf []byte) (int, error) {
 
 // TraceSize returns the bytes needed to read pid's trace buffer now.
 func (fs *FS) TraceSize(pid int) (int, error) {
+	if err := fs.checkFault("trace.size"); err != nil {
+		return 0, err
+	}
 	td, err := fs.taskData(pid)
 	if err != nil {
 		return 0, err
@@ -114,6 +146,9 @@ func (fs *FS) TraceSize(pid int) (int, error) {
 // TraceRead drains pid's circular trace buffer into buf (records are
 // consumed, as reading /proc/ktau/trace consumes them).
 func (fs *FS) TraceRead(pid int, buf []byte) (int, error) {
+	if err := fs.checkFault("trace.read"); err != nil {
+		return 0, err
+	}
 	td, err := fs.taskData(pid)
 	if err != nil {
 		return 0, err

@@ -90,6 +90,11 @@ type Stack struct {
 		SegsSent, SegsRcvd uint64
 		AcksSent, AcksRcvd uint64
 		Softirqs           uint64
+		// DupSegs counts duplicate data segments discarded by the
+		// sequence-number check (receive cost still charged).
+		DupSegs uint64
+		// CorruptSegs counts data segments delivered with damaged payloads.
+		CorruptSegs uint64
 	}
 }
 
@@ -142,7 +147,8 @@ type Conn struct {
 
 	rcvBytes  int // bytes delivered by softirq, not yet read
 	sndWnd    int
-	unackedRx int // bytes received but not yet acknowledged (delayed acks)
+	unackedRx int  // bytes received but not yet acknowledged (delayed acks)
+	corrupt   bool // a corrupt segment landed since the last TakeCorrupt
 	rcvWQ     *kernel.WaitQueue
 	sndWQ     *kernel.WaitQueue
 	owner     *kernel.Task // last task to read from this endpoint
@@ -246,6 +252,117 @@ func (c *Conn) Recv(u *kernel.UCtx, n int) {
 	})
 }
 
+// TakeCorrupt reports and clears the endpoint's corruption taint: whether a
+// damaged segment landed on this connection since the last call. Consumers
+// use it after receiving one framed message to decide whether the payload
+// just read can be trusted.
+func (c *Conn) TakeCorrupt() bool {
+	v := c.corrupt
+	c.corrupt = false
+	return v
+}
+
+// RecvTimeout reads exactly n bytes like Recv, but gives up once the
+// deadline d passes without the full amount being available. Nothing is
+// consumed on timeout, so a retry sees the byte stream intact. It reports
+// whether the read completed; d <= 0 means no deadline.
+func (c *Conn) RecvTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
+	if n <= 0 {
+		return true
+	}
+	if d <= 0 {
+		c.Recv(u, n)
+		return true
+	}
+	s := c.stack
+	c.owner = u.Task()
+	ok := true
+	u.Syscall("sys_read", func(kc *kernel.KCtx) {
+		kc.Entry(s.evTcpRecvmsg)
+		kc.Use(s.p.RecvMsgCost)
+		deadline := kc.Now().Add(d)
+		t := kc.Task()
+		// The deadline is a timer wake: it releases the blocked reader like
+		// a signal would, and the condition re-check loop observes the time.
+		// It is cancelled on completion so the stale wake cannot cut short an
+		// unrelated later sleep.
+		ev := s.k.Engine().At(deadline, func() { s.k.Wake(t) })
+		for c.rcvBytes < n {
+			if kc.Now() >= deadline {
+				ok = false
+				break
+			}
+			kc.Wait(c.rcvWQ)
+		}
+		s.k.Engine().Cancel(ev)
+		if ok {
+			c.rcvBytes -= n
+			kc.Use(time.Duration(n) * s.p.RecvCopyPerByte)
+			c.Stats.BytesRcvd += uint64(n)
+		}
+		kc.Exit(s.evTcpRecvmsg)
+	})
+	return ok
+}
+
+// SendTimeout writes n bytes like Send, but abandons the write once the
+// deadline d passes with the send window exhausted (an unresponsive peer
+// stops acknowledging, credit never returns). It reports whether the full
+// amount was sent; already-transmitted segments are not recalled, so a
+// false return generally leaves a partial message in the stream — callers
+// must treat the connection as broken. d <= 0 means no deadline.
+func (c *Conn) SendTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
+	if n <= 0 {
+		return true
+	}
+	if d <= 0 {
+		c.Send(u, n)
+		return true
+	}
+	s := c.stack
+	ok := true
+	u.Syscall("sys_writev", func(kc *kernel.KCtx) {
+		kc.Entry(s.evSockSendmsg)
+		kc.Use(s.p.SockSendCost)
+		kc.Entry(s.evTcpSendmsg)
+		deadline := kc.Now().Add(d)
+		t := kc.Task()
+		ev := s.k.Engine().At(deadline, func() { s.k.Wake(t) })
+		defer s.k.Engine().Cancel(ev)
+		spec := s.netSpec()
+		remaining := n
+		for remaining > 0 && ok {
+			chunk := remaining
+			if chunk > spec.MTU {
+				chunk = spec.MTU
+			}
+			for c.sndWnd < chunk {
+				if kc.Now() >= deadline {
+					ok = false
+					break
+				}
+				kc.Wait(c.sndWQ)
+			}
+			if !ok {
+				break
+			}
+			c.sndWnd -= chunk
+			kc.Use(s.p.SendPerSeg + time.Duration(chunk)*s.p.SendPerByte)
+			s.nic.Send(netsim.Frame{
+				Dst:     c.peer.stack.k.Node,
+				Bytes:   chunk + spec.FrameOverheadBytes,
+				Payload: seg{dst: c.peer, n: chunk},
+			})
+			s.Stats.SegsSent++
+			c.Stats.BytesSent += uint64(chunk)
+			remaining -= chunk
+		}
+		kc.Exit(s.evTcpSendmsg)
+		kc.Exit(s.evSockSendmsg)
+	})
+	return ok
+}
+
 // rxInterrupt raises the device IRQ for pending frames, coalescing while an
 // interrupt is already outstanding (NAPI-style).
 func (s *Stack) rxInterrupt() {
@@ -276,6 +393,19 @@ func (s *Stack) netRxAction(b *kernel.BHCtx) {
 			}
 			b.Span(s.evTcpV4Rcv, cost)
 			b.Atomic(s.evPktSize, float64(pl.n))
+			if f.Dup {
+				// Sequence-number check: the duplicate burned wire bandwidth
+				// and receive-path CPU but contributes no payload or credit.
+				s.Stats.DupSegs++
+				continue
+			}
+			if f.Corrupt {
+				// The damage survives the checksum (fault-injection premise):
+				// bytes flow, but the stream is tainted so the application
+				// layer can discard the affected message.
+				s.Stats.CorruptSegs++
+				c.corrupt = true
+			}
 			c.rcvBytes += pl.n
 			s.Stats.SegsRcvd++
 			// Delayed acks: a window-credit ack returns once roughly two

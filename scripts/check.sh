@@ -34,4 +34,10 @@ go test ./...
 echo "== go test -race (non-simulation packages) =="
 go test -race ./internal/analysis/ ./internal/ktau/ ./internal/ktrace/ ./internal/procfs/
 
+echo "== go test -race (fault injection + pipeline) =="
+go test -race ./internal/faultsim/ ./internal/perfmon/
+
+echo "== fault-plan smoke test =="
+go run ./cmd/ktau-exp -exp faults -ranks 8 > /dev/null
+
 echo "check.sh: all green"
