@@ -331,9 +331,9 @@ func LMBenchCtxSwitch(k *Kernel, rounds int) time.Duration {
 }
 
 // LMBenchTCP measures small-message latency and bulk bandwidth between two
-// node stacks.
-func LMBenchTCP(a, b *Stack, rounds, bulkBytes int) (time.Duration, float64) {
-	return workload.LMBenchTCP(a, b, rounds, bulkBytes)
+// node stacks; the cluster drives both nodes' engines for the duration.
+func LMBenchTCP(c *Cluster, a, b *Stack, rounds, bulkBytes int) (time.Duration, float64) {
+	return workload.LMBenchTCP(c, a, b, rounds, bulkBytes)
 }
 
 // ---- analysis ----
@@ -374,6 +374,11 @@ func RunChiba(spec ChibaSpec) *ChibaResult { return experiments.RunChiba(spec) }
 
 // DefaultChiba returns the baseline Chiba spec.
 func DefaultChiba(ranks, perNode int) ChibaSpec { return experiments.DefaultChiba(ranks, perNode) }
+
+// SetParallel makes every subsequently built DefaultChiba spec execute its
+// node engines on multiple host CPUs. Host execution mode only: same-seed
+// results are byte-identical to serial runs.
+func SetParallel(on bool, workers int) { experiments.SetParallel(on, workers) }
 
 // RunIONodeStudy executes the §6 I/O-node characterization extension.
 func RunIONodeStudy(seed uint64) *experiments.IONodeStudy {

@@ -12,8 +12,10 @@
 package ktau_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -509,7 +511,7 @@ func BenchmarkAblationWorkloadSpectrum(b *testing.B) {
 		if !c.RunUntilDone(tasks, 20*time.Minute) {
 			b.Fatalf("%s did not finish", work)
 		}
-		return c.Eng.Now().Duration()
+		return c.Now().Duration()
 	}
 	for _, work := range []string{"EP", "LU", "Sweep3D", "CG"} {
 		work := work
@@ -525,6 +527,60 @@ func BenchmarkAblationWorkloadSpectrum(b *testing.B) {
 			}
 			b.ReportMetric(slow, "slowdown-%")
 		})
+	}
+}
+
+// BenchmarkParallelChiba runs the same 128-node Chiba LU configuration twice
+// — windowed runner with one worker, then with GOMAXPROCS workers — checks
+// the virtual results are identical, and writes the wall-clock comparison to
+// BENCH_parallel.json. On a single-CPU host the speedup is ~1x by
+// construction; the JSON records host_cpus so readers can tell.
+func BenchmarkParallelChiba(b *testing.B) {
+	type result struct {
+		wall time.Duration
+		exec time.Duration
+	}
+	run := func(parallel bool) result {
+		spec := ktau.DefaultChiba(benchRanks, 1)
+		spec.Seed = 7
+		spec.Parallel = parallel
+		t0 := time.Now()
+		res := ktau.RunChiba(spec)
+		if !res.Completed {
+			b.Fatal("chiba run did not complete")
+		}
+		return result{wall: time.Since(t0), exec: res.Exec}
+	}
+	var serial, par result
+	for i := 0; i < b.N; i++ {
+		serial = run(false)
+		par = run(true)
+	}
+	if serial.exec != par.exec {
+		b.Fatalf("parallel virtual exec %v differs from serial %v", par.exec, serial.exec)
+	}
+	speedup := serial.wall.Seconds() / par.wall.Seconds()
+	b.ReportMetric(serial.wall.Seconds(), "serial-wall-s")
+	b.ReportMetric(par.wall.Seconds(), "parallel-wall-s")
+	b.ReportMetric(speedup, "speedup-x")
+	out := map[string]any{
+		"benchmark":         "128-node Chiba LU, serial vs parallel windowed runner",
+		"ranks":             benchRanks,
+		"nodes":             benchRanks,
+		"host_cpus":         runtime.NumCPU(),
+		"gomaxprocs":        runtime.GOMAXPROCS(0),
+		"serial_wall_s":     serial.wall.Seconds(),
+		"parallel_wall_s":   par.wall.Seconds(),
+		"speedup":           speedup,
+		"virtual_exec_s":    serial.exec.Seconds(),
+		"identical_results": true,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

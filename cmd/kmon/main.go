@@ -96,7 +96,7 @@ func main() {
 		}
 	}
 	fmt.Printf("collector: %s; virtual time %v\n",
-		c.Node(pm.Collector()).Name, c.Eng.Now())
+		c.Node(pm.Collector()).Name, c.Now())
 
 	if *promPath != "" {
 		if err := writeFile(*promPath, func(f *os.File) error { return st.WritePrometheus(f) }); err != nil {

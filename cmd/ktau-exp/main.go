@@ -59,7 +59,13 @@ func main() {
 	ranks := flag.Int("ranks", 128, "MPI ranks for the Chiba-family experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	parallel := flag.Bool("parallel", false, "run node engines on multiple host CPUs (results are byte-identical to serial)")
+	workers := flag.Int("workers", 0, "host worker goroutines with -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *parallel {
+		ktau.SetParallel(true, *workers)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -56,7 +56,7 @@ func main() {
 	}
 	if *quiet {
 		cfg.OnSnapshot = func(round int, snaps []ktau.Snapshot) {
-			ktau.SummarizeRound(os.Stdout, round, c.Eng.Now().Duration(), snaps)
+			ktau.SummarizeRound(os.Stdout, round, c.Now().Duration(), snaps)
 		}
 	} else {
 		cfg.Out = os.Stdout
@@ -68,5 +68,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ktaud: %d rounds complete at %v (virtual); daemon cpu=%v kernel=%v\n",
-		*rounds, c.Eng.Now(), daemon.UserTime, daemon.KernTime)
+		*rounds, c.Now(), daemon.UserTime, daemon.KernTime)
 }

@@ -76,7 +76,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ionode run did not finish")
 		os.Exit(1)
 	}
-	fmt.Printf("all checkpoints durable at %v (virtual)\n\n", c.Eng.Now())
+	fmt.Printf("all checkpoints durable at %v (virtual)\n\n", c.Now())
 
 	// The I/O node's kernel-wide view: where did the node spend its time?
 	kw := ion.K.Ktau().KernelWide()

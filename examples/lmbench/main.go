@@ -25,7 +25,7 @@ func bench(boot ktau.Group) (nullSC, ctxSW, tcpLat time.Duration, tcpBW float64)
 	k := c.Node(0).K
 	nullSC = ktau.LMBenchNullSyscall(k, 2000)
 	ctxSW = ktau.LMBenchCtxSwitch(k, 500)
-	tcpLat, tcpBW = ktau.LMBenchTCP(c.Node(0).Stack, c.Node(1).Stack, 50, 4_000_000)
+	tcpLat, tcpBW = ktau.LMBenchTCP(c, c.Node(0).Stack, c.Node(1).Stack, 50, 4_000_000)
 	return
 }
 

@@ -52,7 +52,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "LU did not finish")
 		os.Exit(1)
 	}
-	fmt.Printf("LU finished at %v (virtual)\n\n", c.Eng.Now())
+	fmt.Printf("LU finished at %v (virtual)\n\n", c.Now())
 
 	// Step 1 — kernel-wide view per node: where is the problem?
 	fmt.Println("step 1: kernel-wide scheduling time per node (Fig 2-A)")

@@ -51,7 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "app did not finish")
 		os.Exit(1)
 	}
-	fmt.Printf("app finished at %v (virtual)\n\n", c.Eng.Now())
+	fmt.Printf("app finished at %v (virtual)\n\n", c.Now())
 
 	// 3. Process-centric view: the app's own kernel profile, read through
 	//    /proc/ktau and libKtau exactly as a real client would.

@@ -65,7 +65,7 @@ func run(ranks, perNode int, pinned, irqBalance bool, seed uint64) (time.Duratio
 		}
 		mix = append(mix, float64(calls))
 	}
-	return c.Eng.Now().Duration(), irq, mix
+	return c.Now().Duration(), irq, mix
 }
 
 func main() {

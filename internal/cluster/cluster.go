@@ -1,13 +1,15 @@
 // Package cluster assembles multi-node simulated systems: one kernel + NIC +
-// TCP stack per node on a shared engine and interconnect. It is the level at
-// which the paper's testbeds are described — neutron (4-CPU SMP), neuronic
-// (16x2 P4 cluster) and Chiba-City (128x2 P3-450 over Ethernet) — including
-// per-node oddities such as the ccn10 node whose kernel detected only one
-// processor (paper §5.2).
+// TCP stack per node, each on its own discrete-event engine, joined by a
+// shared interconnect and driven through a conservative time-windowed runner.
+// It is the level at which the paper's testbeds are described — neutron
+// (4-CPU SMP), neuronic (16x2 P4 cluster) and Chiba-City (128x2 P3-450 over
+// Ethernet) — including per-node oddities such as the ccn10 node whose kernel
+// detected only one processor (paper §5.2).
 package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"ktau/internal/kernel"
@@ -39,10 +41,18 @@ type Config struct {
 	Ktau ktau.Options
 	// TCP configures each node's network stack cost model.
 	TCP tcpsim.Params
-	// Link configures the interconnect.
+	// Link configures the interconnect. Its Latency doubles as the runner's
+	// lookahead: no node can affect another in less than one wire latency.
 	Link netsim.LinkSpec
 	// Seed drives all randomness in the simulation.
 	Seed uint64
+	// Parallel runs node engines on multiple worker goroutines. Scheduling
+	// decisions are identical either way — a parallel run is byte-identical
+	// to a serial run with the same seed — so this is purely a wall-clock
+	// choice.
+	Parallel bool
+	// Workers caps the worker goroutines when Parallel (default GOMAXPROCS).
+	Workers int
 }
 
 // UniformNodes returns n NodeSpecs named prefix0..prefix<n-1>.
@@ -56,7 +66,13 @@ func UniformNodes(prefix string, n int) []NodeSpec {
 
 // Node is one booted machine.
 type Node struct {
-	Name  string
+	Name string
+	// Idx is the node's index in the cluster (and its engine's index in the
+	// runner).
+	Idx int
+	// Eng is the node's own event engine: everything that happens on the
+	// node is an event here.
+	Eng   *sim.Engine
 	K     *kernel.Kernel
 	NIC   *netsim.NIC
 	Stack *tcpsim.Stack
@@ -68,7 +84,8 @@ type Node struct {
 
 // Cluster is a booted multi-node system.
 type Cluster struct {
-	Eng    *sim.Engine
+	// Runner drives all node engines in conservative lookahead windows.
+	Runner *sim.Runner
 	Net    *netsim.Network
 	Nodes  []*Node
 	byName map[string]*Node
@@ -86,18 +103,27 @@ func New(cfg Config) *Cluster {
 	if cfg.Link.BandwidthBps == 0 {
 		cfg.Link = netsim.DefaultLinkSpec()
 	}
+	if cfg.Link.Latency <= 0 {
+		panic("cluster: link latency must be positive (it is the runner lookahead)")
+	}
 	if cfg.TCP.RcvPerPkt == 0 {
 		cfg.TCP = tcpsim.DefaultParams()
 	}
-	eng := sim.NewEngine()
+	workers := 1
+	if cfg.Parallel {
+		workers = cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	c := &Cluster{
-		Eng:    eng,
-		Net:    netsim.New(eng, cfg.Link),
+		Net:    netsim.New(nil, cfg.Link),
 		byName: make(map[string]*Node),
 		RNG:    rng,
 	}
-	for _, spec := range cfg.Nodes {
+	engines := make([]*sim.Engine, 0, len(cfg.Nodes))
+	for i, spec := range cfg.Nodes {
 		p := cfg.Kernel
 		if spec.CPUs > 0 {
 			p.NumCPUs = spec.CPUs
@@ -105,10 +131,14 @@ func New(cfg Config) *Cluster {
 		if cfg.PerNode != nil {
 			cfg.PerNode(spec.Name, &p)
 		}
+		eng := sim.NewEngine()
+		engines = append(engines, eng)
 		k := kernel.NewKernel(eng, spec.Name, p, rng, cfg.Ktau)
-		nic := c.Net.Attach(spec.Name)
+		nic := c.Net.AttachOn(spec.Name, eng, i)
 		n := &Node{
 			Name:  spec.Name,
+			Idx:   i,
+			Eng:   eng,
 			K:     k,
 			NIC:   nic,
 			Stack: tcpsim.NewStack(k, nic, cfg.TCP),
@@ -117,6 +147,12 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 		c.byName[spec.Name] = n
 	}
+	c.Runner = sim.NewRunner(engines, cfg.Link.Latency, workers)
+	c.Net.SetCrossDeliver(func(src, dst *netsim.NIC, at sim.Time, fn func()) {
+		c.Runner.Post(src.Idx(), dst.Idx(), at, fn)
+	})
+	c.Runner.OnBarrier(c.PublishViews)
+	c.PublishViews()
 	return c
 }
 
@@ -126,6 +162,29 @@ func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
 // NodeByName returns the named node, or nil.
 func (c *Cluster) NodeByName(name string) *Node { return c.byName[name] }
 
+// Now returns the cluster's virtual time: the end of the last completed
+// window. Between windows every node clock agrees with it.
+func (c *Cluster) Now() sim.Time { return c.Runner.Now() }
+
+// PublishViews refreshes the barrier-published per-node state (currently the
+// kernels' crash flags). The runner calls it at every barrier; it is also
+// safe to call whenever the cluster is quiescent.
+func (c *Cluster) PublishViews() {
+	for _, n := range c.Nodes {
+		n.K.PublishView()
+	}
+}
+
+// CrossCall schedules fn on the dst node's engine one lookahead after the
+// src node's current time — the earliest instant a cross-node action can
+// deterministically take effect. It is safe to call from inside src's
+// window; deliveries merge with network traffic in the runner's
+// deterministic order.
+func (c *Cluster) CrossCall(src, dst int, fn func()) {
+	at := c.Nodes[src].Eng.Now().Add(c.Runner.Lookahead())
+	c.Runner.Post(src, dst, at, fn)
+}
+
 // Shutdown releases all task goroutines on all nodes.
 func (c *Cluster) Shutdown() {
 	for _, n := range c.Nodes {
@@ -133,41 +192,44 @@ func (c *Cluster) Shutdown() {
 	}
 }
 
-// RunUntilDone drives the engine until every listed task has exited or the
-// virtual deadline passes; it returns whether all finished. Tasks whose node
-// has crashed are treated as finished: they can never exit, and waiting on
-// them would spin the deadline down for nothing (the work they represent is
-// lost, which callers can observe via Kernel.Crashed).
+// RunUntilDone drives the cluster until every listed task has exited or the
+// virtual deadline passes; it returns whether all finished. The deadline is
+// inclusive: events scheduled exactly at it still run (the runner's final
+// window is closed). Tasks whose node has crashed are treated as finished:
+// they can never exit, and waiting on them would spin the deadline down for
+// nothing (the work they represent is lost, which callers can observe via
+// Kernel.Crashed). Completion is observed at window barriers, so the clock
+// ends on a window boundary at most one lookahead past the moment the last
+// task exited.
 func (c *Cluster) RunUntilDone(tasks []*kernel.Task, deadline time.Duration) bool {
 	settled := func(t *kernel.Task) bool {
 		return t.Exited() || t.Kernel().Crashed()
 	}
-	limit := c.Eng.Now().Add(deadline)
-	for c.Eng.Now() < limit {
-		done := true
+	allDone := func() bool {
 		for _, t := range tasks {
 			if !settled(t) {
-				done = false
-				break
+				return false
 			}
 		}
-		if done {
+		return true
+	}
+	limit := c.Runner.Now().Add(deadline)
+	for {
+		if allDone() {
 			return true
 		}
-		if !c.Eng.Step() {
-			break
-		}
-	}
-	for _, t := range tasks {
-		if !settled(t) {
+		if c.Runner.Now() >= limit {
 			return false
 		}
+		if !c.Runner.Step(limit) {
+			// Calendar drained everywhere: nothing further can change.
+			return allDone()
+		}
 	}
-	return true
 }
 
-// Settle runs the engine for d more virtual time (letting in-flight frames,
+// Settle runs the cluster for d more virtual time (letting in-flight frames,
 // acks and interrupts complete) without requiring any task to finish.
 func (c *Cluster) Settle(d time.Duration) {
-	c.Eng.RunUntil(c.Eng.Now().Add(d))
+	c.Runner.RunUntil(c.Runner.Now().Add(d))
 }

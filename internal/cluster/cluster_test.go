@@ -80,9 +80,9 @@ func TestRunUntilDoneAndSettle(t *testing.T) {
 	if !c.RunUntilDone([]*kernel.Task{task}, time.Second) {
 		t.Fatal("task did not finish")
 	}
-	before := c.Eng.Now()
+	before := c.Now()
 	c.Settle(3 * time.Millisecond)
-	if c.Eng.Now().Sub(before) < 3*time.Millisecond {
+	if c.Now().Sub(before) < 3*time.Millisecond {
 		t.Error("settle did not advance virtual time")
 	}
 }
@@ -106,6 +106,36 @@ func TestCrossNodeTrafficWorks(t *testing.T) {
 	rcv := c.Node(1).K.Spawn("r", func(u *kernel.UCtx) { ba.Recv(u, 4000) }, kernel.SpawnOpts{})
 	if !c.RunUntilDone([]*kernel.Task{snd, rcv}, time.Second) {
 		t.Fatal("transfer did not finish")
+	}
+}
+
+func TestSettleIncludesHorizonInstant(t *testing.T) {
+	// Regression: the deadline comparison used to be strict, so an event
+	// scheduled exactly at the horizon never ran. The final window is closed.
+	c := New(testConfig(2))
+	defer c.Shutdown()
+	fired := false
+	c.Node(1).Eng.At(c.Now().Add(50*time.Millisecond), func() { fired = true })
+	c.Settle(50 * time.Millisecond)
+	if !fired {
+		t.Error("event exactly at the Settle horizon did not fire")
+	}
+}
+
+func TestParallelClusterUsesWorkers(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Parallel = true
+	cfg.Workers = 3
+	c := New(cfg)
+	defer c.Shutdown()
+	if got := c.Runner.Workers(); got != 3 {
+		t.Errorf("workers = %d, want 3", got)
+	}
+	ab, ba := connPair(c)
+	snd := c.Node(0).K.Spawn("s", func(u *kernel.UCtx) { ab.Send(u, 4000) }, kernel.SpawnOpts{})
+	rcv := c.Node(1).K.Spawn("r", func(u *kernel.UCtx) { ba.Recv(u, 4000) }, kernel.SpawnOpts{})
+	if !c.RunUntilDone([]*kernel.Task{snd, rcv}, time.Second) {
+		t.Fatal("transfer did not finish under the parallel runner")
 	}
 }
 

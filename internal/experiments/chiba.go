@@ -54,11 +54,13 @@ func launchChiba(spec ChibaSpec) (*cluster.Cluster, *mpisim.World, []*kernel.Tas
 	mopts.TraceCapacity = spec.TraceCapacity
 
 	c := cluster.New(cluster.Config{
-		Nodes:  specs,
-		Kernel: kp,
-		Ktau:   mopts,
-		TCP:    spec.TCP,
-		Seed:   spec.Seed,
+		Nodes:    specs,
+		Kernel:   kp,
+		Ktau:     mopts,
+		TCP:      spec.TCP,
+		Seed:     spec.Seed,
+		Parallel: spec.Parallel,
+		Workers:  spec.Workers,
 	})
 
 	if spec.Daemons {

@@ -117,7 +117,7 @@ func RunIONode(cfg IONodeConfig) *IONodeResult {
 	completed := c.RunUntilDone(tasks, 30*time.Minute)
 	c.Settle(5 * time.Millisecond)
 
-	res := &IONodeResult{Config: cfg, Exec: c.Eng.Now().Duration()}
+	res := &IONodeResult{Config: cfg, Exec: c.Now().Duration()}
 	if !completed {
 		return res
 	}

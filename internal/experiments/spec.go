@@ -122,6 +122,12 @@ type ChibaSpec struct {
 	TCP tcpsim.Params
 	// Seed drives all simulation randomness.
 	Seed uint64
+	// Parallel runs the node engines on multiple host CPUs (see
+	// cluster.Config.Parallel). Results are byte-identical to a serial run
+	// with the same seed, so it is not part of the spec's Name.
+	Parallel bool
+	// Workers caps the host worker goroutines when Parallel (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name renders the configuration label the paper uses ("64x2 Pinned,I-Bal").
@@ -148,6 +154,22 @@ func (s ChibaSpec) Name() string {
 	return label + suffix
 }
 
+// defaultParallel / defaultWorkers seed the Parallel/Workers fields of every
+// DefaultChiba spec. They select how the simulation is executed on the host,
+// never what it computes (same-seed runs are byte-identical either way), so a
+// process-wide toggle is safe — it exists for the ktau-exp -parallel flag.
+var (
+	defaultParallel bool
+	defaultWorkers  int
+)
+
+// SetParallel makes every subsequently built DefaultChiba spec run its node
+// engines on multiple host CPUs (workers 0 = GOMAXPROCS).
+func SetParallel(on bool, workers int) {
+	defaultParallel = on
+	defaultWorkers = workers
+}
+
 // DefaultChiba returns the baseline spec: LU on 128 ranks, ProfAll+Tau,
 // daemons on, seed 1.
 func DefaultChiba(ranks, perNode int) ChibaSpec {
@@ -161,6 +183,8 @@ func DefaultChiba(ranks, perNode int) ChibaSpec {
 		Work:        WorkLU,
 		Daemons:     true,
 		Seed:        1,
+		Parallel:    defaultParallel,
+		Workers:     defaultWorkers,
 	}
 }
 

@@ -15,6 +15,7 @@ package faultsim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ktau/internal/cluster"
@@ -206,10 +207,18 @@ type Injector struct {
 	plan Plan
 
 	netFaults []netFault
-	rngNet    *sim.RNG
+	// rngNet holds one frame-verdict stream per sending node. The impair
+	// hook runs in the sender's engine context, and under parallel execution
+	// several senders' windows run concurrently: a single shared stream
+	// would make draw order depend on worker interleaving. Per-sender
+	// streams are each consumed sequentially by their own engine, so every
+	// draw is deterministic.
+	rngNet map[string]*sim.RNG
 
 	// Stats counts what the injector actually did. Network-frame effects are
-	// additionally visible in the cluster's netsim.Network.Stats.
+	// additionally visible in the cluster's netsim.Network.Stats. Under
+	// parallel execution the counters are updated atomically from several
+	// node windows; read them only when the simulation is quiescent.
 	Stats struct {
 		Losses       uint64 // frames dropped by PacketLoss
 		Dups         uint64 // duplicates injected
@@ -237,9 +246,12 @@ func Apply(c *cluster.Cluster, p Plan) (*Injector, error) {
 	inj := &Injector{
 		c:      c,
 		plan:   p,
-		rngNet: rng.Stream("faultsim/net"),
+		rngNet: make(map[string]*sim.RNG, len(c.Nodes)),
 	}
-	base := c.Eng.Now()
+	for _, n := range c.Nodes {
+		inj.rngNet[n.Name] = rng.Stream("faultsim/net/" + n.Name)
+	}
+	base := c.Now()
 	window := func(f Fault) (sim.Time, sim.Time) {
 		start := base.Add(f.At)
 		if f.windowed() && f.For > 0 {
@@ -256,22 +268,22 @@ func Apply(c *cluster.Cluster, p Plan) (*Injector, error) {
 			inj.netFaults = append(inj.netFaults, netFault{Fault: f, start: start, end: end})
 		case NodeCrash:
 			n := c.NodeByName(f.Node)
-			c.Eng.At(start, func() {
+			n.Eng.At(start, func() {
 				if !n.K.Crashed() {
-					inj.Stats.Crashes++
+					atomic.AddUint64(&inj.Stats.Crashes, 1)
 					n.K.Crash()
 				}
 			})
 		case CPUSlow:
 			n := c.NodeByName(f.Node)
 			factor := f.Factor
-			c.Eng.At(start, func() {
-				inj.Stats.Slowdowns++
+			n.Eng.At(start, func() {
+				atomic.AddUint64(&inj.Stats.Slowdowns, 1)
 				n.K.SetSlowdown(factor)
 			})
 			if end != 0 {
-				c.Eng.At(end, func() {
-					inj.Stats.Slowdowns++
+				n.Eng.At(end, func() {
+					atomic.AddUint64(&inj.Stats.Slowdowns, 1)
 					n.K.SetSlowdown(1)
 				})
 			}
@@ -279,7 +291,7 @@ func Apply(c *cluster.Cluster, p Plan) (*Injector, error) {
 			n := c.NodeByName(f.Node)
 			name := f.Task
 			until := end
-			c.Eng.At(start, func() {
+			n.Eng.At(start, func() {
 				for _, t := range n.K.Tasks() {
 					if name != "" && t.Name() != name {
 						continue
@@ -287,7 +299,7 @@ func Apply(c *cluster.Cluster, p Plan) (*Injector, error) {
 					if name == "" && t.Kind() != kernel.KindDaemon {
 						continue
 					}
-					inj.Stats.Stalls++
+					atomic.AddUint64(&inj.Stats.Stalls, 1)
 					t.StallUntil(until)
 				}
 			})
@@ -305,10 +317,12 @@ func Apply(c *cluster.Cluster, p Plan) (*Injector, error) {
 		faults := faults
 		rngFS := rng.Stream("faultsim/procfs/" + node)
 		n.FS.SetFaultHook(func(op string) error {
-			now := c.Eng.Now()
+			// Reads come from on-node clients, in the node's own engine
+			// context; the node clock is the right notion of "now".
+			now := n.Eng.Now()
 			for _, pf := range faults {
 				if pf.activeAt(now) && rngFS.Float64() < pf.Rate {
-					inj.Stats.ProcfsErrors++
+					atomic.AddUint64(&inj.Stats.ProcfsErrors, 1)
 					return procfs.ErrTransient
 				}
 			}
@@ -319,10 +333,12 @@ func Apply(c *cluster.Cluster, p Plan) (*Injector, error) {
 }
 
 // impair is the per-frame fault verdict: all active matching network faults
-// compound onto one Impairment.
-func (inj *Injector) impair(f netsim.Frame) netsim.Impairment {
+// compound onto one Impairment. It runs in the sending node's engine context
+// (now is that node's clock) and draws only from the sender's own stream, so
+// it is safe and deterministic under parallel windows.
+func (inj *Injector) impair(now sim.Time, f netsim.Frame) netsim.Impairment {
 	var imp netsim.Impairment
-	now := inj.c.Eng.Now()
+	rng := inj.rngNet[f.Src]
 	for i := range inj.netFaults {
 		nf := &inj.netFaults[i]
 		if !nf.activeAt(now) || !nf.matches(f) {
@@ -333,32 +349,32 @@ func (inj *Injector) impair(f netsim.Frame) netsim.Impairment {
 			// Hold the frame back until the partition heals; open-ended
 			// partitions black-hole it entirely.
 			imp.Drop = true
-			inj.Stats.Partitioned++
+			atomic.AddUint64(&inj.Stats.Partitioned, 1)
 			if nf.end == 0 {
 				imp.RedeliverAfter = 0
 			} else if d := nf.end.Sub(now) + inj.plan.RedeliverAfter; d > imp.RedeliverAfter {
 				imp.RedeliverAfter = d
 			}
 		case PacketLoss:
-			if inj.rngNet.Float64() < nf.Rate {
-				inj.Stats.Losses++
+			if rng.Float64() < nf.Rate {
+				atomic.AddUint64(&inj.Stats.Losses, 1)
 				imp.Drop = true
 				if imp.RedeliverAfter < inj.plan.RedeliverAfter {
 					imp.RedeliverAfter = inj.plan.RedeliverAfter
 				}
 			}
 		case PacketDup:
-			if inj.rngNet.Float64() < nf.Rate {
-				inj.Stats.Dups++
+			if rng.Float64() < nf.Rate {
+				atomic.AddUint64(&inj.Stats.Dups, 1)
 				imp.Duplicate = true
 			}
 		case PacketCorrupt:
-			if inj.rngNet.Float64() < nf.Rate {
-				inj.Stats.Corruptions++
+			if rng.Float64() < nf.Rate {
+				atomic.AddUint64(&inj.Stats.Corruptions, 1)
 				imp.Corrupt = true
 			}
 		case ExtraLatency:
-			inj.Stats.Delays++
+			atomic.AddUint64(&inj.Stats.Delays, 1)
 			imp.Extra += nf.Latency
 		}
 	}

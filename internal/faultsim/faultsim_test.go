@@ -166,7 +166,7 @@ func transfer(t *testing.T, seed uint64, plan Plan) (time.Duration, *Injector) {
 	if !c.RunUntilDone([]*kernel.Task{snd, rcv}, 10*time.Second) {
 		t.Fatal("transfer did not finish")
 	}
-	return c.Eng.Now().Duration(), inj
+	return c.Now().Duration(), inj
 }
 
 func TestPacketLossSlowsTransferDeterministically(t *testing.T) {

@@ -46,6 +46,11 @@ type Kernel struct {
 
 	shutdown bool
 	crashed  bool
+	// crashedSeen is the barrier-published copy of crashed: under windowed
+	// parallel execution other nodes must not read crashed mid-window (the
+	// answer would depend on worker interleaving), so they read this copy,
+	// refreshed by the cluster at every window barrier.
+	crashedSeen bool
 
 	// Stats are node-global counters used by tests and experiments.
 	Stats struct {
@@ -216,6 +221,15 @@ func (k *Kernel) Crash() {
 
 // Crashed reports whether the node has halted.
 func (k *Kernel) Crashed() bool { return k.crashed }
+
+// PublishView refreshes the kernel state other nodes are allowed to read.
+// The cluster calls it at every window barrier (and once at boot).
+func (k *Kernel) PublishView() { k.crashedSeen = k.crashed }
+
+// CrashedSeen reports the barrier-published crash state: what the rest of
+// the cluster is allowed to know about this node mid-window. It lags
+// Crashed by at most one lookahead window.
+func (k *Kernel) CrashedSeen() bool { return k.crashedSeen }
 
 // dead reports whether the node should execute nothing further: every
 // engine-callback entry point checks it so events scheduled before a crash

@@ -11,6 +11,7 @@ package mpisim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"time"
 
 	"ktau/internal/kernel"
@@ -40,15 +41,44 @@ type msgMeta struct {
 	n   int
 }
 
+// metaQ is the metadata side-channel of one flow direction. The sender
+// pushes from its node's window, the receiver pops from its own, and under
+// parallel execution the two can run concurrently — hence the lock. The
+// *values* popped are nevertheless deterministic: a message's metadata is
+// pushed at send time, at least one wire latency (= one window barrier)
+// before the receiver can have consumed the matching header bytes, so every
+// pop returns an entry whose position in the FIFO was fixed a window ago.
+type metaQ struct {
+	mu sync.Mutex
+	q  []msgMeta
+}
+
+func (m *metaQ) push(v msgMeta) {
+	m.mu.Lock()
+	m.q = append(m.q, v)
+	m.mu.Unlock()
+}
+
+func (m *metaQ) pop() (msgMeta, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.q) == 0 {
+		return msgMeta{}, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}
+
 type flow struct {
 	conn *tcpsim.Conn // local endpoint
-	meta *[]msgMeta   // metadata queue for messages flowing *into* this endpoint
+	meta *metaQ       // metadata queue for messages flowing *into* this endpoint
 }
 
 type pair struct {
 	lo, hi   *tcpsim.Conn
-	metaToLo []msgMeta
-	metaToHi []msgMeta
+	metaToLo metaQ
+	metaToHi metaQ
 }
 
 // World is an MPI job: a set of ranks with lazily established connections.
@@ -104,6 +134,14 @@ func (w *World) flowTo(self, peer int) flow {
 // Launch spawns one task per rank running body and returns the tasks. Task
 // names are prefix.rankN.
 func (w *World) Launch(prefix string, body func(r *Rank)) []*kernel.Task {
+	// Establish the full connection mesh up front: connection setup carries
+	// no simulated cost, and creating pairs lazily would mutate the shared
+	// pair map from concurrently running node windows.
+	for i := 0; i < len(w.specs); i++ {
+		for j := i + 1; j < len(w.specs); j++ {
+			w.pairFor(i, j)
+		}
+	}
 	tasks := make([]*kernel.Task, len(w.specs))
 	for i, spec := range w.specs {
 		r := w.ranks[i]
@@ -164,7 +202,7 @@ func (r *Rank) Send(to, n, tag int) {
 	}
 	r.Tau.Start("MPI_Send()")
 	f := r.w.flowTo(to, r.id) // peer's inbound flow: meta arrives with data
-	*f.meta = append(*f.meta, msgMeta{tag: tag, n: n})
+	f.meta.push(msgMeta{tag: tag, n: n})
 	self := r.w.flowTo(r.id, to)
 	self.conn.Send(r.u, msgHeaderBytes+n)
 	r.Stats.Sends++
@@ -179,11 +217,10 @@ func (r *Rank) Recv(from, tag int) int {
 	r.Tau.Start("MPI_Recv()")
 	f := r.w.flowTo(r.id, from)
 	f.conn.Recv(r.u, msgHeaderBytes)
-	if len(*f.meta) == 0 {
+	m, ok := f.meta.pop()
+	if !ok {
 		panic("mpisim: header arrived with no metadata (framing bug)")
 	}
-	m := (*f.meta)[0]
-	*f.meta = (*f.meta)[1:]
 	if m.tag != tag {
 		panic(fmt.Sprintf("mpisim: rank %d expected tag %d from %d, got %d",
 			r.id, tag, from, m.tag))

@@ -155,7 +155,7 @@ func TestTwoRanksPerNodeShareNIC(t *testing.T) {
 		if !c.RunUntilDone(tasks, 120*time.Second) {
 			t.Fatal("bandwidth test deadlocked")
 		}
-		return c.Eng.Now().Duration()
+		return c.Now().Duration()
 	}
 	shared := run(2, 2)
 	spread := run(4, 1)
@@ -221,7 +221,7 @@ func TestDeterministicMPIRun(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			vol += w.Rank(i).Task.VolSwitches
 		}
-		return c.Eng.Now().Duration(), vol
+		return c.Now().Duration(), vol
 	}
 	d1, v1 := run()
 	d2, v2 := run()

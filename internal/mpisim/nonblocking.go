@@ -26,7 +26,7 @@ type Request struct {
 func (r *Rank) Isend(to, n, tag int) *Request {
 	r.Tau.Start("MPI_Isend()")
 	f := r.w.flowTo(to, r.id)
-	*f.meta = append(*f.meta, msgMeta{tag: tag, n: n})
+	f.meta.push(msgMeta{tag: tag, n: n})
 	self := r.w.flowTo(r.id, to)
 	self.conn.Send(r.u, msgHeaderBytes+n)
 	r.Stats.Sends++
@@ -56,11 +56,10 @@ func (r *Rank) Wait(req *Request) int {
 	r.Tau.Start("MPI_Wait()")
 	f := r.w.flowTo(r.id, req.from)
 	f.conn.Recv(r.u, msgHeaderBytes)
-	if len(*f.meta) == 0 {
+	m, ok := f.meta.pop()
+	if !ok {
 		panic("mpisim: header arrived with no metadata (framing bug)")
 	}
-	m := (*f.meta)[0]
-	*f.meta = (*f.meta)[1:]
 	if m.tag != req.tag {
 		panic(fmt.Sprintf("mpisim: rank %d expected tag %d from %d, got %d",
 			r.id, req.tag, req.from, m.tag))

@@ -7,6 +7,7 @@
 package netsim
 
 import (
+	"sync/atomic"
 	"time"
 
 	"ktau/internal/sim"
@@ -78,18 +79,31 @@ type Impairment struct {
 }
 
 // ImpairFunc inspects a frame about to be transmitted (Src/Dst already set)
-// and returns the fault verdict. It runs in engine context and must be
-// deterministic for reproducible runs.
-type ImpairFunc func(f Frame) Impairment
+// and returns the fault verdict. It runs in the sending node's engine
+// context — now is that engine's clock — and must be deterministic for
+// reproducible runs. Under parallel execution it may be called from several
+// nodes' windows concurrently, so any shared state it touches must be both
+// synchronised and interleaving-insensitive (e.g. per-source RNG streams).
+type ImpairFunc func(now sim.Time, f Frame) Impairment
+
+// CrossDeliverFunc hands a cross-node delivery to the execution layer: run
+// fn at virtual time at on the destination NIC's engine, on behalf of the
+// source NIC's engine. The cluster wires this to the windowed runner's
+// deterministic merge; when unset, deliveries are scheduled directly on the
+// destination engine (valid only when all NICs share one engine).
+type CrossDeliverFunc func(src, dst *NIC, at sim.Time, fn func())
 
 // Network is the switched interconnect joining all node NICs.
 type Network struct {
-	eng    *sim.Engine
-	spec   LinkSpec
-	nics   map[string]*NIC
-	impair ImpairFunc
+	eng     *sim.Engine // default engine for Attach (single-engine setups)
+	spec    LinkSpec
+	nics    map[string]*NIC
+	impair  ImpairFunc
+	deliver CrossDeliverFunc
 
-	// Stats counts delivered traffic and fault-layer activity.
+	// Stats counts delivered traffic and fault-layer activity. Under
+	// parallel execution the counters are updated atomically from several
+	// node windows; read them only when the simulation is quiescent.
 	Stats struct {
 		Frames uint64
 		Bytes  uint64
@@ -107,7 +121,8 @@ type Network struct {
 	}
 }
 
-// New creates a network on the engine.
+// New creates a network whose NICs all live on the given engine. Multi-engine
+// setups attach each NIC to its own engine with AttachOn instead.
 func New(eng *sim.Engine, spec LinkSpec) *Network {
 	if spec.BandwidthBps <= 0 || spec.MTU <= 0 {
 		panic("netsim: LinkSpec must set BandwidthBps and MTU")
@@ -124,12 +139,26 @@ func (n *Network) Spec() LinkSpec { return n.spec }
 // SetImpair installs (or clears, with nil) the fault layer's per-frame hook.
 func (n *Network) SetImpair(fn ImpairFunc) { n.impair = fn }
 
-// Attach creates (or returns) the NIC for a node.
+// SetCrossDeliver installs the cross-engine delivery hook.
+func (n *Network) SetCrossDeliver(fn CrossDeliverFunc) { n.deliver = fn }
+
+// Attach creates (or returns) the NIC for a node on the network's default
+// engine.
 func (n *Network) Attach(node string) *NIC {
+	return n.AttachOn(node, n.eng, len(n.nics))
+}
+
+// AttachOn creates (or returns) the NIC for a node on the given engine.
+// idx is the engine's index in the runner driving the cluster; it is the
+// source/destination key of the deterministic cross-engine merge.
+func (n *Network) AttachOn(node string, eng *sim.Engine, idx int) *NIC {
 	if nic, ok := n.nics[node]; ok {
 		return nic
 	}
-	nic := &NIC{net: n, Node: node}
+	if eng == nil {
+		panic("netsim: attach with nil engine")
+	}
+	nic := &NIC{net: n, Node: node, eng: eng, idx: idx}
 	n.nics[node] = nic
 	return nic
 }
@@ -138,6 +167,8 @@ func (n *Network) Attach(node string) *NIC {
 type NIC struct {
 	net  *Network
 	Node string
+	eng  *sim.Engine
+	idx  int
 
 	txFreeAt sim.Time
 	rxq      []Frame
@@ -158,8 +189,20 @@ func (n *Network) txTime(bytes int) time.Duration {
 	return time.Duration(int64(bytes) * 8 * int64(time.Second) / n.spec.BandwidthBps)
 }
 
+// schedule routes one delivery to the destination, crossing engines through
+// the deterministic merge when one is installed.
+func (nic *NIC) schedule(dst *NIC, at sim.Time, f Frame) {
+	if dst == nic || nic.net.deliver == nil {
+		dst.eng.At(at, func() { dst.deliver(f) })
+		return
+	}
+	nic.net.deliver(nic, dst, at, func() { dst.deliver(f) })
+}
+
 // Send transmits a frame. Same-node frames take the loopback path; others
 // serialize through this NIC's link and arrive after the wire latency.
+// Cross-node arrivals are always at least LinkSpec.Latency in the future,
+// which is the lookahead guarantee the windowed runner relies on.
 func (nic *NIC) Send(f Frame) {
 	n := nic.net
 	f.Src = nic.Node
@@ -173,9 +216,9 @@ func (nic *NIC) Send(f Frame) {
 	var arrival sim.Time
 	if f.Dst == nic.Node {
 		copyT := time.Duration(int64(f.Bytes) * 8 * int64(time.Second) / n.spec.LoopbackBps)
-		arrival = n.eng.Now().Add(n.spec.LoopbackLatency + copyT)
+		arrival = nic.eng.Now().Add(n.spec.LoopbackLatency + copyT)
 	} else {
-		start := n.eng.Now()
+		start := nic.eng.Now()
 		if nic.txFreeAt > start {
 			start = nic.txFreeAt
 		}
@@ -186,43 +229,49 @@ func (nic *NIC) Send(f Frame) {
 
 	// Fault layer: loopback traffic never touches the wire and is exempt.
 	if n.impair != nil && f.Dst != nic.Node {
-		imp := n.impair(f)
+		imp := n.impair(nic.eng.Now(), f)
 		if imp.Extra > 0 {
 			arrival = arrival.Add(imp.Extra)
-			n.Stats.Delayed++
+			atomic.AddUint64(&n.Stats.Delayed, 1)
 		}
 		if imp.Corrupt {
 			f.Corrupt = true
-			n.Stats.Corrupted++
+			atomic.AddUint64(&n.Stats.Corrupted, 1)
 		}
 		if imp.Drop {
-			n.Stats.Dropped++
+			atomic.AddUint64(&n.Stats.Dropped, 1)
 			if imp.RedeliverAfter <= 0 {
 				return // lost for good
 			}
-			n.Stats.Retransmits++
+			atomic.AddUint64(&n.Stats.Retransmits, 1)
 			arrival = arrival.Add(imp.RedeliverAfter)
 		}
 		if imp.Duplicate {
-			n.Stats.Duplicated++
+			atomic.AddUint64(&n.Stats.Duplicated, 1)
 			dup := f
 			dup.Dup = true
-			n.eng.At(arrival, func() { dst.deliver(dup) })
+			nic.schedule(dst, arrival, dup)
 		}
 	}
-	n.eng.At(arrival, func() { dst.deliver(f) })
+	nic.schedule(dst, arrival, f)
 }
 
 func (nic *NIC) deliver(f Frame) {
 	nic.rxq = append(nic.rxq, f)
 	nic.Stats.RxFrames++
 	nic.Stats.RxBytes += uint64(f.Bytes)
-	nic.net.Stats.Frames++
-	nic.net.Stats.Bytes += uint64(f.Bytes)
+	atomic.AddUint64(&nic.net.Stats.Frames, 1)
+	atomic.AddUint64(&nic.net.Stats.Bytes, uint64(f.Bytes))
 	if nic.OnRx != nil {
 		nic.OnRx()
 	}
 }
+
+// Engine returns the engine this NIC (and its node) runs on.
+func (nic *NIC) Engine() *sim.Engine { return nic.eng }
+
+// Idx returns the NIC's engine index in the cluster runner.
+func (nic *NIC) Idx() int { return nic.idx }
 
 // Spec returns the link parameters of the network this NIC is attached to.
 func (nic *NIC) Spec() LinkSpec { return nic.net.spec }
@@ -245,7 +294,7 @@ func (nic *NIC) Drain(max int) []Frame {
 // TxBacklog reports how far in the future this NIC's transmit link is
 // committed (0 if idle) — a congestion signal for tests.
 func (nic *NIC) TxBacklog() time.Duration {
-	now := nic.net.eng.Now()
+	now := nic.eng.Now()
 	if nic.txFreeAt <= now {
 		return 0
 	}

@@ -26,6 +26,7 @@ package perfmon
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"ktau/internal/cluster"
@@ -102,11 +103,15 @@ func (c *Config) defaults() {
 // Elect picks the collector node deterministically among live nodes: the
 // node with the most CPUs wins (it absorbs the aggregation load), ties
 // broken by lowest index — a stand-in for a leader election among identical
-// daemons. It returns -1 when no live node exists.
+// daemons. It returns -1 when no live node exists. Liveness is judged from
+// the barrier-published crash views (Kernel.CrashedSeen), so an election run
+// from inside any node's window is deterministic; after crashing a node by
+// hand while the cluster is quiescent, call Cluster.PublishViews before
+// electing.
 func Elect(c *cluster.Cluster) int {
 	best := -1
 	for i, n := range c.Nodes {
-		if n.K.Crashed() {
+		if n.K.CrashedSeen() {
 			continue
 		}
 		if best < 0 || n.K.NumCPUs() > c.Node(best).K.NumCPUs() {
@@ -120,26 +125,99 @@ func Elect(c *cluster.Cluster) int {
 // the simulated TCP stream carries matching byte counts (the same framing
 // convention mpisim uses), so the transfer is fully charged as kernel work
 // on both nodes while the decoded payload rides alongside deterministically.
+//
+// The pending queue is pushed from the agent's node window and popped from
+// the collector's, which can overlap under parallel execution — hence the
+// lock. The popped values are still deterministic: a payload is pushed at
+// send time, at least one wire latency (= one window barrier) before the
+// sink can have received the matching preamble bytes. replaced is set and
+// read only in the sink node's engine context (the agent retires a link by
+// posting the flip through the runner), so the sink's exit decision cannot
+// depend on worker interleaving.
 type link struct {
 	nodeIdx   int          // monitored node this link carries
+	sinkNode  int          // collector node the sink runs on
 	agentConn *tcpsim.Conn // agent-side endpoint
 	sinkConn  *tcpsim.Conn // collector-side endpoint
-	pending   [][]byte     // encoded frames in flight, FIFO
+
+	mu       sync.Mutex
+	pending  [][]byte // encoded frames in flight, FIFO
+	replaced bool     // the agent abandoned this link (failover/reconnect)
+}
+
+func (l *link) push(p []byte) {
+	l.mu.Lock()
+	l.pending = append(l.pending, p)
+	l.mu.Unlock()
+}
+
+func (l *link) peek() ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return nil, false
+	}
+	return l.pending[0], true
+}
+
+func (l *link) popFront() {
+	l.mu.Lock()
+	if len(l.pending) > 0 {
+		l.pending = l.pending[1:]
+	}
+	l.mu.Unlock()
+}
+
+func (l *link) empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending) == 0
+}
+
+// clearPending discards queued payloads after a failed send; the stream
+// (and anything on it) is considered lost.
+func (l *link) clearPending() {
+	l.mu.Lock()
+	l.pending = nil
+	l.mu.Unlock()
+}
+
+// retire marks the link abandoned by its agent. Runs on the sink node's
+// engine.
+func (l *link) retire() {
+	l.mu.Lock()
+	l.pending = nil
+	l.replaced = true
+	l.mu.Unlock()
+}
+
+func (l *link) isReplaced() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replaced
 }
 
 // PerfMon is a deployed monitoring pipeline.
 type PerfMon struct {
-	cfg       Config
-	c         *cluster.Cluster
-	store     *Store
-	collector int
+	cfg   Config
+	c     *cluster.Cluster
+	store *Store
+	// agents is indexed by node. agentDone is its barrier-published exit
+	// view: sinks on the collector read it instead of the live task state.
 	agents    []*kernel.Task
-	sinks     []*kernel.Task
-	// links is indexed by node; the collector's own entry is nil (it ingests
-	// locally). Entries are swapped during failover.
-	links     []*link
-	failovers int
+	agentDone []bool
 	stopped   bool
+
+	// mu guards the collector-side bookkeeping below. It is mutated only in
+	// collector-node engine contexts (directly, or via closures posted
+	// through the runner) and read back by user code once the cluster is
+	// quiescent; the lock is belt-and-braces for pathological multi-crash
+	// cascades.
+	mu         sync.Mutex
+	collector  int
+	sinks      []*kernel.Task
+	failovers  int
+	downMarked map[string]bool
 }
 
 // Deploy elects a collector, connects every other node to it over the
@@ -152,33 +230,45 @@ func Deploy(c *cluster.Cluster, cfg Config) (*PerfMon, error) {
 	if len(c.Nodes) == 0 {
 		return nil, errors.New("perfmon: cannot deploy on an empty cluster")
 	}
+	// Deploy runs while the cluster is quiescent; refresh the published
+	// views so the election sees any crash injected since the last barrier.
+	c.PublishViews()
 	collector := cfg.Collector
-	if collector < 0 || collector >= len(c.Nodes) || c.Node(collector).K.Crashed() {
+	if collector < 0 || collector >= len(c.Nodes) || c.Node(collector).K.CrashedSeen() {
 		collector = Elect(c)
 	}
 	if collector < 0 {
 		return nil, errors.New("perfmon: no live node to collect on")
 	}
 	pm := &PerfMon{
-		cfg:       cfg,
-		c:         c,
-		store:     NewStore(cfg.Store),
-		collector: collector,
-		links:     make([]*link, len(c.Nodes)),
+		cfg:        cfg,
+		c:          c,
+		store:      NewStore(cfg.Store),
+		collector:  collector,
+		agentDone:  make([]bool, len(c.Nodes)),
+		downMarked: make(map[string]bool),
 	}
 	for i, n := range c.Nodes {
 		if i == collector {
 			// The collector monitors itself without a network hop.
-			pm.agents = append(pm.agents, pm.spawnAgent(i, n))
+			pm.agents = append(pm.agents, pm.spawnAgent(i, n, collector, nil))
 			continue
 		}
 		agentConn, sinkConn := tcpsim.Connect(n.Stack, c.Node(collector).Stack)
-		l := &link{nodeIdx: i, agentConn: agentConn, sinkConn: sinkConn}
-		pm.links[i] = l
-		pm.agents = append(pm.agents, pm.spawnAgent(i, n))
+		l := &link{nodeIdx: i, sinkNode: collector, agentConn: agentConn, sinkConn: sinkConn}
+		pm.agents = append(pm.agents, pm.spawnAgent(i, n, collector, l))
 		pm.sinks = append(pm.sinks, pm.spawnSink(c.Node(collector), l))
 	}
+	c.Runner.OnBarrier(pm.publishViews)
 	return pm, nil
+}
+
+// publishViews refreshes the barrier-published agent-exit flags the sinks
+// read. Runs at every window barrier.
+func (pm *PerfMon) publishViews() {
+	for i, t := range pm.agents {
+		pm.agentDone[i] = t.Exited()
+	}
 }
 
 // Store returns the collector's time-series store.
@@ -186,10 +276,18 @@ func (pm *PerfMon) Store() *Store { return pm.store }
 
 // Collector returns the current collector node index (it changes when the
 // elected node dies and the agents fail over).
-func (pm *PerfMon) Collector() int { return pm.collector }
+func (pm *PerfMon) Collector() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.collector
+}
 
 // Failovers returns how many collector re-elections have happened.
-func (pm *PerfMon) Failovers() int { return pm.failovers }
+func (pm *PerfMon) Failovers() int {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.failovers
+}
 
 // Config returns the deployment configuration (defaults applied).
 func (pm *PerfMon) Config() Config { return pm.cfg }
@@ -198,6 +296,8 @@ func (pm *PerfMon) Config() Config { return pm.cfg }
 // RunUntilDone over these drains the pipeline after Stop or bounded Rounds.
 // Failover spawns replacement sinks, so re-query after driving the engine.
 func (pm *PerfMon) Tasks() []*kernel.Task {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	out := make([]*kernel.Task, 0, len(pm.agents)+len(pm.sinks))
 	out = append(out, pm.agents...)
 	out = append(out, pm.sinks...)
@@ -209,7 +309,11 @@ func (pm *PerfMon) Agents() []*kernel.Task { return pm.agents }
 
 // Sinks returns the collector-side receiver tasks (including any
 // replacements spawned by failover).
-func (pm *PerfMon) Sinks() []*kernel.Task { return pm.sinks }
+func (pm *PerfMon) Sinks() []*kernel.Task {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return append([]*kernel.Task(nil), pm.sinks...)
+}
 
 // Stop asks every agent to perform one final collection round (flagged
 // Last) and exit; sinks exit after ingesting the final frame. Drive the
@@ -299,16 +403,25 @@ func (a *agentState) gapFrame(node string, idx, round, cpus int, last bool) Fram
 	}
 }
 
+// agentRoute is one agent's private view of where its frames go. Each agent
+// owns its own route — there is no shared routing table to race on — and
+// re-elects from the barrier-published crash views when its link breaks.
+type agentRoute struct {
+	collector int   // target node; -1 when no live collector exists
+	l         *link // nil when the agent ingests locally (it is the collector)
+}
+
 // spawnAgent starts the per-node collection daemon. The agent reads through
 // the node's shared procfs instance (so injected procfs faults reach it),
 // retries transient errors with bounded backoff, and always emits a frame
 // per round — a gap frame when the data stayed unreadable — so the sink's
 // Last-frame handshake cannot be skipped.
-func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node) *kernel.Task {
+func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, collector int, l *link) *kernel.Task {
 	h := libktau.Open(n.FS)
 	cfg := pm.cfg
 	return n.K.Spawn("kmond", func(u *kernel.UCtx) {
 		st := newAgentState()
+		route := &agentRoute{collector: collector, l: l}
 		for round := 0; ; round++ {
 			if cfg.Rounds > 0 && round >= cfg.Rounds {
 				return
@@ -358,7 +471,7 @@ func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node) *kernel.Task {
 				u.Compute(time.Duration(readBytes/1024+1) * cfg.ReadCostPerKB)
 			}
 
-			pm.ship(idx, n, u, f, payload)
+			pm.ship(route, idx, n, u, f, payload)
 			if f.Last {
 				return
 			}
@@ -366,60 +479,101 @@ func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node) *kernel.Task {
 	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
 }
 
-// ship delivers one frame to the current collector: locally when this node
-// is the collector, otherwise over the node's link. A send that times out
-// means the collector is unreachable — the agent re-elects and reconnects.
-func (pm *PerfMon) ship(idx int, n *cluster.Node, u *kernel.UCtx, f Frame, payload []byte) {
-	l := pm.links[idx]
-	if idx == pm.collector && l == nil {
+// retireLink tells the link's sink — in the sink's own engine context, so
+// the hand-off is deterministic — that the agent abandoned it.
+func (pm *PerfMon) retireLink(idx int, l *link) {
+	pm.c.CrossCall(idx, l.sinkNode, l.retire)
+}
+
+// noteFailover records one collector transition on the (new) collector's
+// side: first reporter marks the dead node down and bumps the count,
+// followers are deduplicated. Runs in the new collector's engine context.
+func (pm *PerfMon) noteFailover(dead string, newCollector int) {
+	pm.mu.Lock()
+	pm.collector = newCollector
+	first := dead != "" && !pm.downMarked[dead]
+	if first {
+		pm.downMarked[dead] = true
+		pm.failovers++
+	}
+	pm.mu.Unlock()
+	if first {
+		pm.store.MarkDown(dead)
+	}
+}
+
+// ship delivers one frame to the agent's current collector: locally when
+// this node is the collector, otherwise over the agent's link. A send that
+// times out means the collector is unreachable — the agent re-elects and
+// reconnects.
+func (pm *PerfMon) ship(route *agentRoute, idx int, n *cluster.Node, u *kernel.UCtx, f Frame, payload []byte) {
+	if route.collector == idx {
 		pm.store.Ingest(f, 0)
 		return
 	}
-	if l != nil {
-		l.pending = append(l.pending, payload)
-		if l.agentConn.SendTimeout(u, FrameHeaderBytes+len(payload), pm.cfg.SendTimeout) {
+	if route.l != nil {
+		route.l.push(payload)
+		if route.l.agentConn.SendTimeout(u, FrameHeaderBytes+len(payload), pm.cfg.SendTimeout) {
 			return
 		}
 		// The send stalled: the stream (and anything still queued on it) is
 		// considered lost. The store sees the hole as missed rounds.
-		l.pending = nil
+		pm.retireLink(idx, route.l)
+		route.l = nil
 	}
-	pm.reroute(idx, n, u, f, payload)
+	pm.reroute(route, idx, n, u, f, payload)
 }
 
-// reroute reconnects a node to the current collector after its link broke,
-// re-electing first when the collector node itself is dead. The frame that
-// triggered the reroute is re-shipped on the fresh link (or ingested
-// locally when this node just became the collector).
-func (pm *PerfMon) reroute(idx int, n *cluster.Node, u *kernel.UCtx, f Frame, payload []byte) {
-	if pm.c.Node(pm.collector).K.Crashed() {
-		dead := pm.c.Node(pm.collector).Name
+// reroute reconnects a node to a live collector after its link broke,
+// re-electing first when the collector node itself is dead (judged from the
+// barrier-published crash views). The frame that triggered the reroute is
+// re-shipped on the fresh link (or ingested locally when this node just
+// became the collector). Collector-side bookkeeping — sink spawn, failover
+// accounting, marking the dead node down — is posted to the new collector's
+// engine through the runner, keeping every store mutation in a collector
+// context.
+func (pm *PerfMon) reroute(route *agentRoute, idx int, n *cluster.Node, u *kernel.UCtx, f Frame, payload []byte) {
+	dead := ""
+	if route.collector < 0 || pm.c.Node(route.collector).K.CrashedSeen() {
+		if route.collector >= 0 {
+			dead = pm.c.Node(route.collector).Name
+		}
 		next := Elect(pm.c)
 		if next < 0 {
 			// Nobody left to collect on: degrade to silence. The agent keeps
 			// running so a later operator intervention could still reach it.
-			pm.links[idx] = nil
+			route.collector = -1
+			route.l = nil
 			return
 		}
-		pm.collector = next
-		pm.failovers++
-		pm.store.MarkDown(dead)
+		route.collector = next
 	}
-	if idx == pm.collector {
-		pm.links[idx] = nil
+	if route.collector == idx {
+		// This node just became the collector: account for the transition
+		// right here (this is the collector's engine context) and ingest
+		// locally from now on.
+		route.l = nil
+		pm.noteFailover(dead, idx)
 		pm.store.Ingest(f, 0)
 		return
 	}
-	cn := pm.c.Node(pm.collector)
+	cn := pm.c.Node(route.collector)
 	agentConn, sinkConn := tcpsim.Connect(n.Stack, cn.Stack)
-	l := &link{nodeIdx: idx, agentConn: agentConn, sinkConn: sinkConn}
-	pm.links[idx] = l
-	pm.sinks = append(pm.sinks, pm.spawnSink(cn, l))
-	l.pending = append(l.pending, payload)
+	l := &link{nodeIdx: idx, sinkNode: route.collector, agentConn: agentConn, sinkConn: sinkConn}
+	route.l = l
+	newCollector := route.collector
+	pm.c.CrossCall(idx, newCollector, func() {
+		pm.noteFailover(dead, newCollector)
+		sink := pm.spawnSink(cn, l)
+		pm.mu.Lock()
+		pm.sinks = append(pm.sinks, sink)
+		pm.mu.Unlock()
+	})
+	l.push(payload)
 	if !l.agentConn.SendTimeout(u, FrameHeaderBytes+len(payload), pm.cfg.SendTimeout) {
 		// Still unreachable (e.g. the replacement died too, or a partition):
 		// give up on this round; the next round retries the whole path.
-		l.pending = nil
+		pm.c.CrossCall(idx, l.sinkNode, l.clearPending)
 	}
 }
 
@@ -437,14 +591,14 @@ func (pm *PerfMon) spawnSink(n *cluster.Node, l *link) *kernel.Task {
 		for {
 			if !l.sinkConn.RecvTimeout(u, FrameHeaderBytes, cfg.RecvTimeout) {
 				timeouts++
-				if pm.links[l.nodeIdx] != l {
+				if l.isReplaced() {
 					return // failover replaced this link; the new sink owns the stream
 				}
-				if node.K.Crashed() {
+				if node.K.CrashedSeen() {
 					pm.store.MarkDown(node.Name)
 					return
 				}
-				if pm.agents[l.nodeIdx].Exited() && len(l.pending) == 0 {
+				if pm.agentDone[l.nodeIdx] && l.empty() {
 					return // agent finished and the stream is drained
 				}
 				if timeouts >= cfg.PeerDownAfter {
@@ -454,24 +608,24 @@ func (pm *PerfMon) spawnSink(n *cluster.Node, l *link) *kernel.Task {
 				continue
 			}
 			timeouts = 0
-			if len(l.pending) == 0 {
+			payload, ok := l.peek()
+			if !ok {
 				// Framing desync: preamble bytes with no queued payload.
 				pm.store.Drop(node.Name)
 				continue
 			}
-			payload := l.pending[0]
 			if !l.sinkConn.RecvTimeout(u, len(payload), cfg.RecvTimeout) {
 				timeouts++
-				if pm.links[l.nodeIdx] != l || node.K.Crashed() || timeouts >= cfg.PeerDownAfter {
+				if l.isReplaced() || node.K.CrashedSeen() || timeouts >= cfg.PeerDownAfter {
 					pm.store.Drop(node.Name)
-					if node.K.Crashed() || timeouts >= cfg.PeerDownAfter {
+					if node.K.CrashedSeen() || timeouts >= cfg.PeerDownAfter {
 						pm.store.MarkDown(node.Name)
 					}
 					return
 				}
 				continue // body still in flight; wait again without consuming
 			}
-			l.pending = l.pending[1:]
+			l.popFront()
 			corrupt := l.sinkConn.TakeCorrupt()
 			f, err := DecodeFrame(payload)
 			if corrupt || err != nil {

@@ -90,11 +90,13 @@ func TestElectSkipsCrashedNodes(t *testing.T) {
 		t.Fatalf("Elect = %d, want 0", got)
 	}
 	c.Node(0).K.Crash()
+	c.PublishViews()
 	if got := Elect(c); got != 1 {
 		t.Fatalf("Elect with node 0 crashed = %d, want 1", got)
 	}
 	c.Node(1).K.Crash()
 	c.Node(2).K.Crash()
+	c.PublishViews()
 	if got := Elect(c); got != -1 {
 		t.Fatalf("Elect with all nodes crashed = %d, want -1", got)
 	}

@@ -11,6 +11,7 @@ import (
 	"ktau/internal/ktau"
 	"ktau/internal/netsim"
 	"ktau/internal/procfs"
+	"ktau/internal/sim"
 	"ktau/internal/tcpsim"
 )
 
@@ -81,8 +82,8 @@ func runCollectorCrash(t *testing.T, seed uint64) (*PerfMon, *Store) {
 	t.Helper()
 	c, pm := bootFaultCluster(t, 4, seed, 25)
 	t.Cleanup(c.Shutdown)
-	crashAt := c.Eng.Now().Add(150 * time.Millisecond)
-	c.Eng.At(crashAt, func() { c.Node(0).K.Crash() })
+	crashAt := c.Now().Add(150 * time.Millisecond)
+	c.Node(0).Eng.At(crashAt, func() { c.Node(0).K.Crash() })
 	drain(t, c, pm)
 	return pm, pm.Store()
 }
@@ -160,10 +161,9 @@ func TestSinkDropsCorruptFrames(t *testing.T) {
 
 	// Corrupt every monitoring frame node1 sends during an early window (the
 	// final rounds stay clean so the Last handshake is undamaged).
-	from := c.Eng.Now().Add(30 * time.Millisecond)
-	to := c.Eng.Now().Add(150 * time.Millisecond)
-	c.Net.SetImpair(func(f netsim.Frame) netsim.Impairment {
-		now := c.Eng.Now()
+	from := c.Now().Add(30 * time.Millisecond)
+	to := c.Now().Add(150 * time.Millisecond)
+	c.Net.SetImpair(func(now sim.Time, f netsim.Frame) netsim.Impairment {
 		if f.Src == "node1" && f.Dst == "node0" && now >= from && now < to {
 			return netsim.Impairment{Corrupt: true}
 		}
@@ -198,9 +198,9 @@ func TestUnreadableFinalRoundStillEmitsLast(t *testing.T) {
 	// node1's /proc/ktau fails every read from mid-run on — including every
 	// retry of the final round. The agent must ship a gap Last frame so the
 	// sink's Recv does not block forever (the collector.go:193 regression).
-	failFrom := c.Eng.Now().Add(60 * time.Millisecond)
+	failFrom := c.Now().Add(60 * time.Millisecond)
 	c.Node(1).FS.SetFaultHook(func(op string) error {
-		if c.Eng.Now() >= failFrom {
+		if c.Node(1).Eng.Now() >= failFrom {
 			return procfs.ErrTransient
 		}
 		return nil

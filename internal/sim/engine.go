@@ -138,26 +138,47 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t (if it is not already past it). Events scheduled beyond t remain queued.
+// If Stop interrupts the window the clock is left where the last event ran:
+// fast-forwarding past still-pending events would make time run backwards
+// when they later fire.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.pq) == 0 {
-			break
-		}
-		// Peek.
-		next := e.pq[0]
-		if next.canceled {
-			heap.Pop(&e.pq)
-			continue
-		}
-		if next.at > t {
+		if len(e.pq) == 0 || e.pq[0].at > t {
 			break
 		}
 		e.Step()
 	}
-	if e.now < t {
+	if !e.stopped && e.now < t {
 		e.now = t
 	}
+}
+
+// RunWindow executes events with timestamps strictly before end, then
+// advances the clock to end. It is the engine-local half of a conservative
+// lookahead window: the caller guarantees no event earlier than end can
+// still arrive from outside. As in RunUntil, Stop leaves the clock at the
+// last executed event.
+func (e *Engine) RunWindow(end Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.pq) == 0 || e.pq[0].at >= end {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
+}
+
+// NextEventAt reports the timestamp of the earliest pending event and whether
+// one exists.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
 }
 
 // Stop makes the innermost Run/RunUntil return after the current event

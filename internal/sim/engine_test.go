@@ -91,6 +91,70 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineRunUntilStopPreservesNow(t *testing.T) {
+	// Regression: RunUntil used to fast-forward the clock to t even when a
+	// Stop interrupted the window, silently skipping the span between the
+	// stop point and t.
+	e := NewEngine()
+	e.After(time.Millisecond, func() { e.Stop() })
+	later := false
+	e.After(2*time.Millisecond, func() { later = true })
+	e.RunUntil(Time(int64(10 * time.Millisecond)))
+	if e.Now() != Time(int64(time.Millisecond)) {
+		t.Errorf("clock after Stop = %v, want 1ms (the stop point)", e.Now())
+	}
+	if later {
+		t.Error("event after the stop point ran")
+	}
+	// Resuming completes the window and only then fast-forwards.
+	e.RunUntil(Time(int64(10 * time.Millisecond)))
+	if !later || e.Now() != Time(int64(10*time.Millisecond)) {
+		t.Errorf("resume: later=%v now=%v, want true/10ms", later, e.Now())
+	}
+}
+
+func TestEngineRunUntilFiresEventExactlyAtLimit(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	at := Time(int64(5 * time.Millisecond))
+	e.At(at, func() { fired = true })
+	e.RunUntil(at)
+	if !fired {
+		t.Error("event exactly at the RunUntil limit did not fire")
+	}
+	if e.Now() != at {
+		t.Errorf("now = %v, want %v", e.Now(), at)
+	}
+}
+
+func TestEngineRunWindowHalfOpen(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.At(Time(int64(time.Millisecond)), func() { fired = append(fired, 1) })
+	end := Time(int64(2 * time.Millisecond))
+	e.At(end, func() { fired = append(fired, 2) })
+	e.RunWindow(end)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Errorf("window [0,2ms) fired %v, want [1]", fired)
+	}
+	if e.Now() != end {
+		t.Errorf("now = %v, want window end %v", e.Now(), end)
+	}
+	e.RunWindow(Time(int64(3 * time.Millisecond)))
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Errorf("next window fired %v, want [1 2]", fired)
+	}
+}
+
+func TestEngineRunWindowStopPreservesNow(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Millisecond, func() { e.Stop() })
+	e.RunWindow(Time(int64(5 * time.Millisecond)))
+	if e.Now() != Time(int64(time.Millisecond)) {
+		t.Errorf("clock after Stop = %v, want 1ms", e.Now())
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := NewEngine()
 	ran := 0

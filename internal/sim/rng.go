@@ -11,6 +11,9 @@ import (
 // randomness never perturbs the draws seen by existing components.
 type RNG struct {
 	state uint64
+	// base is the construction-time state, kept so Stream derivation does
+	// not depend on how many draws the parent has made.
+	base uint64
 	// cached spare normal deviate for Box-Muller
 	hasSpare bool
 	spare    float64
@@ -22,15 +25,19 @@ func NewRNG(seed uint64) *RNG {
 	if r.state == 0 {
 		r.state = 0x9e3779b97f4a7c15
 	}
+	r.base = r.state
 	return r
 }
 
 // Stream derives an independent named sub-stream. The name is hashed so the
-// mapping is stable across runs and code changes elsewhere.
+// mapping is stable across runs and code changes elsewhere, and derivation
+// uses the parent's construction-time state — not its live state — so the
+// sub-stream's contents do not depend on how many draws the parent (or any
+// sibling) made first.
 func (r *RNG) Stream(name string) *RNG {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	s := r.state ^ h.Sum64()
+	s := r.base ^ h.Sum64()
 	return NewRNG(s)
 }
 

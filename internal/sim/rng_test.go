@@ -30,6 +30,36 @@ func TestRNGNamedStreamsIndependent(t *testing.T) {
 	}
 }
 
+func TestRNGStreamIndependentOfDrawPosition(t *testing.T) {
+	// Regression: Stream used to derive from the parent's *live* state, so
+	// drawing from the parent before deriving changed the child sequence.
+	a := NewRNG(42)
+	s := a.Stream("x")
+	want := make([]uint64, 16)
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	b := NewRNG(42)
+	for i := 0; i < 7; i++ {
+		b.Uint64()
+	}
+	s2 := b.Stream("x")
+	for i := range want {
+		if got := s2.Uint64(); got != want[i] {
+			t.Fatalf("draw %d: stream derived after parent draws diverged (%d != %d)", i, got, want[i])
+		}
+	}
+	// Deriving must also not perturb the parent.
+	c := NewRNG(42)
+	d := NewRNG(42)
+	c.Stream("anything")
+	for i := 0; i < 16; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Stream derivation perturbed the parent sequence")
+		}
+	}
+}
+
 func TestRNGFloat64Range(t *testing.T) {
 	r := NewRNG(1)
 	for i := 0; i < 10000; i++ {

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// xev is a cross-engine event parked in the runner's inbox until the next
+// barrier flush. The (at, src, seq) triple is a strict total order: seq is
+// per-source and each source engine executes sequentially, so the key — and
+// therefore the merged delivery order — is independent of how worker
+// goroutines interleave.
+type xev struct {
+	at  Time
+	dst int
+	src int
+	seq uint64
+	fn  func()
+}
+
+// Runner executes a set of engines (one per simulated node) under
+// conservative time-windowed synchronisation. All engines run concurrently
+// through a window of virtual time no longer than the lookahead — the
+// minimum latency of any cross-engine interaction — with a barrier between
+// windows. Any event an engine posts for another engine is at least one
+// lookahead in the future, so it always lands in a window the destination
+// has not started yet; posts are merged at the barrier in (time, source,
+// per-source sequence) order, making the schedule byte-identical regardless
+// of worker count. A Runner with workers=1 is the serial execution mode:
+// it takes the exact same scheduling decisions as a parallel run.
+type Runner struct {
+	engines   []*Engine
+	lookahead time.Duration
+	workers   int
+
+	now Time
+
+	mu        sync.Mutex
+	inbox     []xev
+	seqs      []uint64
+	inWindow  bool
+	windowEnd Time
+
+	hooks []func()
+}
+
+// NewRunner returns a runner over the given engines. lookahead must be
+// positive; workers is clamped to [1, len(engines)].
+func NewRunner(engines []*Engine, lookahead time.Duration, workers int) *Runner {
+	if len(engines) == 0 {
+		panic("sim: runner needs at least one engine")
+	}
+	if lookahead <= 0 {
+		panic("sim: runner lookahead must be positive")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	return &Runner{
+		engines:   engines,
+		lookahead: lookahead,
+		workers:   workers,
+		seqs:      make([]uint64, len(engines)),
+	}
+}
+
+// Now returns the runner's virtual time: the end of the last completed
+// window. Individual engine clocks never lag it between windows.
+func (r *Runner) Now() Time { return r.now }
+
+// Lookahead returns the window length.
+func (r *Runner) Lookahead() time.Duration { return r.lookahead }
+
+// Workers returns the number of worker goroutines used per window.
+func (r *Runner) Workers() int { return r.workers }
+
+// Engines returns the engines the runner drives (index = engine id used by
+// Post). The slice must not be mutated.
+func (r *Runner) Engines() []*Engine { return r.engines }
+
+// OnBarrier registers fn to run on the runner's goroutine at every window
+// barrier, after all engines have finished the window and cross-engine
+// events have been merged. Barrier hooks are the sanctioned way to publish
+// one node's state for other nodes to read in the next window.
+func (r *Runner) OnBarrier(fn func()) {
+	if fn == nil {
+		panic("sim: nil barrier hook")
+	}
+	r.hooks = append(r.hooks, fn)
+}
+
+// Post schedules fn at virtual time at on engine dst, on behalf of engine
+// src. It is the only safe way to schedule across engines while a window is
+// running, and it panics if at lands inside the current window — that is a
+// lookahead violation and would make results depend on worker interleaving.
+func (r *Runner) Post(src, dst int, at Time, fn func()) {
+	if src < 0 || src >= len(r.engines) || dst < 0 || dst >= len(r.engines) {
+		panic(fmt.Sprintf("sim: post with engine out of range (src=%d dst=%d n=%d)", src, dst, len(r.engines)))
+	}
+	if fn == nil {
+		panic("sim: nil cross-engine event callback")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inWindow && at < r.windowEnd {
+		panic(fmt.Sprintf("sim: cross-engine post at %v violates lookahead window ending at %v", at, r.windowEnd))
+	}
+	if !r.inWindow && at < r.now {
+		panic(fmt.Sprintf("sim: cross-engine post at %v before now %v", at, r.now))
+	}
+	r.seqs[src]++
+	r.inbox = append(r.inbox, xev{at: at, dst: dst, src: src, seq: r.seqs[src], fn: fn})
+}
+
+// flush drains the inbox into the destination engines in (at, src, seq)
+// order. Called between windows only.
+func (r *Runner) flush() {
+	r.mu.Lock()
+	pend := r.inbox
+	r.inbox = nil
+	r.mu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].at != pend[j].at {
+			return pend[i].at < pend[j].at
+		}
+		if pend[i].src != pend[j].src {
+			return pend[i].src < pend[j].src
+		}
+		return pend[i].seq < pend[j].seq
+	})
+	for _, x := range pend {
+		r.engines[x.dst].At(x.at, x.fn)
+	}
+}
+
+// Step flushes pending cross-engine events and runs one window ending no
+// later than limit, then runs the barrier hooks. The final window — the one
+// whose end is clamped to limit — is closed: events scheduled exactly at
+// limit fire. Empty spans are skipped by starting the window at the earliest
+// pending event. Step returns false, without touching any clock, when no
+// engine has a pending event and the inbox is empty.
+func (r *Runner) Step(limit Time) bool {
+	r.flush()
+	var earliest Time
+	pending := false
+	for _, e := range r.engines {
+		if t, ok := e.NextEventAt(); ok && (!pending || t < earliest) {
+			earliest, pending = t, true
+		}
+	}
+	if !pending {
+		return false
+	}
+	start := r.now
+	if earliest > start {
+		start = earliest
+	}
+	if start > limit {
+		start = limit
+	}
+	end := start.Add(r.lookahead)
+	closed := false
+	if end >= limit {
+		end = limit
+		closed = true
+	}
+
+	r.mu.Lock()
+	r.inWindow = true
+	r.windowEnd = end
+	r.mu.Unlock()
+
+	// Worker goroutines pull engine indices from a shared counter. A panic
+	// inside an engine (a simulated-application bug) is caught per engine,
+	// the remaining engines still finish the window, and the lowest-indexed
+	// panic is re-raised on the caller — the same engine's panic surfaces no
+	// matter how many workers ran or which one hit it first.
+	var next int64
+	var pmu sync.Mutex
+	panicIdx, panicVal := -1, any(nil)
+	var wg sync.WaitGroup
+	wg.Add(r.workers)
+	for w := 0; w < r.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(r.engines) {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							pmu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicVal = i, v
+							}
+							pmu.Unlock()
+						}
+					}()
+					if closed {
+						r.engines[i].RunUntil(end)
+					} else {
+						r.engines[i].RunWindow(end)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
+
+	r.mu.Lock()
+	r.inWindow = false
+	r.mu.Unlock()
+	r.now = end
+	for _, h := range r.hooks {
+		h()
+	}
+	return true
+}
+
+// RunUntil runs windows until virtual time t. If the calendar drains first,
+// every clock is advanced to t so relative scheduling keeps working.
+func (r *Runner) RunUntil(t Time) {
+	for r.now < t {
+		if !r.Step(t) {
+			for _, e := range r.engines {
+				e.RunUntil(t)
+			}
+			r.now = t
+			for _, h := range r.hooks {
+				h()
+			}
+			return
+		}
+	}
+}

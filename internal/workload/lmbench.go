@@ -3,6 +3,7 @@ package workload
 import (
 	"time"
 
+	"ktau/internal/cluster"
 	"ktau/internal/kernel"
 	"ktau/internal/tcpsim"
 )
@@ -78,8 +79,10 @@ func LMBenchCtxSwitch(k *kernel.Kernel, rounds int) time.Duration {
 }
 
 // LMBenchTCP measures small-message latency and large-transfer bandwidth
-// between two connected stacks (tasks are spawned on both nodes).
-func LMBenchTCP(a, b *tcpsim.Stack, rounds, bulkBytes int) (lat time.Duration, bw float64) {
+// between two connected stacks (tasks are spawned on both nodes). The
+// cluster is needed to drive both nodes' engines — cross-node traffic only
+// moves when the windowed runner runs.
+func LMBenchTCP(c *cluster.Cluster, a, b *tcpsim.Stack, rounds, bulkBytes int) (lat time.Duration, bw float64) {
 	ab, ba := tcpsim.Connect(a, b)
 	var rttTotal time.Duration
 	var bulkTime time.Duration
@@ -103,8 +106,7 @@ func LMBenchTCP(a, b *tcpsim.Stack, rounds, bulkBytes int) (lat time.Duration, b
 		ba.Recv(u, bulkBytes)
 		ba.Send(u, 1)
 	}, kernel.SpawnOpts{Kind: kernel.KindUser})
-	driveTask(a.Kernel(), ta, 10*time.Minute)
-	driveTask(b.Kernel(), tb, 10*time.Minute)
+	c.RunUntilDone([]*kernel.Task{ta, tb}, 10*time.Minute)
 	lat = rttTotal / time.Duration(2*rounds)
 	bw = float64(bulkBytes) / bulkTime.Seconds()
 	return lat, bw

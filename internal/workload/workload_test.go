@@ -184,7 +184,7 @@ func TestOverheadDaemonDisruptsCompute(t *testing.T) {
 				schedCycles += ev.Excl
 			}
 		}
-		return c.Eng.Now().Duration(), schedCycles
+		return c.Now().Duration(), schedCycles
 	}
 	cleanTime, cleanSched := run(false)
 	dirtyTime, dirtySched := run(true)
@@ -216,7 +216,7 @@ func TestLMBenchCtxSwitch(t *testing.T) {
 
 func TestLMBenchTCP(t *testing.T) {
 	c := smallCluster(t, 2, nil)
-	lat, bw := LMBenchTCP(c.Node(0).Stack, c.Node(1).Stack, 30, 2_000_000)
+	lat, bw := LMBenchTCP(c, c.Node(0).Stack, c.Node(1).Stack, 30, 2_000_000)
 	if lat < 100*time.Microsecond || lat > 2*time.Millisecond {
 		t.Errorf("tcp latency = %v, implausible for 100Mb ethernet era", lat)
 	}
@@ -307,7 +307,7 @@ func TestEPIsEmbarrassinglyParallel(t *testing.T) {
 		}
 	}
 	// Runtime ~ compute + epsilon.
-	if end := c.Eng.Now().Duration(); end > 260*time.Millisecond {
+	if end := c.Now().Duration(); end > 260*time.Millisecond {
 		t.Errorf("EP took %v for 200ms of parallel compute", end)
 	}
 }

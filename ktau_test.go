@@ -187,7 +187,7 @@ func TestPublicAPIDeterminism(t *testing.T) {
 			}
 		}, ktau.SpawnOpts{})
 		c.RunUntilDone([]*ktau.Task{t1, t2}, time.Minute)
-		return c.Eng.Now()
+		return c.Now()
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("public API runs nondeterministic: %v vs %v", a, b)
@@ -272,7 +272,7 @@ func TestPublicAPILMBench(t *testing.T) {
 	if d := ktau.LMBenchCtxSwitch(c.Node(0).K, 50); d <= 0 || d > 100*time.Microsecond {
 		t.Errorf("ctx switch = %v", d)
 	}
-	lat, bw := ktau.LMBenchTCP(c.Node(0).Stack, c.Node(1).Stack, 10, 500_000)
+	lat, bw := ktau.LMBenchTCP(c, c.Node(0).Stack, c.Node(1).Stack, 10, 500_000)
 	if lat <= 0 || bw <= 0 {
 		t.Errorf("tcp lat=%v bw=%v", lat, bw)
 	}

@@ -37,7 +37,14 @@ go test -race ./internal/analysis/ ./internal/ktau/ ./internal/ktrace/ ./interna
 echo "== go test -race (fault injection + pipeline) =="
 go test -race ./internal/faultsim/ ./internal/perfmon/
 
+echo "== go test -race (parallel runner + cluster + serial/parallel cross-check) =="
+go test -race ./internal/sim/ ./internal/cluster/
+go test -race ./internal/experiments/ -run TestParallelMatchesSerialByteForByte
+
 echo "== fault-plan smoke test =="
 go run ./cmd/ktau-exp -exp faults -ranks 8 > /dev/null
+
+echo "== benchmark smoke (writes BENCH_parallel.json) =="
+go test -run '^$' -bench BenchmarkParallelChiba -benchtime=1x .
 
 echo "check.sh: all green"
