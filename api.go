@@ -20,6 +20,7 @@ import (
 	"ktau/internal/sim"
 	"ktau/internal/tau"
 	"ktau/internal/tcpsim"
+	"ktau/internal/tracepipe"
 	"ktau/internal/workload"
 )
 
@@ -600,4 +601,94 @@ type FaultStudy = experiments.FaultStudy
 // RunFaultStudy executes the fault study at one rank per node.
 func RunFaultStudy(ranks int, seed uint64) *FaultStudy {
 	return experiments.RunFaultStudy(ranks, seed)
+}
+
+// ---- cluster-wide streaming trace pipeline (tracepipe) ----
+
+// TracePipe is a deployed cluster-wide trace pipeline: per-node ktraced
+// agents drain every task's kernel trace ring (plus the configured
+// user-level rings and MPI message logs) and ship frames over the simulated
+// network to the elected collector.
+type TracePipe = tracepipe.Pipeline
+
+// TracePipeConfig parameterises a trace deployment (interval, rounds,
+// timeouts, user/message sources).
+type TracePipeConfig = tracepipe.Config
+
+// TraceCollector accumulates frames at the collector: deterministic
+// cross-node merge, MPI flow correlation, self-metric exports.
+type TraceCollector = tracepipe.Collector
+
+// TraceFrame is one collection round's trace shipment from a node.
+type TraceFrame = tracepipe.Frame
+
+// TraceStream is one ring buffer's drained contribution to a frame.
+type TraceStream = tracepipe.Stream
+
+// TraceRec is one resolved (named) trace record inside a frame.
+type TraceRec = tracepipe.Rec
+
+// TraceMsg is one MPI message endpoint event used for flow correlation.
+type TraceMsg = tracepipe.Msg
+
+// TraceUserSource exposes one process's user-level trace ring to an agent.
+type TraceUserSource = tracepipe.UserSource
+
+// TraceMsgSource exposes one process's MPI message log to an agent.
+type TraceMsgSource = tracepipe.MsgSource
+
+// TraceNodeStats is one node's pipeline self-metrics (loss, drops, backlog).
+type TraceNodeStats = tracepipe.NodeStats
+
+// TraceFlow is one correlated MPI send→recv pair in the merged trace.
+type TraceFlow = tracepipe.Flow
+
+// ClusterTraceEvent is one record of the merged whole-cluster timeline.
+type ClusterTraceEvent = tracepipe.ClusterEvent
+
+// DeployTracePipe elects a collector and starts the per-node trace agents;
+// call before driving the workload, Stop and drain afterwards.
+func DeployTracePipe(c *Cluster, cfg TracePipeConfig) (*TracePipe, error) {
+	return tracepipe.Deploy(c, cfg)
+}
+
+// NewTraceCollector creates an empty collector store (for offline ingest,
+// e.g. single-node KTAUD trace mode).
+func NewTraceCollector(nodes int, hz int64) *TraceCollector {
+	return tracepipe.NewCollector(nodes, hz)
+}
+
+// EncodeTraceFrame serialises a trace frame to its wire payload.
+func EncodeTraceFrame(f TraceFrame) []byte { return tracepipe.EncodeFrame(f) }
+
+// DecodeTraceFrame parses a wire payload back into a trace frame.
+func DecodeTraceFrame(b []byte) (TraceFrame, error) { return tracepipe.DecodeFrame(b) }
+
+// TraceDump is one process's drained kernel trace ring as read through
+// /proc/ktau/trace (libKtau).
+type TraceDump = libktau.TraceDump
+
+// ClusterTraceResult is the outcome of one traced cluster run.
+type ClusterTraceResult = experiments.ClusterTraceResult
+
+// RunClusterTrace executes the standard fault-injected, live-monitored,
+// traced Chiba run and returns the merged whole-cluster trace state.
+func RunClusterTrace(ranks int, seed uint64) *ClusterTraceResult {
+	return experiments.RunClusterTrace(ranks, seed)
+}
+
+// TraceOverheadResult quantifies the observation pipelines' own
+// perturbation (collection off vs profile-only vs profile+trace).
+type TraceOverheadResult = experiments.TraceOverheadResult
+
+// RunTraceOverhead reruns one Chiba workload under the three collection
+// configurations and reports the per-layer slowdown.
+func RunTraceOverhead(ranks int, seed uint64) *TraceOverheadResult {
+	return experiments.RunTraceOverhead(ranks, seed)
+}
+
+// TraceChibaSpec returns the standard configuration for a traced cluster
+// run (shared by RunClusterTrace, tests, and the check.sh smoke step).
+func TraceChibaSpec(ranks int, seed uint64) (ChibaSpec, LiveOptions) {
+	return experiments.TraceChibaSpec(ranks, seed)
 }

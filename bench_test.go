@@ -584,6 +584,50 @@ func BenchmarkParallelChiba(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead runs the trace-pipeline perturbation study — the
+// same Chiba LU job with collection off, with live profile monitoring, and
+// with profile monitoring plus the streaming trace pipeline — and writes the
+// virtual-time slowdown of each configuration to BENCH_trace.json.
+func BenchmarkTraceOverhead(b *testing.B) {
+	var res *ktau.TraceOverheadResult
+	for i := 0; i < b.N; i++ {
+		res = ktau.RunTraceOverhead(16, 1)
+	}
+	printOnce("traceov", func() {
+		fmt.Println()
+		res.Render(os.Stdout)
+	})
+	rows := make([]map[string]any, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, map[string]any{
+			"config":         r.Config,
+			"virtual_exec_s": r.Exec.Seconds(),
+			"slowdown_pct":   r.SlowPct,
+			"trace_records":  r.Records,
+			"wire_bytes":     r.WireBytes,
+		})
+		switch r.Config {
+		case "Profile":
+			b.ReportMetric(r.SlowPct, "profile-%")
+		case "Profile+Trace":
+			b.ReportMetric(r.SlowPct, "profile+trace-%")
+			b.ReportMetric(float64(r.Records), "trace-records")
+		}
+	}
+	out := map[string]any{
+		"benchmark": "Chiba LU trace-pipeline perturbation (off / profile / profile+trace)",
+		"ranks":     res.Ranks,
+		"rows":      rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkIONode runs the §6 I/O-node characterization extension: compute
 // clients streaming checkpoints to an I/O node under two storage
 // configurations, decomposed by KTAU's kernel-wide view.

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,36 +32,92 @@ var experimentOrder = []string{
 	"table2", "table3", "table4",
 	"fig2a", "fig2c", "fig2e",
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"ionode", // §6 future-work extension, not a paper table/figure
-	"faults", // monitored run under an injected fault plan, not a paper table/figure
+	"ionode",  // §6 future-work extension, not a paper table/figure
+	"faults",  // monitored run under an injected fault plan, not a paper table/figure
+	"trace",   // cluster-wide streaming trace pipeline (merged Perfetto trace)
+	"traceov", // trace-pipeline perturbation study (off/profile/profile+trace)
 }
 
+// traceOut is the -trace-out path; when set, the trace experiment writes
+// the merged cluster trace there and validates the emitted JSON.
+var traceOut string
+
 var experimentRunners = map[string]runner{
-	"table2": func(ranks int, out io.Writer) { ktau.RunTable2(ranks, 1).Render(out) },
-	"table3": func(ranks int, out io.Writer) { ktau.RunTable3(16, 5, 2).Render(out) },
-	"table4": func(ranks int, out io.Writer) { ktau.RunTable4(100_000).Render(out) },
-	"fig2a":  func(ranks int, out io.Writer) { ktau.RunFig2AB(1).Render(out) }, // includes 2-B and 2-D
-	"fig2c":  func(ranks int, out io.Writer) { ktau.RunFig2C(1).Render(out) },
-	"fig2e":  func(ranks int, out io.Writer) { ktau.RunFig2E(1).Render(out) },
-	"fig3":   func(ranks int, out io.Writer) { ktau.RunFig3(ranks).Render(out) },
-	"fig4":   func(ranks int, out io.Writer) { ktau.RunFig4(ranks).Render(out) },
-	"fig5":   func(ranks int, out io.Writer) { ktau.RunFig5(ranks).Render(out) },
-	"fig6":   func(ranks int, out io.Writer) { ktau.RunFig6(ranks).Render(out) },
-	"fig7":   func(ranks int, out io.Writer) { ktau.RunFig7(ranks).Render(out) },
-	"fig8":   func(ranks int, out io.Writer) { ktau.RunFig8(ranks).Render(out) },
-	"fig9":   func(ranks int, out io.Writer) { ktau.RunFig9(ranks).Render(out) },
-	"fig10":  func(ranks int, out io.Writer) { ktau.RunFig10(ranks).Render(out) },
-	"ionode": func(ranks int, out io.Writer) { ktau.RunIONodeStudy(1).Render(out) },
-	"faults": func(ranks int, out io.Writer) { ktau.RunFaultStudy(ranks, 1).Render(out) },
+	"table2":  func(ranks int, out io.Writer) { ktau.RunTable2(ranks, 1).Render(out) },
+	"table3":  func(ranks int, out io.Writer) { ktau.RunTable3(16, 5, 2).Render(out) },
+	"table4":  func(ranks int, out io.Writer) { ktau.RunTable4(100_000).Render(out) },
+	"fig2a":   func(ranks int, out io.Writer) { ktau.RunFig2AB(1).Render(out) }, // includes 2-B and 2-D
+	"fig2c":   func(ranks int, out io.Writer) { ktau.RunFig2C(1).Render(out) },
+	"fig2e":   func(ranks int, out io.Writer) { ktau.RunFig2E(1).Render(out) },
+	"fig3":    func(ranks int, out io.Writer) { ktau.RunFig3(ranks).Render(out) },
+	"fig4":    func(ranks int, out io.Writer) { ktau.RunFig4(ranks).Render(out) },
+	"fig5":    func(ranks int, out io.Writer) { ktau.RunFig5(ranks).Render(out) },
+	"fig6":    func(ranks int, out io.Writer) { ktau.RunFig6(ranks).Render(out) },
+	"fig7":    func(ranks int, out io.Writer) { ktau.RunFig7(ranks).Render(out) },
+	"fig8":    func(ranks int, out io.Writer) { ktau.RunFig8(ranks).Render(out) },
+	"fig9":    func(ranks int, out io.Writer) { ktau.RunFig9(ranks).Render(out) },
+	"fig10":   func(ranks int, out io.Writer) { ktau.RunFig10(ranks).Render(out) },
+	"ionode":  func(ranks int, out io.Writer) { ktau.RunIONodeStudy(1).Render(out) },
+	"faults":  func(ranks int, out io.Writer) { ktau.RunFaultStudy(ranks, 1).Render(out) },
+	"trace":   runTrace,
+	"traceov": func(ranks int, out io.Writer) { ktau.RunTraceOverhead(ranks, 1).Render(out) },
+}
+
+// runTrace executes the traced cluster run and, with -trace-out, writes the
+// merged Chrome trace and verifies it: the file must parse as JSON and
+// contain at least one correlated MPI flow event.
+func runTrace(ranks int, out io.Writer) {
+	res := ktau.RunClusterTrace(ranks, 1)
+	res.Render(out)
+	if traceOut == "" {
+		return
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+		os.Exit(1)
+	}
+	werr := res.WriteTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "ktau-exp:", werr)
+		os.Exit(1)
+	}
+	blob, err := os.ReadFile(traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+		os.Exit(1)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(blob, &events); err != nil {
+		fmt.Fprintf(os.Stderr, "ktau-exp: emitted trace is not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+	flows := 0
+	for _, e := range events {
+		if ph, _ := e["ph"].(string); ph == "s" {
+			flows++
+		}
+	}
+	if flows == 0 {
+		fmt.Fprintln(os.Stderr, "ktau-exp: emitted trace contains no MPI flow events")
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "wrote %s: %d events, %d flow events (valid JSON)\n",
+		traceOut, len(events), flows)
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (table2|table3|table4|fig2a|fig2c|fig2e|fig3..fig10|all)")
+	exp := flag.String("exp", "", "experiment id (table2|table3|table4|fig2a|fig2c|fig2e|fig3..fig10|trace|traceov|all)")
 	ranks := flag.Int("ranks", 128, "MPI ranks for the Chiba-family experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	parallel := flag.Bool("parallel", false, "run node engines on multiple host CPUs (results are byte-identical to serial)")
 	workers := flag.Int("workers", 0, "host worker goroutines with -parallel (0 = GOMAXPROCS)")
+	flag.StringVar(&traceOut, "trace-out", "",
+		"write the merged cluster trace (Perfetto-loadable JSON) to this file (trace experiment)")
 	flag.Parse()
 
 	if *parallel {

@@ -22,7 +22,12 @@ func main() {
 	rounds := flag.Int("rounds", 6, "collection rounds before exiting")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quiet := flag.Bool("quiet", false, "print per-round summaries instead of full ASCII profiles")
+	traceCap := flag.Int("trace", 0, "trace mode: enable per-process kernel trace rings of this capacity and drain them each round")
+	traceOut := flag.String("trace-out", "", "write the merged node trace (Chrome/Perfetto JSON) to this file (implies -trace 4096 if -trace unset)")
 	flag.Parse()
+	if *traceOut != "" && *traceCap <= 0 {
+		*traceCap = 4096
+	}
 
 	kp := ktau.DefaultKernelParams()
 	c := ktau.NewCluster(ktau.ClusterConfig{
@@ -31,6 +36,7 @@ func main() {
 		Ktau: ktau.MeasurementOptions{
 			Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
 			Mapping: true, RetainExited: true,
+			TraceCapacity: *traceCap,
 		},
 		Seed: *seed,
 	})
@@ -61,6 +67,37 @@ func main() {
 	} else {
 		cfg.Out = os.Stdout
 	}
+
+	// Trace mode: KTAUD drains every process's kernel trace ring each round
+	// (§4.5: "both profile and trace data") and the harvested records are
+	// merged into one Chrome/Perfetto timeline at exit.
+	var col *ktau.TraceCollector
+	var traceRecs int
+	if *traceCap > 0 {
+		col = ktau.NewTraceCollector(1, kp.HZ)
+		col.SetNodeName(0, "node0")
+		reg := k.Ktau().Reg
+		cfg.Traces = true
+		cfg.OnTrace = func(round int, dumps []ktau.TraceDump) {
+			f := ktau.TraceFrame{Node: "node0", Round: round}
+			for _, d := range dumps {
+				name := fmt.Sprintf("pid%d", d.PID)
+				if t := k.FindTask(d.PID); t != nil {
+					name = t.Name()
+				}
+				s := ktau.TraceStream{PID: d.PID, Task: name, Kernel: true, Lost: d.Lost}
+				for _, r := range d.Records {
+					s.Recs = append(s.Recs, ktau.TraceRec{
+						TSC: r.TSC, Name: reg.Name(r.Ev), Kind: r.Kind, Val: r.Val,
+					})
+					traceRecs++
+				}
+				f.Streams = append(f.Streams, s)
+			}
+			col.Ingest(f, 0)
+		}
+	}
+
 	daemon := k.Spawn("ktaud", ktau.KTAUD(fs, cfg), ktau.SpawnOpts{Kind: ktau.KindDaemon})
 
 	if !c.RunUntilDone([]*ktau.Task{daemon}, 10*time.Minute) {
@@ -69,4 +106,23 @@ func main() {
 	}
 	fmt.Printf("ktaud: %d rounds complete at %v (virtual); daemon cpu=%v kernel=%v\n",
 		*rounds, c.Now(), daemon.UserTime, daemon.KernTime)
+	if col != nil {
+		fmt.Printf("ktaud: trace mode drained %d kernel records\n", traceRecs)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ktaud:", err)
+				os.Exit(1)
+			}
+			werr := col.WriteChromeTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "ktaud:", werr)
+				os.Exit(1)
+			}
+			fmt.Printf("ktaud: wrote %s\n", *traceOut)
+		}
+	}
 }

@@ -88,7 +88,11 @@ func launchChiba(spec ChibaSpec) (*cluster.Cluster, *mpisim.World, []*kernel.Tas
 		rspecs[r] = rs
 	}
 
-	topts := tau.Options{Enabled: spec.Instr.TauEnabled(), OverheadPerOp: 400 * time.Nanosecond}
+	topts := tau.Options{
+		Enabled:       spec.Instr.TauEnabled(),
+		OverheadPerOp: 400 * time.Nanosecond,
+		TraceCapacity: spec.TraceCapacity,
+	}
 	w := mpisim.NewWorld(rspecs, topts)
 
 	var body func(*mpisim.Rank)

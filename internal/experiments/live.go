@@ -5,6 +5,7 @@ import (
 
 	"ktau/internal/faultsim"
 	"ktau/internal/perfmon"
+	"ktau/internal/tracepipe"
 	"ktau/internal/workload"
 )
 
@@ -20,6 +21,13 @@ type LiveOptions struct {
 	// Faults, when non-nil, is applied to the cluster before the job and the
 	// pipeline start: the "Chiba with faults" configuration.
 	Faults *faultsim.Plan
+	// Trace, when non-nil, deploys the streaming trace pipeline alongside
+	// the profile pipeline: per-node ktraced agents drain every kernel ring
+	// plus the ranks' TAU rings and MPI message logs (sources are wired
+	// automatically from the job's placement), shipping to the elected
+	// collector. The spec should set TraceCapacity > 0 or the rings are
+	// disabled and the trace comes out empty.
+	Trace *tracepipe.Config
 	// JobDeadline caps the job's virtual runtime (default 10 minutes). Fault
 	// runs that crash a node leave the surviving ranks blocked on a dead
 	// peer forever, so crash scenarios set a tight cap.
@@ -60,6 +68,11 @@ type LiveResult struct {
 	Injector *faultsim.Injector
 	// Failovers counts collector re-elections the pipeline performed.
 	Failovers int
+	// Trace is the deployed trace pipeline (nil unless LiveOptions.Trace was
+	// set); its Store holds the merged cluster trace and self-metrics.
+	Trace *tracepipe.Pipeline
+	// TraceDrained reports whether the trace pipeline's tasks all exited.
+	TraceDrained bool
 }
 
 // RunChibaLive executes one Chiba configuration with the perfmon pipeline
@@ -101,25 +114,44 @@ func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
 		panic("experiments: " + err.Error())
 	}
 
+	var tp *tracepipe.Pipeline
+	if opts.Trace != nil {
+		tcfg := *opts.Trace
+		wireTraceSources(&tcfg, spec, w)
+		tp, err = tracepipe.Deploy(c, tcfg)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+	}
+
 	deadline := opts.JobDeadline
 	if deadline <= 0 {
 		deadline = 10 * time.Minute
 	}
 	completed := c.RunUntilDone(tasks, deadline)
 	pm.Stop()
+	if tp != nil {
+		tp.Stop()
+	}
 	drained := c.RunUntilDone(pm.Tasks(), time.Minute)
+	traceDrained := true
+	if tp != nil {
+		traceDrained = c.RunUntilDone(tp.Tasks(), time.Minute)
+	}
 	c.Settle(5 * time.Millisecond)
 
 	res := harvest(spec, c, w, tasks, completed)
 	store := pm.Store()
 	out := &LiveResult{
-		ChibaResult: res,
-		Store:       store,
-		Collector:   pm.Collector(),
-		Noise:       store.DetectNoise(pm.Config().Detect, pm.Config().RankPrefix),
-		Drained:     drained,
-		Injector:    inj,
-		Failovers:   pm.Failovers(),
+		ChibaResult:  res,
+		Store:        store,
+		Collector:    pm.Collector(),
+		Noise:        store.DetectNoise(pm.Config().Detect, pm.Config().RankPrefix),
+		Drained:      drained,
+		Injector:     inj,
+		Failovers:    pm.Failovers(),
+		Trace:        tp,
+		TraceDrained: traceDrained,
 	}
 	wire := map[string]uint64{}
 	for _, info := range store.Nodes() {

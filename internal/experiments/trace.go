@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ktau/internal/analysis"
+	"ktau/internal/ktau"
+	"ktau/internal/mpisim"
+	"ktau/internal/perfmon"
+	"ktau/internal/tracepipe"
+)
+
+// wireTraceSources points a tracepipe deployment at the MPI job: each node's
+// agent additionally drains the TAU user-level ring and the MPI message
+// endpoint log of every rank placed on it (rank r lives on node r % nodes).
+// Must run before the engine is driven — it enables the per-rank message
+// logs, whose sequence counters must start before any traffic flows.
+func wireTraceSources(cfg *tracepipe.Config, spec ChibaSpec, w *mpisim.World) {
+	nodes := spec.Ranks / spec.PerNode
+	w.EnableMsgLog()
+	byNode := make([][]int, nodes)
+	for r := 0; r < spec.Ranks; r++ {
+		byNode[r%nodes] = append(byNode[r%nodes], r)
+	}
+	cfg.UserSources = func(idx int) []tracepipe.UserSource {
+		if idx < 0 || idx >= nodes {
+			return nil
+		}
+		out := make([]tracepipe.UserSource, 0, len(byNode[idx]))
+		for _, r := range byNode[idx] {
+			rk := w.Rank(r)
+			out = append(out, tracepipe.UserSource{
+				PID:  rk.Task.PID(),
+				Task: rk.Task.Name(),
+				Drain: func() ([]tracepipe.Rec, uint64) {
+					// Tau is created when the rank's task first runs; until
+					// then there is nothing to drain.
+					if rk.Tau == nil {
+						return nil, 0
+					}
+					recs := rk.Tau.DrainTrace()
+					conv := make([]tracepipe.Rec, 0, len(recs))
+					for _, t := range recs {
+						kind := ktau.KindExit
+						if t.Entry {
+							kind = ktau.KindEntry
+						}
+						conv = append(conv, tracepipe.Rec{TSC: t.TSC, Name: t.Name, Kind: kind})
+					}
+					return conv, rk.Tau.TraceLost()
+				},
+			})
+		}
+		return out
+	}
+	cfg.MsgSources = func(idx int) []tracepipe.MsgSource {
+		if idx < 0 || idx >= nodes {
+			return nil
+		}
+		out := make([]tracepipe.MsgSource, 0, len(byNode[idx]))
+		for _, r := range byNode[idx] {
+			rk := w.Rank(r)
+			out = append(out, tracepipe.MsgSource{
+				Drain: func() []tracepipe.Msg {
+					evs := rk.DrainMsgs()
+					conv := make([]tracepipe.Msg, 0, len(evs))
+					for _, e := range evs {
+						conv = append(conv, tracepipe.Msg{
+							Src: e.Src, Dst: e.Dst, Tag: e.Tag, Bytes: e.Bytes,
+							Seq: e.Seq, Send: e.Send, PID: rk.Task.PID(),
+							StartTSC: e.StartTSC, EndTSC: e.EndTSC,
+						})
+					}
+					return conv
+				},
+			})
+		}
+		return out
+	}
+}
+
+// TraceChibaSpec returns the standard configuration for a traced cluster
+// run: a fault-injected (DegradedPlan), live-monitored Chiba job with both
+// kernel and user trace rings enabled, the profile pipeline and the trace
+// pipeline shipping over the same simulated network. Shared by
+// RunClusterTrace, the determinism test and the check.sh smoke step so they
+// all exercise the same path.
+func TraceChibaSpec(ranks int, seed uint64) (ChibaSpec, LiveOptions) {
+	spec := DefaultChiba(ranks, 1)
+	spec.Seed = seed
+	spec.Iters = 4
+	spec.TraceCapacity = 4096
+	plan := DegradedPlan(ranks, seed)
+	opts := LiveOptions{
+		PerfMon: perfmon.Config{Interval: 20 * time.Millisecond},
+		Faults:  &plan,
+		Trace:   &tracepipe.Config{Interval: 25 * time.Millisecond},
+	}
+	return spec, opts
+}
+
+// ClusterTraceResult is the outcome of one traced cluster run.
+type ClusterTraceResult struct {
+	Live *LiveResult
+	// Records / MsgEvents total what the collector ingested.
+	Records   uint64
+	MsgEvents uint64
+	// Flows are the correlated MPI send→recv pairs.
+	Flows []tracepipe.Flow
+	// Stats are the per-node pipeline self-metrics (loss, drops, backlog).
+	Stats []tracepipe.NodeStats
+}
+
+// RunClusterTrace executes the standard traced cluster run (fault-injected,
+// live-monitored) and returns the merged whole-cluster trace state.
+func RunClusterTrace(ranks int, seed uint64) *ClusterTraceResult {
+	spec, opts := TraceChibaSpec(ranks, seed)
+	live := RunChibaLive(spec, opts)
+	store := live.Trace.Store()
+	recs, msgs := store.Totals()
+	return &ClusterTraceResult{
+		Live:      live,
+		Records:   recs,
+		MsgEvents: msgs,
+		Flows:     store.Flows(),
+		Stats:     store.Stats(),
+	}
+}
+
+// WriteTrace writes the merged whole-cluster Chrome trace (Perfetto-loadable).
+func (r *ClusterTraceResult) WriteTrace(w io.Writer) error {
+	return r.Live.Trace.Store().WriteChromeTrace(w)
+}
+
+// Render prints the traced run's summary: collection volume, flow
+// correlation, and per-node self-metrics.
+func (r *ClusterTraceResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Cluster trace: %d records, %d MPI endpoint events, %d correlated flows\n",
+		r.Records, r.MsgEvents, len(r.Flows))
+	fmt.Fprintf(w, "collector=node%d failovers=%d drained=%v\n",
+		r.Live.Trace.CollectorNode(), r.Live.Trace.Failovers(), r.TraceDrainedOK())
+	rows := make([][]string, 0, len(r.Stats))
+	for _, s := range r.Stats {
+		rows = append(rows, []string{
+			s.Node,
+			fmt.Sprintf("%d", s.Frames),
+			fmt.Sprintf("%d", s.KernRecords),
+			fmt.Sprintf("%d", s.UserRecords),
+			fmt.Sprintf("%d", s.KernRingLost+s.UserRingLost),
+			fmt.Sprintf("%d", s.ReadErrs),
+			fmt.Sprintf("%d/%d", s.AgentDroppedFrames, s.SinkDroppedFrames),
+			fmt.Sprintf("%d", s.BacklogPeak),
+			fmt.Sprintf("%d", s.WireBytes),
+			fmt.Sprintf("%v", s.Down),
+		})
+	}
+	analysis.Table(w, []string{
+		"Node", "Frames", "KernRecs", "UserRecs", "RingLost", "ReadErrs",
+		"Drops a/s", "BacklogPk", "WireBytes", "Down",
+	}, rows)
+}
+
+// TraceDrainedOK reports whether the trace pipeline fully drained.
+func (r *ClusterTraceResult) TraceDrainedOK() bool { return r.Live.TraceDrained }
+
+// ---- Perturbation study: tracing overhead (the method of Tables 2-4
+// applied to the pipeline itself, as STaKTAU does for the profiler) ----
+
+// TraceOverheadRow is one collection configuration's outcome.
+type TraceOverheadRow struct {
+	Config string
+	Exec   time.Duration
+	// SlowPct is slowdown versus the uninstrumented-collection baseline,
+	// clamped at 0 as the paper reports.
+	SlowPct float64
+	// Records / WireBytes count what the deployed pipelines shipped.
+	Records   uint64
+	WireBytes uint64
+}
+
+// TraceOverheadResult quantifies the observation pipelines' own
+// perturbation: the same job run with collection off, with the profile
+// pipeline only, and with profile + streaming trace collection.
+type TraceOverheadResult struct {
+	Ranks int
+	Rows  []TraceOverheadRow
+}
+
+// RunTraceOverhead reruns one Chiba workload under the three collection
+// configurations and reports the per-layer slowdown.
+func RunTraceOverhead(ranks int, seed uint64) *TraceOverheadResult {
+	base := DefaultChiba(ranks, 1)
+	base.Seed = seed
+	base.Iters = 4
+
+	res := &TraceOverheadResult{Ranks: ranks}
+
+	// Off: the job alone — profiling instrumentation present (ProfAll+Tau,
+	// as every Chiba run), but nothing collects at runtime.
+	off := RunChiba(base)
+	res.Rows = append(res.Rows, TraceOverheadRow{Config: "Off", Exec: off.Exec})
+
+	// Profile: perfmon agents ship profile deltas while the job runs.
+	prof := RunChibaLive(base, LiveOptions{
+		PerfMon: perfmon.Config{Interval: 20 * time.Millisecond},
+	})
+	var profWire uint64
+	for _, n := range prof.LiveNodes {
+		profWire += n.WireBytes
+	}
+	res.Rows = append(res.Rows, TraceOverheadRow{
+		Config: "Profile", Exec: prof.Exec, WireBytes: profWire,
+	})
+
+	// Profile+Trace: trace rings enabled, ktraced agents drain and ship
+	// records alongside the profile pipeline.
+	tspec := base
+	tspec.TraceCapacity = 4096
+	trace := RunChibaLive(tspec, LiveOptions{
+		PerfMon: perfmon.Config{Interval: 20 * time.Millisecond},
+		Trace:   &tracepipe.Config{Interval: 25 * time.Millisecond},
+	})
+	var traceWire, traceRecs uint64
+	for _, n := range trace.LiveNodes {
+		traceWire += n.WireBytes
+	}
+	for _, s := range trace.Trace.Store().Stats() {
+		traceWire += s.WireBytes
+	}
+	traceRecs, _ = trace.Trace.Store().Totals()
+	res.Rows = append(res.Rows, TraceOverheadRow{
+		Config: "Profile+Trace", Exec: trace.Exec,
+		Records: traceRecs, WireBytes: traceWire,
+	})
+
+	baseExec := res.Rows[0].Exec.Seconds()
+	for i := range res.Rows {
+		p := analysis.PercentDiff(res.Rows[i].Exec.Seconds(), baseExec)
+		if p < 0 {
+			p = 0
+		}
+		res.Rows[i].SlowPct = p
+	}
+	return res
+}
+
+// Render prints the overhead table.
+func (t *TraceOverheadResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Trace pipeline perturbation, NPB LU (%d ranks)\n", t.Ranks)
+	rows := make([][]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.Config,
+			fmt.Sprintf("%.3f", r.Exec.Seconds()),
+			fmt.Sprintf("%.2f%%", r.SlowPct),
+			fmt.Sprintf("%d", r.Records),
+			fmt.Sprintf("%d", r.WireBytes),
+		})
+	}
+	analysis.Table(w, []string{"Config", "Exec (s)", "%Slowdown", "TraceRecs", "WireBytes"}, rows)
+}

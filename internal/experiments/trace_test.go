@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestClusterTraceSmoke is the acceptance check for the traced cluster run:
+// a fault-injected, live-monitored Chiba job must emit a merged cluster
+// trace that parses as JSON, spans both layers, and contains correlated MPI
+// flow events plus per-node self-metrics.
+func TestClusterTraceSmoke(t *testing.T) {
+	res := RunClusterTrace(8, 42)
+	if !res.Live.Completed {
+		t.Fatal("job did not complete")
+	}
+	if !res.TraceDrainedOK() {
+		t.Fatal("trace pipeline did not drain")
+	}
+	if res.Records == 0 {
+		t.Fatal("no trace records collected")
+	}
+	if len(res.Flows) == 0 {
+		t.Fatal("no correlated MPI flows")
+	}
+	if len(res.Stats) != 8 {
+		t.Fatalf("stats for %d nodes, want 8", len(res.Stats))
+	}
+	kernSeen, userSeen := false, false
+	for _, s := range res.Stats {
+		if s.KernRecords > 0 {
+			kernSeen = true
+		}
+		if s.UserRecords > 0 {
+			userSeen = true
+		}
+	}
+	if !kernSeen || !userSeen {
+		t.Fatalf("missing layer in collection: kernel=%v user=%v", kernSeen, userSeen)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("cluster trace is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, e := range events {
+		phases[e["ph"].(string)]++
+	}
+	if phases["s"] == 0 || phases["f"] == 0 {
+		t.Fatalf("no flow events in the cluster trace: %v", phases)
+	}
+	if phases["B"] == 0 || phases["E"] == 0 {
+		t.Fatalf("no spans in the cluster trace: %v", phases)
+	}
+
+	// Renders must not panic and must mention the flows.
+	var render bytes.Buffer
+	res.Render(&render)
+	if render.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// traceFingerprint executes the standard traced run and fingerprints every
+// byte an observer could extract from the trace side: the merged Chrome
+// trace, the Prometheus and JSON-lines self-metric exports, and the
+// pipeline bookkeeping.
+func traceFingerprint(t *testing.T, parallel bool, workers int) string {
+	t.Helper()
+	spec, opts := TraceChibaSpec(8, 42)
+	spec.Parallel = parallel
+	spec.Workers = workers
+	live := RunChibaLive(spec, opts)
+	store := live.Trace.Store()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "completed=%v drained=%v tdrained=%v collector=%d tcollector=%d failovers=%d\n",
+		live.Completed, live.Drained, live.TraceDrained,
+		live.Collector, live.Trace.CollectorNode(), live.Trace.Failovers())
+	if err := store.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestClusterTraceParallelMatchesSerial is the tentpole determinism check:
+// the same seed run serially and on several workers — with faults injected
+// and both pipelines shipping frames across nodes — must produce a
+// byte-identical merged cluster trace and byte-identical self-metrics.
+func TestClusterTraceParallelMatchesSerial(t *testing.T) {
+	serial := traceFingerprint(t, false, 0)
+	parallel := traceFingerprint(t, true, 4)
+	if serial == parallel {
+		return
+	}
+	a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("parallel trace diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+				i+1, a[i], b[i])
+		}
+	}
+	t.Fatalf("parallel trace diverged from serial: lengths %d vs %d lines", len(a), len(b))
+}
+
+// TestTraceOverhead pins the perturbation study: the overhead table must
+// carry the three collection configurations with a non-trivial trace row.
+func TestTraceOverhead(t *testing.T) {
+	res := RunTraceOverhead(8, 7)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if res.Rows[0].Config != "Off" || res.Rows[2].Config != "Profile+Trace" {
+		t.Fatalf("row order wrong: %+v", res.Rows)
+	}
+	if res.Rows[0].SlowPct != 0 {
+		t.Fatalf("baseline slowdown = %v, want 0", res.Rows[0].SlowPct)
+	}
+	if res.Rows[2].Records == 0 {
+		t.Fatal("trace row collected no records")
+	}
+	for _, r := range res.Rows {
+		if r.Exec <= 0 {
+			t.Fatalf("row %s has non-positive exec time", r.Config)
+		}
+		if r.SlowPct < 0 {
+			t.Fatalf("row %s slowdown negative (must be clamped)", r.Config)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

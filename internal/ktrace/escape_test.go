@@ -1,0 +1,56 @@
+package ktrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+// TestChromeTraceEscapesNames pins the JSON robustness of the Chrome trace
+// export: event names containing quotes, backslashes and control characters
+// must survive a marshal/unmarshal round trip, and the emitted document must
+// parse as valid JSON.
+func TestChromeTraceEscapesNames(t *testing.T) {
+	hostile := []string{
+		`do_IRQ["timer"]`,
+		`C:\kernel\path`,
+		"tab\there",
+		`quote"back\slash"mix`,
+		"newline\nname",
+	}
+	tl := make([]Event, 0, 2*len(hostile))
+	for i, name := range hostile {
+		tsc := int64(1000 * (i + 1))
+		tl = append(tl,
+			Event{TSC: tsc, Name: name, Kernel: i%2 == 0, Kind: ktau.KindEntry},
+			Event{TSC: tsc + 500, Name: name, Kernel: i%2 == 0, Kind: ktau.KindExit},
+		)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tl, 450_000_000, 42); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Name  string `json:"name"`
+		Phase string `json:"ph"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != len(tl) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(tl))
+	}
+	for i, e := range parsed {
+		if e.Name != tl[i].Name {
+			t.Errorf("event %d name mangled: got %q want %q", i, e.Name, tl[i].Name)
+		}
+	}
+	// Raw quotes inside a name must never appear unescaped in the stream:
+	// the substring `["timer"]` can only occur un-escaped if escaping broke.
+	if strings.Contains(buf.String(), `["timer"]`) {
+		t.Error("unescaped quoted name leaked into the JSON stream")
+	}
+}

@@ -28,6 +28,13 @@ type DaemonConfig struct {
 	// ReadCostPerKB models the user-space processing cost per KiB of
 	// profile data each round (defaults to 20us/KB).
 	ReadCostPerKB time.Duration
+	// Traces additionally drains each collected process's kernel trace ring
+	// every round through /proc/ktau/trace — §4.5's "both profile and trace
+	// data". Rings must be enabled (Options.TraceCapacity > 0) to yield data.
+	Traces bool
+	// OnTrace, when non-nil, receives each round's drained trace rings
+	// (only processes with records or losses are included).
+	OnTrace func(round int, dumps []TraceDump)
 }
 
 // Daemon returns a kernel.Program implementing KTAUD against the node's
@@ -68,6 +75,28 @@ func Daemon(fs *procfs.FS, cfg DaemonConfig) kernel.Program {
 			} else {
 				for _, pid := range cfg.PIDs {
 					collect(ScopeOther, pid)
+				}
+			}
+			if cfg.Traces {
+				var dumps []TraceDump
+				tbytes := 0
+				for _, s := range snaps {
+					u.Syscall("sys_ioctl", func(kc *kernel.KCtx) {
+						kc.Use(2 * time.Microsecond)
+					})
+					d, err := h.GetTrace(s.PID)
+					u.Syscall("sys_read", func(kc *kernel.KCtx) {
+						kc.Use(4 * time.Microsecond)
+					})
+					if err != nil || (len(d.Records) == 0 && d.Lost == 0) {
+						continue
+					}
+					dumps = append(dumps, d)
+					tbytes += 32 * len(d.Records)
+				}
+				bytes += tbytes
+				if cfg.OnTrace != nil {
+					cfg.OnTrace(round, dumps)
 				}
 			}
 			// User-space processing of the harvested data.

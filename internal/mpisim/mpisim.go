@@ -81,12 +81,30 @@ type pair struct {
 	metaToHi metaQ
 }
 
+// MsgEvent is one endpoint-side record of a point-to-point message, logged
+// when message logging is enabled. The sender logs its k-th send to
+// (Dst,Tag) with Seq=k; the receiver logs its k-th receive from (Src,Tag)
+// with Seq=k. Because each flow direction delivers in order and tags must
+// match in order, (Src,Dst,Tag,Seq) identifies one message across both
+// endpoints — the correlation key for cross-node flow arrows.
+type MsgEvent struct {
+	Src, Dst int // ranks
+	Tag      int
+	Bytes    int
+	Seq      uint64
+	Send     bool
+	// StartTSC/EndTSC bracket the transport call in virtual TSC cycles.
+	StartTSC int64
+	EndTSC   int64
+}
+
 // World is an MPI job: a set of ranks with lazily established connections.
 type World struct {
-	specs []RankSpec
-	ranks []*Rank
-	pairs map[[2]int]*pair
-	tau   tau.Options
+	specs   []RankSpec
+	ranks   []*Rank
+	pairs   map[[2]int]*pair
+	tau     tau.Options
+	logMsgs bool
 }
 
 // NewWorld creates a world from rank placements. tauOpts configures each
@@ -104,6 +122,19 @@ func (w *World) Size() int { return len(w.specs) }
 
 // Rank returns rank i's handle (valid after Launch has started it).
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// EnableMsgLog turns on per-endpoint message event logging on every rank.
+// Call after NewWorld and before any traffic flows (mid-run enabling would
+// desynchronise the sequence counters between sender and receiver).
+func (w *World) EnableMsgLog() {
+	w.logMsgs = true
+	for _, r := range w.ranks {
+		if r.sendSeq == nil {
+			r.sendSeq = make(map[[2]int]uint64)
+			r.recvSeq = make(map[[2]int]uint64)
+		}
+	}
+}
 
 // pairFor returns (creating lazily) the connection pair between ranks i and j.
 func (w *World) pairFor(i, j int) *pair {
@@ -176,6 +207,21 @@ type Rank struct {
 		BytesSent    uint64
 		BytesRcvd    uint64
 	}
+
+	// Message event log (enabled via World.EnableMsgLog). Only the rank's
+	// own task appends; the node's trace agent drains between appends — both
+	// run on the same node engine, so no locking is needed.
+	msgLog  []MsgEvent
+	sendSeq map[[2]int]uint64
+	recvSeq map[[2]int]uint64
+}
+
+// DrainMsgs returns and clears the rank's buffered message events. Empty
+// unless World.EnableMsgLog was called.
+func (r *Rank) DrainMsgs() []MsgEvent {
+	out := r.msgLog
+	r.msgLog = nil
+	return out
 }
 
 // ID returns the rank number.
@@ -201,12 +247,25 @@ func (r *Rank) Send(to, n, tag int) {
 		panic("mpisim: send to self")
 	}
 	r.Tau.Start("MPI_Send()")
+	var start int64
+	if r.w.logMsgs {
+		start = r.u.Cycles()
+	}
 	f := r.w.flowTo(to, r.id) // peer's inbound flow: meta arrives with data
 	f.meta.push(msgMeta{tag: tag, n: n})
 	self := r.w.flowTo(r.id, to)
 	self.conn.Send(r.u, msgHeaderBytes+n)
 	r.Stats.Sends++
 	r.Stats.BytesSent += uint64(n)
+	if r.w.logMsgs {
+		k := [2]int{to, tag}
+		seq := r.sendSeq[k]
+		r.sendSeq[k] = seq + 1
+		r.msgLog = append(r.msgLog, MsgEvent{
+			Src: r.id, Dst: to, Tag: tag, Bytes: n, Seq: seq, Send: true,
+			StartTSC: start, EndTSC: r.u.Cycles(),
+		})
+	}
 	r.Tau.Stop("MPI_Send()")
 }
 
@@ -215,6 +274,10 @@ func (r *Rank) Send(to, n, tag int) {
 // match; a mismatch is a workload bug and panics). Returns payload bytes.
 func (r *Rank) Recv(from, tag int) int {
 	r.Tau.Start("MPI_Recv()")
+	var start int64
+	if r.w.logMsgs {
+		start = r.u.Cycles()
+	}
 	f := r.w.flowTo(r.id, from)
 	f.conn.Recv(r.u, msgHeaderBytes)
 	m, ok := f.meta.pop()
@@ -230,6 +293,15 @@ func (r *Rank) Recv(from, tag int) int {
 	}
 	r.Stats.Recvs++
 	r.Stats.BytesRcvd += uint64(m.n)
+	if r.w.logMsgs {
+		k := [2]int{from, tag}
+		seq := r.recvSeq[k]
+		r.recvSeq[k] = seq + 1
+		r.msgLog = append(r.msgLog, MsgEvent{
+			Src: from, Dst: r.id, Tag: tag, Bytes: m.n, Seq: seq, Send: false,
+			StartTSC: start, EndTSC: r.u.Cycles(),
+		})
+	}
 	r.Tau.Stop("MPI_Recv()")
 	return m.n
 }

@@ -204,6 +204,19 @@ func (p *Profiler) Trace() []Record {
 	return out
 }
 
+// DrainTrace returns the buffered user-level records in order and clears the
+// buffer, so a streaming consumer (the tracepipe agent) sees each record
+// exactly once. The lost counter keeps accumulating across drains.
+func (p *Profiler) DrainTrace() []Record {
+	out := p.trace
+	p.trace = nil
+	return out
+}
+
+// TraceLost returns how many buffered records were dropped (oldest first)
+// because the ring filled faster than it was drained. Cumulative.
+func (p *Profiler) TraceLost() uint64 { return p.traceLost }
+
 // Profile is a self-contained snapshot of a process's user-level profile.
 type Profile struct {
 	Task   string

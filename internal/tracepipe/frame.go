@@ -1,0 +1,313 @@
+package tracepipe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ktau/internal/ktau"
+)
+
+// Wire protocol constants. Every collection round an agent ships one trace
+// frame: a fixed preamble (magic, version, payload length) followed by the
+// payload. The preamble/payload split mirrors the perfmon profile frames so
+// both pipelines share the same framing convention on the simulated wire.
+const (
+	// TraceMagic identifies a tracepipe frame ("KTRC").
+	TraceMagic = 0x4b545243
+	// TraceVersion is the wire format version.
+	TraceVersion = 1
+	// TraceHeaderBytes is the fixed on-wire preamble preceding each frame's
+	// payload: magic(4) + version(4) + payload length(4) + reserved(4).
+	TraceHeaderBytes = 16
+)
+
+// Rec is one resolved trace record: a virtual-TSC timestamp, the event name
+// (kernel instrumentation point or TAU user routine), the record kind and an
+// optional atomic value. On the wire names are dictionary-encoded per frame.
+type Rec struct {
+	TSC  int64
+	Name string
+	Kind ktau.RecordKind
+	Val  int64
+}
+
+// Stream is one ring buffer's drained contribution to a frame: the records
+// of one task's kernel trace ring, or of one process's TAU user-level ring.
+type Stream struct {
+	PID    int
+	Task   string
+	Kernel bool
+	// Lost is the ring's cumulative overwrite count at drain time — the
+	// paper's "trace data may be lost if the buffer is not read fast enough".
+	Lost uint64
+	Recs []Rec
+}
+
+// Msg is one MPI message endpoint event used for send→recv flow
+// correlation: the sender logs {Send:true, Seq:k} for its k-th message to
+// (Dst,Tag), the receiver logs {Send:false, Seq:k} for its k-th receive from
+// (Src,Tag). Matching (Src,Dst,Tag,Seq) tuples across nodes identify one
+// message — the message lines of the paper's Fig. 2-D.
+type Msg struct {
+	Src, Dst int // ranks
+	Tag      int
+	Bytes    int
+	Seq      uint64
+	Send     bool
+	PID      int // local endpoint's pid (binds the flow to a trace track)
+	StartTSC int64
+	EndTSC   int64
+}
+
+// Frame is one collection round's trace shipment from a node.
+type Frame struct {
+	Node    string
+	NodeIdx int
+	Round   int
+	// Last marks the agent's final round; the sink exits after ingesting it.
+	Last bool
+	// Backlog is how many records were found waiting in the node's rings at
+	// drain time this round — how far behind production the agent runs.
+	Backlog uint64
+	// ReadErrs counts rounds-with-unreadable-rings so far (cumulative):
+	// procfs trace reads that kept failing after bounded retries.
+	ReadErrs uint64
+	// Dropped / DroppedRecs count frames (and the records inside them) the
+	// agent failed to ship so far (cumulative). They self-report shipping
+	// loss: the collector learns about a dropped frame from its successor.
+	Dropped     uint64
+	DroppedRecs uint64
+	Streams     []Stream
+	Msgs        []Msg
+}
+
+// records counts the trace records carried by the frame.
+func (f Frame) records() int {
+	n := 0
+	for _, s := range f.Streams {
+		n += len(s.Recs)
+	}
+	return n
+}
+
+// EncodeFrame serialises a frame payload (the bytes following the on-wire
+// preamble). Event names are interned into a per-frame dictionary so hot
+// instrumentation points cost four bytes per record instead of a string.
+func EncodeFrame(f Frame) []byte {
+	var b []byte
+	u8 := func(v uint8) { b = append(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(s string) {
+		if len(s) > math.MaxUint16 {
+			s = s[:math.MaxUint16]
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	bit := func(v bool) {
+		if v {
+			u8(1)
+		} else {
+			u8(0)
+		}
+	}
+
+	// Build the name dictionary in first-appearance order (deterministic:
+	// streams and records are already deterministically ordered).
+	names := make([]string, 0, 16)
+	index := make(map[string]uint32, 16)
+	intern := func(s string) uint32 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint32(len(names))
+		names = append(names, s)
+		index[s] = i
+		return i
+	}
+	for _, s := range f.Streams {
+		for _, r := range s.Recs {
+			intern(r.Name)
+		}
+	}
+
+	u32(TraceMagic)
+	u32(TraceVersion)
+	str(f.Node)
+	u32(uint32(f.NodeIdx))
+	u32(uint32(f.Round))
+	bit(f.Last)
+	u64(f.Backlog)
+	u64(f.ReadErrs)
+	u64(f.Dropped)
+	u64(f.DroppedRecs)
+	u32(uint32(len(names)))
+	for _, n := range names {
+		str(n)
+	}
+	u32(uint32(len(f.Streams)))
+	for _, s := range f.Streams {
+		i64(int64(s.PID))
+		str(s.Task)
+		bit(s.Kernel)
+		u64(s.Lost)
+		u32(uint32(len(s.Recs)))
+		for _, r := range s.Recs {
+			i64(r.TSC)
+			u32(index[r.Name])
+			u8(uint8(r.Kind))
+			i64(r.Val)
+		}
+	}
+	u32(uint32(len(f.Msgs)))
+	for _, m := range f.Msgs {
+		u32(uint32(m.Src))
+		u32(uint32(m.Dst))
+		i64(int64(m.Tag))
+		i64(int64(m.Bytes))
+		u64(m.Seq)
+		bit(m.Send)
+		i64(int64(m.PID))
+		i64(m.StartTSC)
+		i64(m.EndTSC)
+	}
+	return b
+}
+
+// DecodeFrame parses a frame payload produced by EncodeFrame.
+func DecodeFrame(blob []byte) (Frame, error) {
+	r := frameReader{b: blob}
+	var f Frame
+	if r.u32() != TraceMagic {
+		return f, errors.New("tracepipe: bad frame magic")
+	}
+	if v := r.u32(); v != TraceVersion {
+		return f, fmt.Errorf("tracepipe: unsupported frame version %d", v)
+	}
+	f.Node = r.str()
+	f.NodeIdx = int(r.u32())
+	f.Round = int(r.u32())
+	f.Last = r.u8() == 1
+	f.Backlog = r.u64()
+	f.ReadErrs = r.u64()
+	f.Dropped = r.u64()
+	f.DroppedRecs = r.u64()
+	nn := int(r.u32())
+	if r.err == nil && nn > len(r.b) {
+		return f, errors.New("tracepipe: truncated frame")
+	}
+	names := make([]string, 0, nn)
+	for i := 0; i < nn && r.err == nil; i++ {
+		names = append(names, r.str())
+	}
+	nameAt := func(i uint32) string {
+		if int(i) >= len(names) {
+			r.err = errors.New("tracepipe: name index out of range")
+			return ""
+		}
+		return names[i]
+	}
+	ns := int(r.u32())
+	for i := 0; i < ns && r.err == nil; i++ {
+		var s Stream
+		s.PID = int(r.i64())
+		s.Task = r.str()
+		s.Kernel = r.u8() == 1
+		s.Lost = r.u64()
+		nr := int(r.u32())
+		if r.err == nil && nr > len(r.b) {
+			return f, errors.New("tracepipe: truncated frame")
+		}
+		for j := 0; j < nr && r.err == nil; j++ {
+			var rec Rec
+			rec.TSC = r.i64()
+			rec.Name = nameAt(r.u32())
+			rec.Kind = ktau.RecordKind(r.u8())
+			rec.Val = r.i64()
+			s.Recs = append(s.Recs, rec)
+		}
+		f.Streams = append(f.Streams, s)
+	}
+	nm := int(r.u32())
+	if r.err == nil && nm > len(r.b) {
+		return f, errors.New("tracepipe: truncated frame")
+	}
+	for i := 0; i < nm && r.err == nil; i++ {
+		var m Msg
+		m.Src = int(r.u32())
+		m.Dst = int(r.u32())
+		m.Tag = int(r.i64())
+		m.Bytes = int(r.i64())
+		m.Seq = r.u64()
+		m.Send = r.u8() == 1
+		m.PID = int(r.i64())
+		m.StartTSC = r.i64()
+		m.EndTSC = r.i64()
+		f.Msgs = append(f.Msgs, m)
+	}
+	return f, r.err
+}
+
+type frameReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *frameReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = errors.New("tracepipe: truncated frame")
+		return false
+	}
+	return true
+}
+
+func (r *frameReader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *frameReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *frameReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *frameReader) i64() int64 { return int64(r.u64()) }
+
+func (r *frameReader) str() string {
+	if !r.need(2) {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(r.b[r.off:]))
+	r.off += 2
+	if !r.need(n) {
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
+}

@@ -1,0 +1,98 @@
+package tracepipe
+
+import (
+	"reflect"
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+func sampleFrame() Frame {
+	return Frame{
+		Node: "ccn3", NodeIdx: 3, Round: 7, Last: true,
+		Backlog: 12, ReadErrs: 2, Dropped: 1, DroppedRecs: 40,
+		Streams: []Stream{
+			{PID: 101, Task: "LU.rank3", Kernel: true, Lost: 5, Recs: []Rec{
+				{TSC: 1000, Name: "schedule", Kind: ktau.KindEntry},
+				{TSC: 1100, Name: "schedule", Kind: ktau.KindExit},
+				{TSC: 1200, Name: `do_IRQ["timer"]`, Kind: ktau.KindAtomic, Val: 9},
+			}},
+			{PID: 101, Task: "LU.rank3", Kernel: false, Recs: []Rec{
+				{TSC: 1050, Name: "MPI_Recv()", Kind: ktau.KindEntry},
+				{TSC: 1300, Name: "MPI_Recv()", Kind: ktau.KindExit},
+			}},
+		},
+		Msgs: []Msg{
+			{Src: 3, Dst: 5, Tag: 7, Bytes: 4096, Seq: 2, Send: true,
+				PID: 101, StartTSC: 1060, EndTSC: 1090},
+			{Src: 5, Dst: 3, Tag: 8, Bytes: 64, Seq: 0, Send: false,
+				PID: 101, StartTSC: 1110, EndTSC: 1290},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	blob := EncodeFrame(f)
+	got, err := DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+	}
+	if f.records() != 5 {
+		t.Fatalf("records() = %d, want 5", f.records())
+	}
+}
+
+func TestFrameRoundTripEmpty(t *testing.T) {
+	f := Frame{Node: "n0", Round: 0}
+	got, err := DecodeFrame(EncodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "n0" || len(got.Streams) != 0 || len(got.Msgs) != 0 {
+		t.Fatalf("empty round trip = %+v", got)
+	}
+}
+
+func TestFrameDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("nil payload must fail")
+	}
+	if _, err := DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("short payload must fail")
+	}
+	blob := EncodeFrame(sampleFrame())
+	// Every truncation point must produce an error, never a panic.
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeFrame(blob[:n]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", n)
+		}
+	}
+	// Flipping the magic must fail.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Error("bad magic must fail")
+	}
+}
+
+func TestFrameDictionarySharesNames(t *testing.T) {
+	mk := func(reps int) Frame {
+		var recs []Rec
+		for i := 0; i < reps; i++ {
+			recs = append(recs, Rec{TSC: int64(i), Name: "some_long_instrumentation_point_name", Kind: ktau.KindEntry})
+		}
+		return Frame{Node: "n", Streams: []Stream{{PID: 1, Task: "t", Kernel: true, Recs: recs}}}
+	}
+	one := len(EncodeFrame(mk(1)))
+	hundred := len(EncodeFrame(mk(100)))
+	perRec := float64(hundred-one) / 99
+	// Dictionary encoding: repeated names must cost an index (4 bytes), not
+	// the string; a full record is TSC+idx+kind+val = 21 bytes.
+	if perRec > 25 {
+		t.Fatalf("per-record cost %.1f bytes suggests names are not dictionary-encoded", perRec)
+	}
+}

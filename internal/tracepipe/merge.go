@@ -1,0 +1,238 @@
+package tracepipe
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"ktau/internal/ktau"
+)
+
+// ClusterEvent is one record of the merged whole-cluster timeline.
+type ClusterEvent struct {
+	NodeIdx int
+	Node    string
+	PID     int
+	Task    string
+	Kernel  bool
+	Name    string
+	Kind    ktau.RecordKind
+	Val     int64
+	TSC     int64
+}
+
+// Flow is one correlated MPI message: the sender-side and receiver-side
+// endpoint events of the same (Src,Dst,Tag,Seq) tuple.
+type Flow struct {
+	Src, Dst   int // ranks
+	Tag, Bytes int
+	Seq        uint64
+	// Sender / receiver endpoint placement.
+	SrcNode, DstNode int
+	SrcPID, DstPID   int
+	// SendTSC is the sender-side completion time, RecvTSC the receiver-side
+	// completion time (virtual TSC).
+	SendTSC, RecvTSC int64
+}
+
+// Merged returns the whole-cluster timeline in deterministic order. The
+// merge reuses the runner's (time, source, seq) ordering discipline: records
+// are ordered by TSC; ties break by node index, then pid, user records
+// before kernel records, then by the record's position in its own stream.
+// The result is therefore byte-identical however many workers drove the
+// simulation and in whatever order frames arrived.
+func (c *Collector) Merged() []ClusterEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ClusterEvent, 0, 1024)
+	for _, key := range c.sortedStreamKeys() {
+		st := c.streams[key]
+		name := ""
+		if key.NodeIdx < len(c.nodes) {
+			name = c.nodes[key.NodeIdx].name
+		}
+		for _, r := range st.recs {
+			out = append(out, ClusterEvent{
+				NodeIdx: key.NodeIdx, Node: name,
+				PID: key.PID, Task: st.task, Kernel: key.Kernel,
+				Name: r.Name, Kind: r.Kind, Val: r.Val, TSC: r.TSC,
+			})
+		}
+	}
+	// Records are pre-ordered by (node, pid, stream, position); the stable
+	// sort by TSC preserves that order among equal timestamps.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TSC < out[j].TSC })
+	return out
+}
+
+// Flows correlates the ingested MPI endpoint events into completed
+// send→recv pairs, ordered by (Src, Dst, Tag, Seq). Messages whose sender
+// or receiver endpoint was lost (dropped frame, ring overflow) stay
+// uncorrelated and are omitted.
+func (c *Collector) Flows() []Flow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type key struct {
+		src, dst, tag int
+		seq           uint64
+	}
+	sends := make(map[key]nodeMsg, len(c.msgs)/2)
+	recvs := make(map[key]nodeMsg, len(c.msgs)/2)
+	for _, nm := range c.msgs {
+		k := key{src: nm.m.Src, dst: nm.m.Dst, tag: nm.m.Tag, seq: nm.m.Seq}
+		if nm.m.Send {
+			sends[k] = nm
+		} else {
+			recvs[k] = nm
+		}
+	}
+	out := make([]Flow, 0, len(sends))
+	for k, s := range sends {
+		r, ok := recvs[k]
+		if !ok {
+			continue
+		}
+		out = append(out, Flow{
+			Src: k.src, Dst: k.dst, Tag: k.tag, Bytes: s.m.Bytes, Seq: k.seq,
+			SrcNode: s.nodeIdx, DstNode: r.nodeIdx,
+			SrcPID: s.m.PID, DstPID: r.m.PID,
+			SendTSC: s.m.EndTSC, RecvTSC: r.m.EndTSC,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format.
+// Marshalling through encoding/json keeps every name correctly escaped.
+type chromeEvent struct {
+	Name   string         `json:"name"`
+	Cat    string         `json:"cat,omitempty"`
+	Phase  string         `json:"ph"`
+	TS     float64        `json:"ts"` // microseconds
+	PID    int            `json:"pid"`
+	TID    int            `json:"tid"`
+	ID     int            `json:"id,omitempty"`
+	BindPt string         `json:"bp,omitempty"`
+	Args   map[string]any `json:"args,omitempty"`
+}
+
+// trackID maps one ring's stream onto a Chrome thread track: each task gets
+// a user track (pid*2) and a kernel track (pid*2+1), grouped under its
+// node's process.
+func trackID(pid int, kernel bool) int {
+	t := pid * 2
+	if kernel {
+		t++
+	}
+	return t
+}
+
+// WriteChromeTrace renders the merged cluster timeline as one Chrome
+// trace-event JSON array, loadable in Perfetto or chrome://tracing: one
+// process per node, one pair of tracks (user + kernel) per task, and flow
+// arrows for every correlated MPI message. Output is deterministic and
+// byte-identical across serial and parallel runs of the same seed.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	merged := c.Merged()
+	flows := c.Flows()
+
+	var base int64
+	haveBase := false
+	for _, e := range merged {
+		if !haveBase || e.TSC < base {
+			base, haveBase = e.TSC, true
+		}
+	}
+	for _, f := range flows {
+		if !haveBase || f.SendTSC < base {
+			base, haveBase = f.SendTSC, true
+		}
+	}
+	hz := c.hz
+	if hz <= 0 {
+		hz = 1
+	}
+	toUS := func(tsc int64) float64 { return float64(tsc-base) / float64(hz) * 1e6 }
+
+	events := make([]chromeEvent, 0, len(merged)+2*len(flows)+64)
+
+	// Metadata: name each node's process and each stream's track.
+	c.mu.Lock()
+	keys := c.sortedStreamKeys()
+	namedNode := make(map[int]bool)
+	for _, key := range keys {
+		if !namedNode[key.NodeIdx] {
+			namedNode[key.NodeIdx] = true
+			events = append(events, chromeEvent{
+				Name: "process_name", Phase: "M", PID: key.NodeIdx,
+				Args: map[string]any{"name": c.nodes[key.NodeIdx].name},
+			})
+			events = append(events, chromeEvent{
+				Name: "process_sort_index", Phase: "M", PID: key.NodeIdx,
+				Args: map[string]any{"sort_index": key.NodeIdx},
+			})
+		}
+		task := c.streams[key].task
+		label := task
+		if key.Kernel {
+			label += " (kernel)"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: key.NodeIdx, TID: trackID(key.PID, key.Kernel),
+			Args: map[string]any{"name": label},
+		})
+	}
+	c.mu.Unlock()
+
+	for _, e := range merged {
+		cat := "user"
+		if e.Kernel {
+			cat = "kernel"
+		}
+		ev := chromeEvent{
+			Name: e.Name, Cat: cat, TS: toUS(e.TSC),
+			PID: e.NodeIdx, TID: trackID(e.PID, e.Kernel),
+		}
+		switch e.Kind {
+		case ktau.KindEntry:
+			ev.Phase = "B"
+		case ktau.KindExit:
+			ev.Phase = "E"
+		case ktau.KindAtomic:
+			ev.Phase = "i"
+			ev.Args = map[string]any{"value": e.Val}
+		default:
+			continue
+		}
+		events = append(events, ev)
+	}
+
+	for i, f := range flows {
+		args := map[string]any{
+			"src": f.Src, "dst": f.Dst, "tag": f.Tag, "bytes": f.Bytes,
+		}
+		events = append(events, chromeEvent{
+			Name: "MPI_msg", Cat: "mpi", Phase: "s", TS: toUS(f.SendTSC),
+			PID: f.SrcNode, TID: trackID(f.SrcPID, false), ID: i + 1, Args: args,
+		})
+		events = append(events, chromeEvent{
+			Name: "MPI_msg", Cat: "mpi", Phase: "f", BindPt: "e", TS: toUS(f.RecvTSC),
+			PID: f.DstNode, TID: trackID(f.DstPID, false), ID: i + 1,
+		})
+	}
+
+	return json.NewEncoder(w).Encode(events)
+}

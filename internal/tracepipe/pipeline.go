@@ -1,0 +1,566 @@
+// Package tracepipe is the cluster-wide streaming trace pipeline: the
+// trace-data half of the paper's §4.5 KTAUD story, completing what perfmon
+// does for profiles. Each node runs a KTAUD-style agent that periodically
+// drains every task's kernel trace ring through the instrumented
+// /proc/ktau/trace path (plus the TAU user-level rings and the MPI message
+// log exposed by the deployment's sources), frames the records with
+// node/pid/lost-count metadata, and ships them over the simulated TCP
+// network to an elected collector — through the same instrumented path as
+// application traffic, so the pipeline observes its own interference.
+//
+// The collector performs a deterministic cross-node virtual-time merge
+// (reusing the runner's (time, source, seq) ordering discipline), correlates
+// MPI send/recv endpoint events into Chrome trace-event flow arrows (the
+// message lines of the paper's Fig. 2-D), tracks per-node
+// drop/loss/backlog self-metrics alongside the perfmon views, and writes a
+// whole-cluster Perfetto-loadable trace.
+//
+// The pipeline inherits perfmon's fault discipline: agents retry transient
+// procfs errors with bounded backoff and self-report rounds that stayed
+// unreadable; a send that times out drops the frame (counted, never silent)
+// and re-elects a live collector when the old one died; sinks receive with
+// timeouts, count-and-drop damaged frames, and mark silent nodes down.
+package tracepipe
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/libktau"
+	"ktau/internal/perfmon"
+	"ktau/internal/tcpsim"
+)
+
+// UserSource exposes one process's user-level (TAU) trace ring to the
+// node's agent. Drain must return the buffered records (already resolved to
+// names) and the ring's cumulative lost count, consuming the buffer. It is
+// called from the agent's task on the process's own node, so it runs inside
+// that node's engine and needs no locking.
+type UserSource struct {
+	PID   int
+	Task  string
+	Drain func() (recs []Rec, lost uint64)
+}
+
+// MsgSource exposes one process's MPI message endpoint log to the node's
+// agent (same execution context rules as UserSource).
+type MsgSource struct {
+	Drain func() []Msg
+}
+
+// Config parameterises a deployment.
+type Config struct {
+	// Interval between collection rounds on every agent (default 25ms —
+	// trace rings fill much faster than profiles change).
+	Interval time.Duration
+	// Rounds bounds each agent's collection loop (0 = run until Stop).
+	Rounds int
+	// UserSources returns the node's user-level trace rings (nil = none).
+	UserSources func(nodeIdx int) []UserSource
+	// MsgSources returns the node's MPI message logs (nil = none).
+	MsgSources func(nodeIdx int) []MsgSource
+	// ShipCostPerKB models agent-side processing cost per KiB of trace data
+	// each round (default 20us/KB, as KTAUD).
+	ShipCostPerKB time.Duration
+	// Collector overrides the election result when >= 0 (default -1).
+	Collector int
+	// ReadRetries bounds how many times an agent retries a failed trace
+	// read within one round before skipping the ring (default 3).
+	ReadRetries int
+	// ReadBackoff is the sleep between trace read retries (default
+	// Interval/10).
+	ReadBackoff time.Duration
+	// RecvTimeout bounds each sink receive (default 4×Interval).
+	RecvTimeout time.Duration
+	// SendTimeout bounds each agent's frame transmission (default
+	// 4×Interval).
+	SendTimeout time.Duration
+	// PeerDownAfter is how many consecutive receive timeouts a sink
+	// tolerates before marking its node down and exiting (default 3).
+	PeerDownAfter int
+}
+
+func (c *Config) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	if c.ShipCostPerKB <= 0 {
+		c.ShipCostPerKB = 20 * time.Microsecond
+	}
+	if c.ReadRetries <= 0 {
+		c.ReadRetries = 3
+	}
+	if c.ReadBackoff <= 0 {
+		c.ReadBackoff = c.Interval / 10
+	}
+	if c.RecvTimeout <= 0 {
+		c.RecvTimeout = 4 * c.Interval
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 4 * c.Interval
+	}
+	if c.PeerDownAfter <= 0 {
+		c.PeerDownAfter = 3
+	}
+}
+
+// link carries the Go-side payload queue of one agent→collector trace
+// connection, with the same determinism argument as the perfmon link: a
+// payload is pushed at send time, at least one wire latency (= one window
+// barrier) before the sink can have received the matching preamble bytes.
+type link struct {
+	nodeIdx   int
+	sinkNode  int
+	agentConn *tcpsim.Conn
+	sinkConn  *tcpsim.Conn
+
+	mu       sync.Mutex
+	pending  [][]byte
+	replaced bool
+}
+
+func (l *link) push(p []byte) {
+	l.mu.Lock()
+	l.pending = append(l.pending, p)
+	l.mu.Unlock()
+}
+
+func (l *link) peek() ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return nil, false
+	}
+	return l.pending[0], true
+}
+
+func (l *link) popFront() {
+	l.mu.Lock()
+	if len(l.pending) > 0 {
+		l.pending = l.pending[1:]
+	}
+	l.mu.Unlock()
+}
+
+func (l *link) empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending) == 0
+}
+
+func (l *link) clearPending() {
+	l.mu.Lock()
+	l.pending = nil
+	l.mu.Unlock()
+}
+
+// retire marks the link abandoned by its agent. Runs on the sink node's
+// engine.
+func (l *link) retire() {
+	l.mu.Lock()
+	l.pending = nil
+	l.replaced = true
+	l.mu.Unlock()
+}
+
+func (l *link) isReplaced() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replaced
+}
+
+// Pipeline is a deployed trace pipeline.
+type Pipeline struct {
+	cfg Config
+	c   *cluster.Cluster
+	col *Collector
+
+	agents    []*kernel.Task
+	agentDone []bool
+	stopped   bool
+
+	// mu guards the collector-side bookkeeping (mutated only in collector
+	// engine contexts, read back once the cluster is quiescent).
+	mu         sync.Mutex
+	collector  int
+	sinks      []*kernel.Task
+	failovers  int
+	downMarked map[int]bool
+}
+
+// Deploy elects a collector (sharing perfmon's election: most CPUs, lowest
+// index, judged from barrier-published crash views), connects every other
+// node to it over the simulated network, and spawns the per-node trace
+// agent daemons ("ktraced") plus one sink per connection on the collector.
+// Call before driving the workload; Stop and drain afterwards.
+func Deploy(c *cluster.Cluster, cfg Config) (*Pipeline, error) {
+	cfg.defaults()
+	if len(c.Nodes) == 0 {
+		return nil, errors.New("tracepipe: cannot deploy on an empty cluster")
+	}
+	c.PublishViews()
+	collector := cfg.Collector
+	if cfg.Collector == 0 && len(c.Nodes) > 0 {
+		// Zero value means "elect" for ergonomic configs; explicit node 0 is
+		// still reachable because election picks it on uniform clusters.
+		collector = -1
+	}
+	if collector < 0 || collector >= len(c.Nodes) || c.Node(collector).K.CrashedSeen() {
+		collector = perfmon.Elect(c)
+	}
+	if collector < 0 {
+		return nil, errors.New("tracepipe: no live node to collect on")
+	}
+	tp := &Pipeline{
+		cfg:        cfg,
+		c:          c,
+		col:        NewCollector(len(c.Nodes), c.Node(0).K.Params().HZ),
+		collector:  collector,
+		agentDone:  make([]bool, len(c.Nodes)),
+		downMarked: make(map[int]bool),
+	}
+	for i, n := range c.Nodes {
+		tp.col.SetNodeName(i, n.Name)
+	}
+	for i, n := range c.Nodes {
+		if i == collector {
+			tp.agents = append(tp.agents, tp.spawnAgent(i, n, collector, nil))
+			continue
+		}
+		agentConn, sinkConn := tcpsim.Connect(n.Stack, c.Node(collector).Stack)
+		l := &link{nodeIdx: i, sinkNode: collector, agentConn: agentConn, sinkConn: sinkConn}
+		tp.agents = append(tp.agents, tp.spawnAgent(i, n, collector, l))
+		tp.sinks = append(tp.sinks, tp.spawnSink(c.Node(collector), l))
+	}
+	c.Runner.OnBarrier(tp.publishViews)
+	return tp, nil
+}
+
+// publishViews refreshes the barrier-published agent-exit flags sinks read.
+func (tp *Pipeline) publishViews() {
+	for i, t := range tp.agents {
+		tp.agentDone[i] = t.Exited()
+	}
+}
+
+// Store returns the collector's trace store (merge, flows, exports).
+func (tp *Pipeline) Store() *Collector { return tp.col }
+
+// CollectorNode returns the current collector node index.
+func (tp *Pipeline) CollectorNode() int {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.collector
+}
+
+// Failovers returns how many collector re-elections have happened.
+func (tp *Pipeline) Failovers() int {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.failovers
+}
+
+// Config returns the deployment configuration (defaults applied).
+func (tp *Pipeline) Config() Config { return tp.cfg }
+
+// Tasks returns every task the deployment spawned (agents then sinks).
+// Failover spawns replacement sinks, so re-query after driving the engine.
+func (tp *Pipeline) Tasks() []*kernel.Task {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	out := make([]*kernel.Task, 0, len(tp.agents)+len(tp.sinks))
+	out = append(out, tp.agents...)
+	out = append(out, tp.sinks...)
+	return out
+}
+
+// Agents returns the per-node trace daemons (node order).
+func (tp *Pipeline) Agents() []*kernel.Task { return tp.agents }
+
+// Stop asks every agent to perform one final drain round (flagged Last) and
+// exit; sinks exit after ingesting the final frame. Drive the engine
+// afterwards to drain the pipeline.
+func (tp *Pipeline) Stop() { tp.stopped = true }
+
+// agentRoute is one agent's private view of where its frames go.
+type agentRoute struct {
+	collector int
+	l         *link
+}
+
+// agentStats is the cumulative self-reported loss accounting one agent
+// carries between rounds and embeds in every frame.
+type agentStats struct {
+	readErrs    uint64
+	dropped     uint64
+	droppedRecs uint64
+	lastLost    map[streamKey]uint64
+}
+
+// spawnAgent starts the per-node trace daemon ("ktraced"). Kernel rings are
+// drained through the node's shared procfs instance (so injected procfs
+// faults reach the trace reads), user rings and message logs through the
+// configured sources.
+func (tp *Pipeline) spawnAgent(idx int, n *cluster.Node, collector int, l *link) *kernel.Task {
+	h := libktau.Open(n.FS)
+	cfg := tp.cfg
+	return n.K.Spawn("ktraced", func(u *kernel.UCtx) {
+		st := &agentStats{lastLost: make(map[streamKey]uint64)}
+		route := &agentRoute{collector: collector, l: l}
+		for round := 0; ; round++ {
+			if cfg.Rounds > 0 && round >= cfg.Rounds {
+				return
+			}
+			final := tp.stopped
+			if !final {
+				u.Sleep(cfg.Interval)
+				final = tp.stopped
+			}
+			last := final || (cfg.Rounds > 0 && round == cfg.Rounds-1)
+
+			f := tp.drainRound(u, h, idx, n, round, last, st)
+			payload := EncodeFrame(f)
+
+			// User-space processing: ring walks + dictionary encode.
+			u.Compute(time.Duration(len(payload)/1024+1) * cfg.ShipCostPerKB)
+
+			if !tp.ship(route, idx, n, u, f, payload) {
+				st.dropped++
+				st.droppedRecs += uint64(f.records())
+			}
+			if f.Last {
+				return
+			}
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
+}
+
+// drainRound drains every ring on the node into one frame: kernel trace
+// rings via the instrumented /proc/ktau/trace two-call protocol (task
+// creation order, so the stream layout is deterministic), then the
+// configured user-level rings and MPI message logs.
+func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
+	n *cluster.Node, round int, last bool, st *agentStats) Frame {
+
+	cfg := tp.cfg
+	f := Frame{Node: n.Name, NodeIdx: idx, Round: round, Last: last}
+	reg := n.K.Ktau().Reg
+
+	for _, t := range n.K.AllTasks() {
+		ring := t.KD().Trace()
+		if ring == nil {
+			continue
+		}
+		waiting := uint64(ring.Len())
+		key := streamKey{NodeIdx: idx, PID: t.PID(), Kernel: true}
+		if waiting == 0 && ring.Lost() == st.lastLost[key] {
+			continue
+		}
+		f.Backlog += waiting
+
+		var dump libktau.TraceDump
+		readOK := false
+		for attempt := 0; attempt < cfg.ReadRetries; attempt++ {
+			if attempt > 0 {
+				u.Sleep(cfg.ReadBackoff)
+			}
+			u.Syscall("sys_ioctl", func(kc *kernel.KCtx) { kc.Use(2 * time.Microsecond) })
+			var err error
+			dump, err = h.GetTrace(t.PID())
+			u.Syscall("sys_read", func(kc *kernel.KCtx) { kc.Use(4 * time.Microsecond) })
+			if err == nil {
+				readOK = true
+				break
+			}
+		}
+		if !readOK {
+			st.readErrs++
+			continue
+		}
+		s := Stream{PID: t.PID(), Task: t.Name(), Kernel: true, Lost: dump.Lost}
+		for _, r := range dump.Records {
+			s.Recs = append(s.Recs, Rec{TSC: r.TSC, Name: reg.Name(r.Ev), Kind: r.Kind, Val: r.Val})
+		}
+		if len(s.Recs) > 0 || s.Lost != st.lastLost[key] {
+			st.lastLost[key] = s.Lost
+			f.Streams = append(f.Streams, s)
+		}
+	}
+
+	if cfg.UserSources != nil {
+		for _, src := range cfg.UserSources(idx) {
+			recs, lost := src.Drain()
+			key := streamKey{NodeIdx: idx, PID: src.PID, Kernel: false}
+			if len(recs) == 0 && lost == st.lastLost[key] {
+				continue
+			}
+			st.lastLost[key] = lost
+			f.Backlog += uint64(len(recs))
+			f.Streams = append(f.Streams, Stream{
+				PID: src.PID, Task: src.Task, Lost: lost, Recs: recs,
+			})
+		}
+	}
+	if cfg.MsgSources != nil {
+		for _, src := range cfg.MsgSources(idx) {
+			f.Msgs = append(f.Msgs, src.Drain()...)
+		}
+	}
+	f.ReadErrs = st.readErrs
+	f.Dropped = st.dropped
+	f.DroppedRecs = st.droppedRecs
+	return f
+}
+
+// retireLink tells the link's sink — in the sink's own engine context — that
+// the agent abandoned it.
+func (tp *Pipeline) retireLink(idx int, l *link) {
+	tp.c.CrossCall(idx, l.sinkNode, l.retire)
+}
+
+// noteFailover records one collector transition on the (new) collector's
+// side. Runs in the new collector's engine context.
+func (tp *Pipeline) noteFailover(dead int, newCollector int) {
+	tp.mu.Lock()
+	tp.collector = newCollector
+	first := dead >= 0 && !tp.downMarked[dead]
+	if first {
+		tp.downMarked[dead] = true
+		tp.failovers++
+	}
+	tp.mu.Unlock()
+	if first {
+		tp.col.MarkDown(dead)
+	}
+}
+
+// ship delivers one frame to the agent's current collector and reports
+// whether it was handed off (locally ingested, or accepted by the
+// transport). A send that times out means the collector is unreachable —
+// the agent re-elects and reconnects, re-shipping this frame on the fresh
+// link.
+func (tp *Pipeline) ship(route *agentRoute, idx int, n *cluster.Node,
+	u *kernel.UCtx, f Frame, payload []byte) bool {
+	if route.collector == idx {
+		tp.col.Ingest(f, 0)
+		return true
+	}
+	if route.l != nil {
+		route.l.push(payload)
+		if route.l.agentConn.SendTimeout(u, TraceHeaderBytes+len(payload), tp.cfg.SendTimeout) {
+			return true
+		}
+		// The send stalled: the stream (and anything queued on it) is lost.
+		tp.retireLink(idx, route.l)
+		route.l = nil
+	}
+	return tp.reroute(route, idx, n, u, f, payload)
+}
+
+// reroute reconnects a node to a live collector after its link broke,
+// re-electing first when the collector node itself died. Collector-side
+// bookkeeping is posted to the new collector's engine through the runner.
+func (tp *Pipeline) reroute(route *agentRoute, idx int, n *cluster.Node,
+	u *kernel.UCtx, f Frame, payload []byte) bool {
+	dead := -1
+	if route.collector < 0 || tp.c.Node(route.collector).K.CrashedSeen() {
+		dead = route.collector
+		next := perfmon.Elect(tp.c)
+		if next < 0 {
+			// Nobody left to collect on: degrade to silence.
+			route.collector = -1
+			route.l = nil
+			return false
+		}
+		route.collector = next
+	}
+	if route.collector == idx {
+		route.l = nil
+		tp.noteFailover(dead, idx)
+		tp.col.Ingest(f, 0)
+		return true
+	}
+	cn := tp.c.Node(route.collector)
+	agentConn, sinkConn := tcpsim.Connect(n.Stack, cn.Stack)
+	l := &link{nodeIdx: idx, sinkNode: route.collector, agentConn: agentConn, sinkConn: sinkConn}
+	route.l = l
+	newCollector := route.collector
+	tp.c.CrossCall(idx, newCollector, func() {
+		tp.noteFailover(dead, newCollector)
+		sink := tp.spawnSink(cn, l)
+		tp.mu.Lock()
+		tp.sinks = append(tp.sinks, sink)
+		tp.mu.Unlock()
+	})
+	l.push(payload)
+	if !l.agentConn.SendTimeout(u, TraceHeaderBytes+len(payload), tp.cfg.SendTimeout) {
+		// Still unreachable: give up on this frame; the next round retries
+		// the whole path.
+		tp.c.CrossCall(idx, l.sinkNode, l.clearPending)
+		return false
+	}
+	return true
+}
+
+// spawnSink starts one collector-side receiver for a link. Damaged or
+// desynced frames are counted and dropped, never fatal; a link that stays
+// silent is diagnosed and the sink always exits rather than blocking.
+func (tp *Pipeline) spawnSink(n *cluster.Node, l *link) *kernel.Task {
+	cfg := tp.cfg
+	return n.K.Spawn("ktrace-sink", func(u *kernel.UCtx) {
+		node := tp.c.Node(l.nodeIdx)
+		timeouts := 0
+		for {
+			if !l.sinkConn.RecvTimeout(u, TraceHeaderBytes, cfg.RecvTimeout) {
+				timeouts++
+				if l.isReplaced() {
+					return
+				}
+				if node.K.CrashedSeen() {
+					tp.col.MarkDown(l.nodeIdx)
+					return
+				}
+				if tp.agentDone[l.nodeIdx] && l.empty() {
+					return
+				}
+				if timeouts >= cfg.PeerDownAfter {
+					tp.col.MarkDown(l.nodeIdx)
+					return
+				}
+				continue
+			}
+			timeouts = 0
+			payload, ok := l.peek()
+			if !ok {
+				tp.col.DropFrame(l.nodeIdx)
+				continue
+			}
+			if !l.sinkConn.RecvTimeout(u, len(payload), cfg.RecvTimeout) {
+				timeouts++
+				if l.isReplaced() || node.K.CrashedSeen() || timeouts >= cfg.PeerDownAfter {
+					tp.col.DropFrame(l.nodeIdx)
+					if node.K.CrashedSeen() || timeouts >= cfg.PeerDownAfter {
+						tp.col.MarkDown(l.nodeIdx)
+					}
+					return
+				}
+				continue
+			}
+			l.popFront()
+			corrupt := l.sinkConn.TakeCorrupt()
+			f, err := DecodeFrame(payload)
+			if corrupt || err != nil {
+				tp.col.DropFrame(l.nodeIdx)
+				continue
+			}
+			u.Compute(time.Duration(len(payload)/1024+1) * cfg.ShipCostPerKB)
+			tp.col.Ingest(f, TraceHeaderBytes+len(payload))
+			if f.Last {
+				return
+			}
+		}
+	}, kernel.SpawnOpts{Kind: kernel.KindDaemon})
+}

@@ -41,10 +41,22 @@ echo "== go test -race (parallel runner + cluster + serial/parallel cross-check)
 go test -race ./internal/sim/ ./internal/cluster/
 go test -race ./internal/experiments/ -run TestParallelMatchesSerialByteForByte
 
+echo "== go test -race (trace pipeline + cluster-trace determinism) =="
+go test -race ./internal/tracepipe/
+go test -race ./internal/experiments/ -run TestClusterTraceParallelMatchesSerial
+
 echo "== fault-plan smoke test =="
 go run ./cmd/ktau-exp -exp faults -ranks 8 > /dev/null
 
+echo "== trace-pipeline smoke test (merged trace must be valid JSON with flow events) =="
+trace_tmp=$(mktemp /tmp/ktau_trace_XXXXXX.json)
+go run ./cmd/ktau-exp -exp trace -ranks 8 -trace-out "$trace_tmp" > /dev/null
+rm -f "$trace_tmp"
+
 echo "== benchmark smoke (writes BENCH_parallel.json) =="
 go test -run '^$' -bench BenchmarkParallelChiba -benchtime=1x .
+
+echo "== benchmark smoke (writes BENCH_trace.json) =="
+go test -run '^$' -bench BenchmarkTraceOverhead -benchtime=1x .
 
 echo "check.sh: all green"
