@@ -19,6 +19,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -118,10 +120,42 @@ func main() {
 	workers := flag.Int("workers", 0, "host worker goroutines with -parallel (0 = GOMAXPROCS)")
 	flag.StringVar(&traceOut, "trace-out", "",
 		"write the merged cluster trace (Perfetto-loadable JSON) to this file (trace experiment)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 
 	if *parallel {
 		ktau.SetParallel(true, *workers)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // only reachable allocations: the steady-state picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+			}
+		}()
 	}
 
 	if *list || *exp == "" {

@@ -38,12 +38,29 @@ type CPU struct {
 	rq   []*Task
 
 	workStart  sim.Time   // when the active segment (re)started
-	completion *sim.Event // pending completion of the active segment
+	completion sim.Handle // pending completion of the active segment
 
 	irqDepth        int
 	irqQueue        []irqReq
 	switching       bool  // a dispatch event is in flight
 	pendingDispatch *Task // dispatch deferred because an IRQ was in service
+
+	// In-service interrupt state. IRQ servicing is strictly serialized per
+	// CPU (one hard handler or bottom half at a time), so a single set of
+	// slots — including a reused BHCtx — replaces the per-interrupt closures
+	// the service path used to allocate.
+	irqCur   irqReq
+	irqTd    *ktau.TaskData
+	irqStart sim.Time
+	bh       BHCtx
+
+	// switchTarget is the task a scheduled dispatch event will switch to (at
+	// most one dispatch is in flight per CPU, guarded by switching).
+	switchTarget *Task
+
+	// tickPost is the per-CPU scheduler-tick hook, created once at boot and
+	// reused by every timer interrupt.
+	tickPost func()
 
 	needResched bool
 	lastRan     *Task // previous occupant, for cold-cache accounting
@@ -85,7 +102,7 @@ func (k *Kernel) startWork(c *CPU) {
 	if t == nil || t.work == nil {
 		panic("kernel: startWork without current work")
 	}
-	if c.completion != nil {
+	if c.completion.Pending() {
 		panic("kernel: startWork with completion already pending")
 	}
 	t.work.remaining += k.takeDebt()
@@ -95,14 +112,26 @@ func (k *Kernel) startWork(c *CPU) {
 	}
 	c.workStart = k.eng.Now()
 	wall := time.Duration(float64(t.work.remaining) * t.work.rate)
-	c.completion = k.eng.After(wall, func() { k.finishWork(c) })
+	c.completion = k.eng.AfterCall(wall, finishWorkCB, c)
+}
+
+// Static event callbacks: the CPU pointer rides in the event's argument
+// slot, so hot-path scheduling allocates no closures.
+func finishWorkCB(arg any) { c := arg.(*CPU); c.k.finishWork(c) }
+func irqHardEndCB(arg any) { c := arg.(*CPU); c.k.irqHardEnd(c) }
+func irqBHEndCB(arg any)   { c := arg.(*CPU); c.k.irqBHEnd(c) }
+func dispatchSwitchCB(arg any) {
+	c := arg.(*CPU)
+	t := c.switchTarget
+	c.switchTarget = nil
+	c.k.completeSwitch(c, t)
 }
 
 // siblingBusyUser reports whether any other CPU of this node is currently
 // executing a user compute segment (shared-memory-bus contention).
 func (k *Kernel) siblingBusyUser(c *CPU) bool {
 	for _, o := range k.cpus {
-		if o == c || o.curr == nil || o.completion == nil {
+		if o == c || o.curr == nil || !o.completion.Pending() {
 			continue
 		}
 		if w := o.curr.work; w != nil && w.user {
@@ -116,12 +145,12 @@ func (k *Kernel) siblingBusyUser(c *CPU) bool {
 // updating the remaining time and the task's time accounting.
 func (k *Kernel) suspendWork(c *CPU) {
 	t := c.curr
-	if t == nil || t.work == nil || c.completion == nil {
+	if t == nil || t.work == nil || !c.completion.Pending() {
 		return
 	}
 	wall := k.eng.Now().Sub(c.workStart)
 	k.eng.Cancel(c.completion)
-	c.completion = nil
+	c.completion = sim.Handle{}
 	rate := t.work.rate
 	if rate < 1 {
 		rate = 1
@@ -147,7 +176,7 @@ func (k *Kernel) finishWork(c *CPU) {
 	// The wall time occupied equals the scheduled duration (remaining work
 	// stretched by the contention rate).
 	t.account(k.eng.Now().Sub(c.workStart), w.user)
-	c.completion = nil
+	c.completion = sim.Handle{}
 	t.work = nil
 
 	// Deliver the page-fault exceptions folded into the segment.
@@ -185,50 +214,72 @@ func (k *Kernel) raiseIRQOn(c *CPU, r irqReq) {
 
 // serviceNextIRQ runs the next queued interrupt: hard handler, then the
 // bottom half, then either the next interrupt or the return-from-interrupt
-// path.
+// path. The in-service request lives in per-CPU slots (irqCur/irqTd/
+// irqStart) rather than captured closures — servicing is strictly
+// serialized per CPU, so one set of slots suffices.
 func (k *Kernel) serviceNextIRQ(c *CPU) {
 	if len(c.irqQueue) == 0 {
 		k.irqReturn(c)
 		return
 	}
 	r := c.irqQueue[0]
-	c.irqQueue = c.irqQueue[1:]
-	td := c.profTask().kd
-	irqStart := k.eng.Now()
-	k.m.Entry(td, r.ev)
+	n := copy(c.irqQueue, c.irqQueue[1:])
+	c.irqQueue[n] = irqReq{}
+	c.irqQueue = c.irqQueue[:n]
+	c.irqCur = r
+	c.irqTd = c.profTask().kd
+	c.irqStart = k.eng.Now()
+	k.m.Entry(c.irqTd, r.ev)
 	dur := k.stretch(r.cost + k.takeDebt())
-	k.eng.After(dur, func() {
-		if k.dead() {
-			return
-		}
-		k.m.Exit(td, r.ev)
-		if r.post != nil {
-			r.post()
-		}
-		if r.bh == nil {
-			c.IRQTime += k.eng.Now().Sub(irqStart)
-			k.serviceNextIRQ(c)
-			return
-		}
-		// Bottom half (do_softirq): the handler computes its cost and
-		// effects; wakeups are applied when the cost has elapsed.
-		k.Stats.Softirqs++
-		k.m.Entry(td, k.evSoftirq)
-		b := &BHCtx{k: k, c: c, td: td}
-		r.bh(b)
-		bhDur := k.stretch(b.cost + k.takeDebt())
-		k.eng.After(bhDur, func() {
-			if k.dead() {
-				return
-			}
-			k.m.Exit(td, k.evSoftirq)
-			c.IRQTime += k.eng.Now().Sub(irqStart)
-			for _, fn := range b.defers {
-				fn()
-			}
-			k.serviceNextIRQ(c)
-		})
-	})
+	k.eng.AfterCall(dur, irqHardEndCB, c)
+}
+
+// irqHardEnd fires when the hard handler's cost has elapsed: run the
+// kernel-internal hook, then either start the bottom half or move on.
+func (k *Kernel) irqHardEnd(c *CPU) {
+	if k.dead() {
+		return
+	}
+	r := c.irqCur
+	k.m.Exit(c.irqTd, r.ev)
+	if r.post != nil {
+		r.post()
+	}
+	if r.bh == nil {
+		c.IRQTime += k.eng.Now().Sub(c.irqStart)
+		c.irqCur = irqReq{}
+		k.serviceNextIRQ(c)
+		return
+	}
+	// Bottom half (do_softirq): the handler computes its cost and effects;
+	// wakeups are applied when the cost has elapsed.
+	k.Stats.Softirqs++
+	k.m.Entry(c.irqTd, k.evSoftirq)
+	b := &c.bh
+	b.k, b.c, b.td = k, c, c.irqTd
+	b.cost = 0
+	b.defers = b.defers[:0]
+	r.bh(b)
+	bhDur := k.stretch(b.cost + k.takeDebt())
+	k.eng.AfterCall(bhDur, irqBHEndCB, c)
+}
+
+// irqBHEnd fires when the bottom half's cost has elapsed: apply deferred
+// wakeups, then service the next queued interrupt.
+func (k *Kernel) irqBHEnd(c *CPU) {
+	if k.dead() {
+		return
+	}
+	b := &c.bh
+	k.m.Exit(b.td, k.evSoftirq)
+	c.IRQTime += k.eng.Now().Sub(c.irqStart)
+	defs := b.defers
+	for i, fn := range defs {
+		defs[i] = nil
+		fn()
+	}
+	c.irqCur = irqReq{}
+	k.serviceNextIRQ(c)
 }
 
 // irqReturn is the return-from-interrupt path: apply preemption if needed,

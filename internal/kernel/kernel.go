@@ -212,10 +212,8 @@ func (k *Kernel) Crash() {
 	}
 	k.crashed = true
 	for _, c := range k.cpus {
-		if c.completion != nil {
-			k.eng.Cancel(c.completion)
-			c.completion = nil
-		}
+		k.eng.Cancel(c.completion)
+		c.completion = sim.Handle{}
 	}
 }
 
@@ -283,6 +281,7 @@ func (k *Kernel) Shutdown() {
 // timers are.
 func (k *Kernel) startTicks(c *CPU) {
 	offset := time.Duration(int64(k.params.TickInterval) * int64(c.ID) / int64(len(k.cpus)+1))
+	c.tickPost = func() { k.schedulerTick(c) }
 	var fire func()
 	fire = func() {
 		if k.dead() {
@@ -301,7 +300,7 @@ func (k *Kernel) timerIRQ(c *CPU) {
 	k.raiseIRQOn(c, irqReq{
 		ev:   k.evIRQTimer,
 		cost: k.jitter(k.params.TimerIRQCost),
-		post: func() { k.schedulerTick(c) },
+		post: c.tickPost,
 	})
 }
 

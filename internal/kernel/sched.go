@@ -58,7 +58,9 @@ func (k *Kernel) reschedule(c *CPU) {
 func (k *Kernel) pickTask(c *CPU) *Task {
 	if len(c.rq) > 0 {
 		t := c.rq[0]
-		c.rq = c.rq[1:]
+		n := copy(c.rq, c.rq[1:])
+		c.rq[n] = nil
+		c.rq = c.rq[:n]
 		return t
 	}
 	// Idle balancing: steal from the most loaded sibling.
@@ -89,18 +91,23 @@ func (k *Kernel) pickTask(c *CPU) *Task {
 // deferred to the return-from-interrupt path.
 func (k *Kernel) switchTo(c *CPU, t *Task) {
 	c.switching = true
+	c.switchTarget = t
 	cost := k.stretch(k.jitter(k.params.CtxSwitchCost) + k.takeDebt())
-	k.eng.After(cost, func() {
-		if k.dead() {
-			return
-		}
-		c.switching = false
-		if c.irqDepth > 0 {
-			c.pendingDispatch = t
-			return
-		}
-		k.dispatch(c, t)
-	})
+	k.eng.AfterCall(cost, dispatchSwitchCB, c)
+}
+
+// completeSwitch is the dispatch half of switchTo, fired when the switch
+// cost has elapsed.
+func (k *Kernel) completeSwitch(c *CPU, t *Task) {
+	if k.dead() {
+		return
+	}
+	c.switching = false
+	if c.irqDepth > 0 {
+		c.pendingDispatch = t
+		return
+	}
+	k.dispatch(c, t)
 }
 
 // dispatch installs t as the current task on c and lets it continue:
@@ -299,7 +306,8 @@ func (k *Kernel) schedulerTick(c *CPU) {
 func (k *Kernel) deliverSignals(c *CPU, t *Task) {
 	for len(t.pendingSignals) > 0 {
 		sig := t.pendingSignals[0]
-		t.pendingSignals = t.pendingSignals[1:]
+		n := copy(t.pendingSignals, t.pendingSignals[1:])
+		t.pendingSignals = t.pendingSignals[:n]
 		k.m.AddSpan(t.kd, k.evSignal, k.CyclesOf(k.params.SignalCost))
 		t.SignalsTaken++
 		if h := t.sigHandlers[sig]; h != nil {

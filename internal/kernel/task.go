@@ -121,6 +121,13 @@ type Task struct {
 	work          *workSeg
 	resumeFn      func()
 
+	// seg is the storage for the task's work segment (a task consumes at
+	// most one segment at a time, so t.work always points here when set);
+	// activateFn is the reusable "regrant the CPU" continuation. Both avoid
+	// a heap allocation per compute request.
+	seg        workSeg
+	activateFn func()
+
 	grant chan struct{}
 	req   chan request
 	done  chan struct{}
@@ -308,6 +315,7 @@ func (k *Kernel) Spawn(name string, program Program, opts SpawnOpts) *Task {
 		StartAt: k.eng.Now(),
 	}
 	t.affin = opts.Affinity
+	t.activateFn = func() { k.activate(t) }
 	t.kd = k.m.CreateTask(pid, name)
 	t.uctx = &UCtx{t: t, k: k}
 	k.tasks[pid] = t
@@ -345,13 +353,14 @@ func (k *Kernel) handle(t *Task, r request) {
 		d := r.d + t.takeUserDebt()
 		n := k.samplePageFaults(d)
 		d += time.Duration(n) * k.params.PageFaultCost
-		t.work = &workSeg{
+		t.seg = workSeg{
 			remaining:   d,
 			preemptible: true,
 			user:        true,
 			faults:      n,
-			then:        func() { k.activate(t) },
+			then:        t.activateFn,
 		}
+		t.work = &t.seg
 		if c.needResched && len(c.rq) > 0 {
 			k.preemptOut(c)
 			return
@@ -359,11 +368,12 @@ func (k *Kernel) handle(t *Task, r request) {
 		k.startWork(c)
 
 	case reqKCompute:
-		t.work = &workSeg{
+		t.seg = workSeg{
 			remaining: r.d,
 			user:      false,
-			then:      func() { k.activate(t) },
+			then:      t.activateFn,
 		}
+		t.work = &t.seg
 		k.startWork(c)
 
 	case reqWait:
@@ -371,7 +381,7 @@ func (k *Kernel) handle(t *Task, r request) {
 		k.blockCurrent(c, t)
 
 	case reqSleep:
-		k.eng.After(r.d, func() { k.Wake(t) })
+		k.eng.AfterCall(r.d, taskWakeCB, t)
 		k.blockCurrent(c, t)
 
 	case reqYield:
@@ -382,7 +392,7 @@ func (k *Kernel) handle(t *Task, r request) {
 		t.markSwitchedOut(k.eng.Now(), SwitchVoluntary)
 		k.m.Entry(t.kd, k.evSchedVol)
 		t.state = StateRunnable
-		t.resumeFn = func() { k.activate(t) }
+		t.resumeFn = t.activateFn
 		c.curr = nil
 		k.enqueue(c, t)
 		if next := k.pickTask(c); next != nil {
@@ -398,6 +408,13 @@ func (k *Kernel) handle(t *Task, r request) {
 	default:
 		panic(fmt.Sprintf("kernel: unknown request kind %d", r.kind))
 	}
+}
+
+// taskWakeCB is the static sleep-expiry callback (the task rides in the
+// event's argument slot).
+func taskWakeCB(arg any) {
+	t := arg.(*Task)
+	t.k.Wake(t)
 }
 
 // exitTask finalises a process.

@@ -56,60 +56,124 @@ func (d SnapshotDelta) FindDelta(name string) *EventDelta {
 	return nil
 }
 
-// DeltaSnapshot computes cur − prev, keyed by event name (IDs are stable
-// within one node but names are the cross-node identity). Events present in
-// prev but unchanged in cur are omitted. Passing a zero-value prev yields a
-// delta equivalent to the full snapshot.
+// idKeyed reports whether the events carry strictly increasing positive IDs
+// — the shape every snapshot produced on a node has (SnapshotTask and
+// KernelWide emit in ID order; the registry interns names to unique IDs).
+// Data that crossed the wire may have lost its IDs (the perfmon frame format
+// identifies events by name); such snapshots fall back to name keying.
+func idKeyed(evs []EventSnap) bool {
+	var last EventID
+	for i := range evs {
+		if evs[i].ID <= last {
+			return false
+		}
+		last = evs[i].ID
+	}
+	return true
+}
+
+// idKeyedDeltas is idKeyed for delta records.
+func idKeyedDeltas(evs []EventDelta) bool {
+	var last EventID
+	for i := range evs {
+		if evs[i].ID <= last {
+			return false
+		}
+		last = evs[i].ID
+	}
+	return true
+}
+
+// deltaOf computes cur − prev for one event (prev may be nil: the event is
+// new in cur). ok is false when the event had no activity in the window.
+func deltaOf(e, p *EventSnap) (ed EventDelta, ok bool) {
+	if p == nil {
+		return EventDelta{
+			ID: e.ID, Name: e.Name, Group: e.Group,
+			DCalls: e.Calls, DSubrs: e.Subrs, DIncl: e.Incl, DExcl: e.Excl,
+			DCtr: e.Ctr,
+		}, true
+	}
+	if e.Calls < p.Calls || e.Incl < p.Incl || e.Excl < p.Excl {
+		// Profile was reset in between: ship the absolute state.
+		return EventDelta{
+			ID: e.ID, Name: e.Name, Group: e.Group, Absolute: true,
+			DCalls: e.Calls, DSubrs: e.Subrs, DIncl: e.Incl, DExcl: e.Excl,
+			DCtr: e.Ctr,
+		}, true
+	}
+	ed = EventDelta{
+		ID: e.ID, Name: e.Name, Group: e.Group,
+		DCalls: e.Calls - p.Calls,
+		DSubrs: e.Subrs - p.Subrs,
+		DIncl:  e.Incl - p.Incl,
+		DExcl:  e.Excl - p.Excl,
+	}
+	var ctrChanged bool
+	for ci := range e.Ctr {
+		ed.DCtr[ci] = e.Ctr[ci] - p.Ctr[ci]
+		if ed.DCtr[ci] != 0 {
+			ctrChanged = true
+		}
+	}
+	if ed.DCalls == 0 && ed.DSubrs == 0 && ed.DIncl == 0 && ed.DExcl == 0 && !ctrChanged {
+		return EventDelta{}, false // no activity in the window
+	}
+	return ed, true
+}
+
+// DeltaSnapshot computes cur − prev. Events present in prev but unchanged in
+// cur are omitted. Passing a zero-value prev yields a delta equivalent to
+// the full snapshot.
+//
+// When both snapshots are ID-keyed (the always-true case for snapshots taken
+// on a node) the computation is a linear merge join on EventID with no map
+// and no per-call allocation beyond the result. Name keying remains as the
+// fallback for snapshots reconstructed from wire data that carries no IDs.
 func DeltaSnapshot(prev, cur Snapshot) SnapshotDelta {
-	d := SnapshotDelta{
+	var d SnapshotDelta
+	DeltaSnapshotInto(prev, cur, &d)
+	return d
+}
+
+// DeltaSnapshotInto computes cur − prev into *d, reusing the capacity of
+// d.Events. It is the allocation-free form of DeltaSnapshot for per-round
+// collection loops; callers that retain the delta across rounds must use
+// DeltaSnapshot or copy the result.
+func DeltaSnapshotInto(prev, cur Snapshot, d *SnapshotDelta) {
+	*d = SnapshotDelta{
 		PID:     cur.PID,
 		Name:    cur.Name,
 		FromTSC: prev.TSC,
 		ToTSC:   cur.TSC,
+		Events:  d.Events[:0],
+	}
+	if idKeyed(prev.Events) && idKeyed(cur.Events) {
+		j := 0
+		for i := range cur.Events {
+			e := &cur.Events[i]
+			for j < len(prev.Events) && prev.Events[j].ID < e.ID {
+				j++
+			}
+			var p *EventSnap
+			if j < len(prev.Events) && prev.Events[j].ID == e.ID {
+				p = &prev.Events[j]
+			}
+			if ed, ok := deltaOf(e, p); ok {
+				d.Events = append(d.Events, ed)
+			}
+		}
+		return
 	}
 	prevBy := make(map[string]*EventSnap, len(prev.Events))
 	for i := range prev.Events {
 		prevBy[prev.Events[i].Name] = &prev.Events[i]
 	}
-	for _, e := range cur.Events {
-		p := prevBy[e.Name]
-		if p == nil {
-			d.Events = append(d.Events, EventDelta{
-				ID: e.ID, Name: e.Name, Group: e.Group,
-				DCalls: e.Calls, DSubrs: e.Subrs, DIncl: e.Incl, DExcl: e.Excl,
-				DCtr: e.Ctr,
-			})
-			continue
+	for i := range cur.Events {
+		if ed, ok := deltaOf(&cur.Events[i], prevBy[cur.Events[i].Name]); ok {
+			d.Events = append(d.Events, ed)
 		}
-		if e.Calls < p.Calls || e.Incl < p.Incl || e.Excl < p.Excl {
-			// Profile was reset in between: ship the absolute state.
-			d.Events = append(d.Events, EventDelta{
-				ID: e.ID, Name: e.Name, Group: e.Group, Absolute: true,
-				DCalls: e.Calls, DSubrs: e.Subrs, DIncl: e.Incl, DExcl: e.Excl,
-				DCtr: e.Ctr,
-			})
-			continue
-		}
-		ed := EventDelta{
-			ID: e.ID, Name: e.Name, Group: e.Group,
-			DCalls: e.Calls - p.Calls,
-			DSubrs: e.Subrs - p.Subrs,
-			DIncl:  e.Incl - p.Incl,
-			DExcl:  e.Excl - p.Excl,
-		}
-		var ctrChanged bool
-		for ci := range e.Ctr {
-			ed.DCtr[ci] = e.Ctr[ci] - p.Ctr[ci]
-			if ed.DCtr[ci] != 0 {
-				ctrChanged = true
-			}
-		}
-		if ed.DCalls == 0 && ed.DSubrs == 0 && ed.DIncl == 0 && ed.DExcl == 0 && !ctrChanged {
-			continue // no activity in the window
-		}
-		d.Events = append(d.Events, ed)
 	}
-	return d
 }
 
 // ApplySnapshotDelta reconstructs the round-N snapshot from the round-N−1
@@ -127,6 +191,50 @@ func ApplySnapshotDelta(prev Snapshot, d SnapshotDelta) Snapshot {
 		TraceLost:    prev.TraceLost,
 		CounterNames: prev.CounterNames,
 	}
+	if idKeyed(prev.Events) && idKeyedDeltas(d.Events) && (len(d.Events) == 0 || d.Events[0].ID > 0) {
+		// Merge join on EventID: both inputs sorted, output stays sorted.
+		out.Events = make([]EventSnap, 0, len(prev.Events)+len(d.Events))
+		i, j := 0, 0
+		for i < len(prev.Events) || j < len(d.Events) {
+			switch {
+			case j >= len(d.Events) || (i < len(prev.Events) && prev.Events[i].ID < d.Events[j].ID):
+				out.Events = append(out.Events, prev.Events[i])
+				i++
+			case i >= len(prev.Events) || d.Events[j].ID < prev.Events[i].ID:
+				ed := &d.Events[j]
+				out.Events = append(out.Events, EventSnap{
+					ID: ed.ID, Name: ed.Name, Group: ed.Group,
+					Calls: ed.DCalls, Subrs: ed.DSubrs, Incl: ed.DIncl, Excl: ed.DExcl,
+					Ctr: ed.DCtr,
+				})
+				j++
+			default: // same ID: apply the delta (or the absolute state)
+				ed := &d.Events[j]
+				e := prev.Events[i]
+				if ed.Absolute {
+					e = EventSnap{
+						ID: ed.ID, Name: ed.Name, Group: ed.Group,
+						Calls: ed.DCalls, Subrs: ed.DSubrs, Incl: ed.DIncl, Excl: ed.DExcl,
+						Ctr: ed.DCtr,
+					}
+				} else {
+					e.Calls += ed.DCalls
+					e.Subrs += ed.DSubrs
+					e.Incl += ed.DIncl
+					e.Excl += ed.DExcl
+					for ci := range e.Ctr {
+						e.Ctr[ci] += ed.DCtr[ci]
+					}
+				}
+				out.Events = append(out.Events, e)
+				i++
+				j++
+			}
+		}
+		return out
+	}
+	// Name-keyed fallback: the export boundary for deltas decoded from wire
+	// formats that do not carry event IDs.
 	byName := make(map[string]*EventSnap, len(prev.Events))
 	for _, e := range prev.Events {
 		e := e

@@ -64,10 +64,17 @@ type Measurement struct {
 
 	live      map[int]*TaskData
 	liveOrder []*TaskData
+	liveDirty bool // liveOrder left unsorted by a swap-delete in ExitTask
+	createSeq uint64
 	retired   []*TaskData
 
 	counterSrc   CounterSource
 	counterNames []string
+
+	// kwEv/kwAt are KernelWideInto's dense accumulator scratch, indexed by
+	// EventID and reused across rounds.
+	kwEv []EventSnap
+	kwAt []AtomicSnap
 
 	ctxNames []string // user-context id -> name; index 0 unused
 
@@ -147,11 +154,14 @@ func (m *Measurement) CreateTask(pid int, name string) *TaskData {
 	if _, dup := m.live[pid]; dup {
 		panic(fmt.Sprintf("ktau: duplicate pid %d", pid))
 	}
+	m.createSeq++
 	td := &TaskData{
 		PID:        pid,
 		Name:       name,
 		CreatedTSC: m.env.Cycles(),
 		trace:      NewRing(m.traceCap),
+		createSeq:  m.createSeq,
+		liveIdx:    len(m.liveOrder),
 	}
 	m.live[pid] = td
 	m.liveOrder = append(m.liveOrder, td)
@@ -166,15 +176,37 @@ func (m *Measurement) ExitTask(td *TaskData) {
 	td.Exited = true
 	td.ExitedTSC = m.env.Cycles()
 	delete(m.live, td.PID)
-	for i, t := range m.liveOrder {
-		if t == td {
-			m.liveOrder = append(m.liveOrder[:i], m.liveOrder[i+1:]...)
-			break
+	// Swap-delete: O(1) instead of splicing the slice. Creation order is
+	// restored lazily (restoreLiveOrder) the next time someone reads the
+	// list, so churny exit phases never pay O(n) per exit.
+	if i, last := td.liveIdx, len(m.liveOrder)-1; i >= 0 && i <= last && m.liveOrder[i] == td {
+		if i != last {
+			m.liveOrder[i] = m.liveOrder[last]
+			m.liveOrder[i].liveIdx = i
+			m.liveDirty = true
 		}
+		m.liveOrder[last] = nil
+		m.liveOrder = m.liveOrder[:last]
 	}
+	td.liveIdx = -1
 	if m.retainExited {
 		m.retired = append(m.retired, td)
 	}
+}
+
+// restoreLiveOrder re-sorts liveOrder by creation sequence after swap-deletes
+// have perturbed it.
+func (m *Measurement) restoreLiveOrder() {
+	if !m.liveDirty {
+		return
+	}
+	sort.Slice(m.liveOrder, func(i, j int) bool {
+		return m.liveOrder[i].createSeq < m.liveOrder[j].createSeq
+	})
+	for i, t := range m.liveOrder {
+		t.liveIdx = i
+	}
+	m.liveDirty = false
 }
 
 // Task returns the live task data for pid, or nil.
@@ -182,6 +214,7 @@ func (m *Measurement) Task(pid int) *TaskData { return m.live[pid] }
 
 // LiveTasks returns live task data in creation order (deterministic).
 func (m *Measurement) LiveTasks() []*TaskData {
+	m.restoreLiveOrder()
 	out := make([]*TaskData, len(m.liveOrder))
 	copy(out, m.liveOrder)
 	return out
@@ -190,6 +223,7 @@ func (m *Measurement) LiveTasks() []*TaskData {
 // AllTasks returns live tasks (creation order) followed by retained exited
 // tasks (exit order).
 func (m *Measurement) AllTasks() []*TaskData {
+	m.restoreLiveOrder()
 	out := make([]*TaskData, 0, len(m.liveOrder)+len(m.retired))
 	out = append(out, m.liveOrder...)
 	out = append(out, m.retired...)
@@ -418,6 +452,12 @@ func (m *Measurement) Reset(td *TaskData) {
 
 // sortedMappedKeys returns td's mapped keys in deterministic order.
 func sortedMappedKeys(td *TaskData) []MapKey {
+	if len(td.mapped) == 0 {
+		// Skip the sort.Slice call entirely: its interface conversion and
+		// closure would allocate even for an empty key set, and most tasks
+		// never record mapped data.
+		return nil
+	}
 	keys := make([]MapKey, 0, len(td.mapped))
 	for k := range td.mapped {
 		keys = append(keys, k)

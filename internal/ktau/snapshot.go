@@ -65,7 +65,18 @@ const KernelWidePID = -1
 
 // SnapshotTask exports one process's profile.
 func (m *Measurement) SnapshotTask(td *TaskData) Snapshot {
-	s := Snapshot{
+	var s Snapshot
+	m.SnapshotTaskInto(td, &s)
+	return s
+}
+
+// SnapshotTaskInto exports one process's profile into *s, reusing the
+// capacity of its Events/Atomics/Mapped slices. It is the allocation-free
+// form of SnapshotTask for callers that consume a snapshot transiently each
+// round (e.g. the /proc/ktau packer); callers that retain snapshots across
+// rounds must use SnapshotTask or copy the result.
+func (m *Measurement) SnapshotTaskInto(td *TaskData, s *Snapshot) {
+	*s = Snapshot{
 		PID:          td.PID,
 		Name:         td.Name,
 		TSC:          m.env.Cycles(),
@@ -73,6 +84,9 @@ func (m *Measurement) SnapshotTask(td *TaskData) Snapshot {
 		ExitedAt:     td.ExitedTSC,
 		Exited:       td.Exited,
 		CounterNames: m.counterNames,
+		Events:       s.Events[:0],
+		Atomics:      s.Atomics[:0],
+		Mapped:       s.Mapped[:0],
 	}
 	if td.trace != nil {
 		s.TraceLost = td.trace.Lost()
@@ -112,68 +126,99 @@ func (m *Measurement) SnapshotTask(td *TaskData) Snapshot {
 			Calls: d.Calls, Incl: d.Incl, Excl: d.Excl,
 		})
 	}
-	return s
 }
 
 // KernelWide exports the aggregate of all processes (live plus retained
 // exited): the paper's kernel-wide perspective.
 func (m *Measurement) KernelWide() Snapshot {
-	agg := Snapshot{PID: KernelWidePID, Name: "kernel-wide", TSC: m.env.Cycles(),
-		CounterNames: m.counterNames}
-	evAcc := map[EventID]*EventSnap{}
-	atAcc := map[EventID]*AtomicSnap{}
-	for _, td := range m.AllTasks() {
-		for id := EventID(1); int(id) < len(td.prof); id++ {
-			d := td.prof[id]
-			if d.Calls == 0 && d.Incl == 0 && d.Excl == 0 {
-				continue
-			}
-			e := evAcc[id]
-			if e == nil {
-				e = &EventSnap{ID: id, Name: m.Reg.Name(id), Group: m.Reg.GroupOf(id)}
-				evAcc[id] = e
-			}
-			e.Calls += d.Calls
-			e.Subrs += d.Subrs
-			e.Incl += d.Incl
-			e.Excl += d.Excl
-			for ci := range d.Ctr {
-				e.Ctr[ci] += d.Ctr[ci]
-			}
-		}
-		for id := EventID(1); int(id) < len(td.atomics); id++ {
-			a := td.atomics[id]
-			if a.Count == 0 {
-				continue
-			}
-			e := atAcc[id]
-			if e == nil {
-				e = &AtomicSnap{ID: id, Name: m.Reg.Name(id), Group: m.Reg.GroupOf(id),
-					Min: a.Min, Max: a.Max}
-				atAcc[id] = e
-			}
-			e.Count += a.Count
-			e.Sum += a.Sum
-			if a.Min < e.Min {
-				e.Min = a.Min
-			}
-			if a.Max > e.Max {
-				e.Max = a.Max
-			}
-		}
+	var s Snapshot
+	m.KernelWideInto(&s)
+	return s
+}
+
+// KernelWideInto computes the kernel-wide aggregate into *s, reusing its
+// slice capacity (same contract as SnapshotTaskInto). Accumulation runs over
+// dense EventID-indexed scratch tables sized by the registry — the registry
+// already interns every name to a small integer, so no map is needed.
+func (m *Measurement) KernelWideInto(s *Snapshot) {
+	*s = Snapshot{PID: KernelWidePID, Name: "kernel-wide", TSC: m.env.Cycles(),
+		CounterNames: m.counterNames,
+		Events:       s.Events[:0],
+		Atomics:      s.Atomics[:0],
+		Mapped:       s.Mapped[:0]}
+	n := m.Reg.Len()
+	if cap(m.kwEv) < n {
+		m.kwEv = make([]EventSnap, n)
+		m.kwAt = make([]AtomicSnap, n)
 	}
-	for id := EventID(1); int(id) < m.Reg.Len(); id++ {
-		if e, ok := evAcc[id]; ok {
-			agg.Events = append(agg.Events, *e)
+	evAcc := m.kwEv[:n]
+	atAcc := m.kwAt[:n]
+	for i := range evAcc {
+		evAcc[i] = EventSnap{}
+		atAcc[i] = AtomicSnap{}
+	}
+	m.restoreLiveOrder()
+	for _, td := range m.liveOrder {
+		m.kwAccum(td, evAcc, atAcc)
+	}
+	for _, td := range m.retired {
+		m.kwAccum(td, evAcc, atAcc)
+	}
+	for id := EventID(1); int(id) < n; id++ {
+		if e := &evAcc[id]; e.ID != 0 {
+			e.Name = m.Reg.Name(id)
+			e.Group = m.Reg.GroupOf(id)
+			s.Events = append(s.Events, *e)
 		}
-		if a, ok := atAcc[id]; ok {
+		if a := &atAcc[id]; a.ID != 0 {
+			a.Name = m.Reg.Name(id)
+			a.Group = m.Reg.GroupOf(id)
 			if a.Count > 0 {
 				a.Mean = a.Sum / float64(a.Count)
 			}
-			agg.Atomics = append(agg.Atomics, *a)
+			s.Atomics = append(s.Atomics, *a)
 		}
 	}
-	return agg
+}
+
+// kwAccum folds one task's profile into the kernel-wide accumulators. A
+// record's ID field doubles as its presence marker.
+func (m *Measurement) kwAccum(td *TaskData, evAcc []EventSnap, atAcc []AtomicSnap) {
+	for id := EventID(1); int(id) < len(td.prof) && int(id) < len(evAcc); id++ {
+		d := &td.prof[id]
+		if d.Calls == 0 && d.Incl == 0 && d.Excl == 0 {
+			continue
+		}
+		e := &evAcc[id]
+		e.ID = id
+		e.Calls += d.Calls
+		e.Subrs += d.Subrs
+		e.Incl += d.Incl
+		e.Excl += d.Excl
+		for ci := range d.Ctr {
+			e.Ctr[ci] += d.Ctr[ci]
+		}
+	}
+	for id := EventID(1); int(id) < len(td.atomics) && int(id) < len(atAcc); id++ {
+		a := &td.atomics[id]
+		if a.Count == 0 {
+			continue
+		}
+		e := &atAcc[id]
+		if e.ID == 0 {
+			e.ID = id
+			e.Min = a.Min
+			e.Max = a.Max
+		}
+		e.Count += a.Count
+		e.Sum += a.Sum
+		if a.Min < e.Min {
+			e.Min = a.Min
+		}
+		if a.Max > e.Max {
+			e.Max = a.Max
+		}
+	}
 }
 
 // SnapshotAll exports every known process in deterministic order.

@@ -79,6 +79,12 @@ type TaskData struct {
 	userCtx int32
 
 	unmatchedExits uint64
+
+	// createSeq and liveIdx are the measurement system's live-list
+	// bookkeeping: creation sequence for order restoration and the task's
+	// current index in liveOrder (-1 once exited).
+	createSeq uint64
+	liveIdx   int
 }
 
 // ensure grows the flat per-event tables to cover id.

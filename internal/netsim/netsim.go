@@ -173,6 +173,12 @@ type NIC struct {
 	txFreeAt sim.Time
 	rxq      []Frame
 
+	// freeDel pools same-engine delivery carriers; drainBuf is the scratch
+	// slice Drain hands out (valid until the next Drain). Both are only
+	// touched from this NIC's engine goroutine.
+	freeDel  []*delivery
+	drainBuf []Frame
+
 	// OnRx is invoked (in engine context) whenever a frame lands in the
 	// receive ring; the TCP layer uses it to raise the device IRQ.
 	OnRx func()
@@ -189,11 +195,38 @@ func (n *Network) txTime(bytes int) time.Duration {
 	return time.Duration(int64(bytes) * 8 * int64(time.Second) / n.spec.BandwidthBps)
 }
 
+// delivery carries one in-flight frame to a same-engine destination. It is
+// pooled per destination NIC so the common paths (loopback, single-engine
+// clusters) schedule without allocating.
+type delivery struct {
+	nic *NIC
+	f   Frame
+}
+
+// deliverCB lands a pooled delivery: the carrier is recycled first so the
+// receive path's own transmissions can reuse it.
+func deliverCB(arg any) {
+	d := arg.(*delivery)
+	nic, f := d.nic, d.f
+	d.f = Frame{}
+	nic.freeDel = append(nic.freeDel, d)
+	nic.deliver(f)
+}
+
 // schedule routes one delivery to the destination, crossing engines through
 // the deterministic merge when one is installed.
 func (nic *NIC) schedule(dst *NIC, at sim.Time, f Frame) {
 	if dst == nic || nic.net.deliver == nil {
-		dst.eng.At(at, func() { dst.deliver(f) })
+		var d *delivery
+		if n := len(dst.freeDel); n > 0 {
+			d = dst.freeDel[n-1]
+			dst.freeDel[n-1] = nil
+			dst.freeDel = dst.freeDel[:n-1]
+		} else {
+			d = &delivery{nic: dst}
+		}
+		d.f = f
+		dst.eng.AtCall(at, deliverCB, d)
 		return
 	}
 	nic.net.deliver(nic, dst, at, func() { dst.deliver(f) })
@@ -280,14 +313,19 @@ func (nic *NIC) Spec() LinkSpec { return nic.net.spec }
 func (nic *NIC) RxPending() int { return len(nic.rxq) }
 
 // Drain removes and returns up to max frames from the receive ring (the
-// softirq's polling budget).
+// softirq's polling budget). The returned slice is the NIC's reused scratch
+// buffer: it is only valid until the next Drain call.
 func (nic *NIC) Drain(max int) []Frame {
 	if max <= 0 || max > len(nic.rxq) {
 		max = len(nic.rxq)
 	}
-	out := make([]Frame, max)
-	copy(out, nic.rxq[:max])
-	nic.rxq = nic.rxq[max:]
+	out := append(nic.drainBuf[:0], nic.rxq[:max]...)
+	n := copy(nic.rxq, nic.rxq[max:])
+	for i := n; i < len(nic.rxq); i++ {
+		nic.rxq[i] = Frame{}
+	}
+	nic.rxq = nic.rxq[:n]
+	nic.drainBuf = out
 	return out
 }
 

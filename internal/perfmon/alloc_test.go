@@ -1,0 +1,33 @@
+package perfmon
+
+import (
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+// TestAppendFrameZeroAllocsSteadyState pins the per-round frame encode at
+// zero steady-state allocations when the caller reuses its buffer (the agent
+// loop's pattern); the single per-frame allocation budget is spent by the
+// link queue's copy-out, not the encoder.
+func TestAppendFrameZeroAllocsSteadyState(t *testing.T) {
+	f := Frame{Node: "n3", NodeIdx: 3, Round: 17, CPUs: 2, FromTSC: 100, ToTSC: 900}
+	for i := 0; i < 40; i++ {
+		f.Kernel = append(f.Kernel, ktau.EventDelta{
+			ID: ktau.EventID(i + 1), Name: "do_IRQ[timer]", Group: ktau.GroupIRQ,
+			DCalls: 10, DIncl: 1000, DExcl: 900,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		f.Procs = append(f.Procs, ProcDelta{PID: i, Name: "lu.A", DTotal: 123})
+	}
+	var buf []byte
+	buf = AppendFrame(buf[:0], f) // warm to steady-state capacity
+
+	allocs := testing.AllocsPerRun(500, func() {
+		buf = AppendFrame(buf[:0], f)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFrame allocated %.2f allocs/frame, want 0", allocs)
+	}
+}

@@ -145,9 +145,12 @@ type link struct {
 	replaced bool     // the agent abandoned this link (failover/reconnect)
 }
 
+// push enqueues one encoded frame. The queue owns its payloads — p is copied
+// out, so callers may pass a scratch buffer they will overwrite next round.
 func (l *link) push(p []byte) {
+	cp := append(make([]byte, 0, len(p)), p...)
 	l.mu.Lock()
-	l.pending = append(l.pending, p)
+	l.pending = append(l.pending, cp)
 	l.mu.Unlock()
 }
 
@@ -422,6 +425,7 @@ func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, collector int, l *link) 
 	return n.K.Spawn("kmond", func(u *kernel.UCtx) {
 		st := newAgentState()
 		route := &agentRoute{collector: collector, l: l}
+		var encBuf []byte // frame-encode scratch, reused every round
 		for round := 0; ; round++ {
 			if cfg.Rounds > 0 && round >= cfg.Rounds {
 				return
@@ -461,7 +465,8 @@ func (pm *PerfMon) spawnAgent(idx int, n *cluster.Node, collector int, l *link) 
 				f = st.gapFrame(n.Name, idx, round, u.Kernel().NumCPUs(), last)
 			}
 
-			payload := EncodeFrame(f)
+			encBuf = AppendFrame(encBuf[:0], f)
+			payload := encBuf // link.push copies; safe to reuse next round
 			if readOK {
 				// User-space processing: snapshot walk + delta encode.
 				readBytes := 0

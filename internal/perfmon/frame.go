@@ -73,65 +73,68 @@ type Frame struct {
 	Procs []ProcDelta
 }
 
+// frameWriter appends wire-format primitives to a caller-supplied buffer.
+type frameWriter struct{ b []byte }
+
+func (w *frameWriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *frameWriter) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *frameWriter) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *frameWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *frameWriter) bit(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *frameWriter) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.b = binary.LittleEndian.AppendUint16(w.b, uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
 // EncodeFrame serialises a frame payload (the bytes following the on-wire
 // preamble; FrameHeaderBytes models the preamble itself).
-func EncodeFrame(f Frame) []byte {
-	var b []byte
-	u8 := func(v uint8) { b = append(b, v) }
-	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
-	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
-	i64 := func(v int64) { u64(uint64(v)) }
-	str := func(s string) {
-		if len(s) > math.MaxUint16 {
-			s = s[:math.MaxUint16]
-		}
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
-		b = append(b, s...)
-	}
+func EncodeFrame(f Frame) []byte { return AppendFrame(nil, f) }
 
-	u32(FrameMagic)
-	u32(FrameVersion)
-	str(f.Node)
-	u32(uint32(f.NodeIdx))
-	u32(uint32(f.Round))
-	u32(uint32(f.CPUs))
-	i64(f.FromTSC)
-	i64(f.ToTSC)
-	if f.Last {
-		u8(1)
-	} else {
-		u8(0)
-	}
-	if f.Gap {
-		u8(1)
-	} else {
-		u8(0)
-	}
-	u32(uint32(len(f.Kernel)))
+// AppendFrame serialises a frame payload, appending to dst and returning the
+// extended buffer. Callers on a hot path reuse dst's capacity across rounds;
+// the result aliases dst, so retainers (queues, sinks) must copy it out.
+func AppendFrame(dst []byte, f Frame) []byte {
+	w := frameWriter{b: dst}
+	w.u32(FrameMagic)
+	w.u32(FrameVersion)
+	w.str(f.Node)
+	w.u32(uint32(f.NodeIdx))
+	w.u32(uint32(f.Round))
+	w.u32(uint32(f.CPUs))
+	w.i64(f.FromTSC)
+	w.i64(f.ToTSC)
+	w.bit(f.Last)
+	w.bit(f.Gap)
+	w.u32(uint32(len(f.Kernel)))
 	for _, e := range f.Kernel {
-		str(e.Name)
-		u32(uint32(e.Group))
-		if e.Absolute {
-			u8(1)
-		} else {
-			u8(0)
-		}
-		u64(e.DCalls)
-		i64(e.DIncl)
-		i64(e.DExcl)
+		w.str(e.Name)
+		w.u32(uint32(e.Group))
+		w.bit(e.Absolute)
+		w.u64(e.DCalls)
+		w.i64(e.DIncl)
+		w.i64(e.DExcl)
 	}
-	u32(uint32(len(f.Procs)))
+	w.u32(uint32(len(f.Procs)))
 	for _, p := range f.Procs {
-		i64(int64(p.PID))
-		str(p.Name)
-		i64(p.DTotal)
-		i64(p.DIRQ)
-		i64(p.DBH)
-		i64(p.DSched)
-		i64(p.DTCP)
-		u64(p.DTicks)
+		w.i64(int64(p.PID))
+		w.str(p.Name)
+		w.i64(p.DTotal)
+		w.i64(p.DIRQ)
+		w.i64(p.DBH)
+		w.i64(p.DSched)
+		w.i64(p.DTCP)
+		w.u64(p.DTicks)
 	}
-	return b
+	return w.b
 }
 
 // DecodeFrame parses a frame payload produced by EncodeFrame.

@@ -58,6 +58,13 @@ type FaultHook func(op string) error
 type FS struct {
 	m     *ktau.Measurement
 	fault FaultHook
+
+	// snapBuf and packBuf are per-FS scratch reused across reads: snapshots
+	// are materialised transiently (packed, then discarded), so each read
+	// refills the same buffers instead of reallocating them. An FS is used
+	// from a single node's engine goroutine, like the kernel it fronts.
+	snapBuf []ktau.Snapshot
+	packBuf []byte
 }
 
 // New exposes a measurement system through the proc interface.
@@ -77,25 +84,46 @@ func (fs *FS) checkFault(op string) error {
 // Measurement returns the underlying measurement system (for tests).
 func (fs *FS) Measurement() *ktau.Measurement { return fs.m }
 
-// snapshots materialises the snapshots a pid selector addresses.
+// snapshots materialises the snapshots a pid selector addresses, into the
+// FS's reused scratch buffer (valid until the next call).
 func (fs *FS) snapshots(pid int) ([]ktau.Snapshot, error) {
 	switch pid {
 	case PIDKernelWide:
-		return []ktau.Snapshot{fs.m.KernelWide()}, nil
+		fs.growSnapBuf(1)
+		fs.m.KernelWideInto(&fs.snapBuf[0])
+		return fs.snapBuf[:1], nil
 	case PIDAll:
-		return fs.m.SnapshotAll(), nil
+		tasks := fs.m.AllTasks()
+		fs.growSnapBuf(len(tasks))
+		for i, td := range tasks {
+			fs.m.SnapshotTaskInto(td, &fs.snapBuf[i])
+		}
+		return fs.snapBuf[:len(tasks)], nil
 	default:
 		td := fs.m.Task(pid)
 		if td == nil {
 			// Retained exited tasks are still readable.
 			for _, t := range fs.m.AllTasks() {
 				if t.PID == pid {
-					return []ktau.Snapshot{fs.m.SnapshotTask(t)}, nil
+					td = t
+					break
 				}
 			}
-			return nil, ErrNoSuchPID
+			if td == nil {
+				return nil, ErrNoSuchPID
+			}
 		}
-		return []ktau.Snapshot{fs.m.SnapshotTask(td)}, nil
+		fs.growSnapBuf(1)
+		fs.m.SnapshotTaskInto(td, &fs.snapBuf[0])
+		return fs.snapBuf[:1], nil
+	}
+}
+
+// growSnapBuf extends the snapshot scratch to at least n entries, keeping
+// the slice capacities already accumulated in existing entries.
+func (fs *FS) growSnapBuf(n int) {
+	for len(fs.snapBuf) < n {
+		fs.snapBuf = append(fs.snapBuf, ktau.Snapshot{})
 	}
 }
 
@@ -109,7 +137,8 @@ func (fs *FS) ProfileSize(pid int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(packProfiles(snaps)), nil
+	fs.packBuf = packProfilesInto(fs.packBuf[:0], snaps)
+	return len(fs.packBuf), nil
 }
 
 // ProfileRead packs the profile(s) of pid into buf, returning the bytes
@@ -123,7 +152,8 @@ func (fs *FS) ProfileRead(pid int, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	blob := packProfiles(snaps)
+	fs.packBuf = packProfilesInto(fs.packBuf[:0], snaps)
+	blob := fs.packBuf
 	if len(buf) < len(blob) {
 		return 0, ErrShortBuffer{Needed: len(blob)}
 	}
@@ -234,14 +264,14 @@ func (p *packer) str(s string) { // length-prefixed
 	p.b = append(p.b, s...)
 }
 
-// packProfiles serialises snapshots with a count header.
-func packProfiles(snaps []ktau.Snapshot) []byte {
-	p := &packer{}
+// packProfilesInto serialises snapshots with a count header, appending to b.
+func packProfilesInto(b []byte, snaps []ktau.Snapshot) []byte {
+	p := packer{b: b}
 	p.u32(Magic)
 	p.u32(Version)
 	p.u32(uint32(len(snaps)))
 	for _, s := range snaps {
-		packOne(p, s)
+		packOne(&p, s)
 	}
 	return p.b
 }

@@ -6,25 +6,83 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback in virtual time. Events are created with
-// Engine.At or Engine.After and may be cancelled before they fire.
+// Event is a scheduled callback in virtual time. Event objects are pooled:
+// once an event has fired (or a cancelled event has been collected) the
+// engine reuses its storage for a later schedule. Callers therefore never
+// hold *Event directly — scheduling returns a generation-stamped Handle
+// whose operations are safe (no-ops) against a recycled slot.
 type Event struct {
-	at       Time
-	seq      uint64 // tie-break so equal-time events fire in schedule order
-	fn       func()
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+
+	// gen stamps the occupancy of this slot. Scheduling rounds it up to the
+	// next multiple of 4; firing adds 1 and cancelled-collection adds 2, so a
+	// Handle can still report the outcome of the occurrence it named until
+	// the slot is reused.
+	gen uint64
+
+	fn  func()    // closure form
+	afn func(any) // argument form (closure-free call sites)
+	arg any
+
 	index    int // heap index, -1 once popped
 	canceled bool
 	fired    bool
 }
 
-// At reports the virtual time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+const (
+	genFired    = 1
+	genCanceled = 2
+	genStride   = 4
+)
 
-// Canceled reports whether Cancel was called on the event before it fired.
-func (e *Event) Canceled() bool { return e.canceled }
+// Handle names one scheduled occurrence of a pooled event. The zero Handle
+// is valid and names nothing: Cancel on it is a no-op and all queries
+// report false.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// Fired reports whether the event callback has already run.
-func (e *Event) Fired() bool { return e.fired }
+// At reports the virtual time the occurrence is scheduled to fire (0 once
+// the slot has been recycled).
+func (h Handle) At() Time {
+	if h.ev != nil && h.ev.gen == h.gen {
+		return h.ev.at
+	}
+	return 0
+}
+
+// Fired reports whether the occurrence has run. It stays accurate until the
+// engine reuses the slot for a later schedule, which cannot happen while
+// the occurrence is still pending.
+func (h Handle) Fired() bool {
+	if h.ev == nil {
+		return false
+	}
+	if h.ev.gen == h.gen {
+		return h.ev.fired
+	}
+	return h.ev.gen == h.gen+genFired
+}
+
+// Canceled reports whether Cancel hit the occurrence before it fired (with
+// the same recycling caveat as Fired).
+func (h Handle) Canceled() bool {
+	if h.ev == nil {
+		return false
+	}
+	if h.ev.gen == h.gen {
+		return h.ev.canceled
+	}
+	return h.ev.gen == h.gen+genCanceled
+}
+
+// Pending reports whether the occurrence is still scheduled: not fired, not
+// cancelled, not recycled.
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.fired && !h.ev.canceled
+}
 
 type eventHeap []*Event
 
@@ -64,6 +122,11 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 
+	// free is the pool of recycled Event slots; dead counts cancelled events
+	// still parked in pq awaiting lazy collection.
+	free []*Event
+	dead int
+
 	// EventCount is the total number of events executed so far.
 	EventCount uint64
 }
@@ -76,40 +139,138 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at virtual time t. Scheduling in the past panics:
-// it always indicates a simulation bug rather than a recoverable condition.
-func (e *Engine) At(t Time, fn func()) *Event {
+// alloc takes an Event slot from the pool (or makes one) and stamps a fresh
+// generation, invalidating handles to its previous occupancy.
+func (e *Engine) alloc() *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.gen = (ev.gen/genStride + 1) * genStride
+	ev.canceled = false
+	ev.fired = false
+	return ev
+}
+
+// release returns a popped Event slot to the pool, recording the outcome of
+// the occurrence in the generation stamp.
+func (e *Engine) release(ev *Event, outcome uint64) {
+	ev.gen += outcome
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) checkAt(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+}
+
+func (e *Engine) push(ev *Event, t Time) Handle {
+	e.seq++
+	ev.at = t
+	ev.seq = e.seq
+	heap.Push(&e.pq, ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a simulation bug rather than a recoverable condition.
+func (e *Engine) At(t Time, fn func()) Handle {
+	e.checkAt(t)
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.pq, ev)
-	return ev
+	ev := e.alloc()
+	ev.fn = fn
+	return e.push(ev, t)
+}
+
+// AtCall schedules fn(arg) at virtual time t. It is the closure-free form
+// of At: hot call sites pass a static function plus a pointer-typed arg and
+// schedule without allocating.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) Handle {
+	e.checkAt(t)
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := e.alloc()
+	ev.afn = fn
+	ev.arg = arg
+	return e.push(ev, t)
 }
 
 // After schedules fn to run d after the current time. Negative d is clamped
 // to zero.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel prevents ev from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fired || ev.canceled {
+// AfterCall schedules fn(arg) to run d after the current time (the
+// closure-free form of After).
+func (e *Engine) AfterCall(d time.Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now.Add(d), fn, arg)
+}
+
+// Cancel prevents the occurrence named by h from firing. Cancelling an
+// already-fired, already-cancelled, recycled or zero handle is a no-op.
+// Deletion is lazy: the event is only flagged here and its slot collected
+// when it surfaces at the top of the calendar (or at the next compaction),
+// so Cancel never reshuffles the heap.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.fired || ev.canceled {
 		return
 	}
 	ev.canceled = true
-	if ev.index >= 0 {
-		heap.Remove(&e.pq, ev.index)
-		ev.index = -1
+	e.dead++
+	// Compact when cancelled events dominate the calendar, so a cancel-heavy
+	// workload (e.g. timeout timers that almost never expire) cannot grow the
+	// heap without bound.
+	if e.dead > 64 && e.dead*2 > len(e.pq) {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without its cancelled events. Pop order of live
+// events is unaffected: (at, seq) is a strict total order, so any heap over
+// the same live set pops identically.
+func (e *Engine) compact() {
+	live := e.pq[:0]
+	for _, ev := range e.pq {
+		if ev.canceled {
+			e.release(ev, genCanceled)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.pq); i++ {
+		e.pq[i] = nil
+	}
+	e.pq = live
+	e.dead = 0
+	heap.Init(&e.pq)
+}
+
+// skim collects cancelled events sitting at the top of the calendar so that
+// pq[0], when it exists, is always a live event.
+func (e *Engine) skim() {
+	for len(e.pq) > 0 && e.pq[0].canceled {
+		ev := heap.Pop(&e.pq).(*Event)
+		e.dead--
+		e.release(ev, genCanceled)
 	}
 }
 
@@ -118,12 +279,22 @@ func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*Event)
 		if ev.canceled {
+			e.dead--
+			e.release(ev, genCanceled)
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
 		e.EventCount++
-		ev.fn()
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		// Release before running so the callback's own scheduling can reuse
+		// the slot; the bumped generation keeps stale handles inert.
+		e.release(ev, genFired)
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false
@@ -144,6 +315,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
+		e.skim()
 		if len(e.pq) == 0 || e.pq[0].at > t {
 			break
 		}
@@ -162,6 +334,7 @@ func (e *Engine) RunUntil(t Time) {
 func (e *Engine) RunWindow(end Time) {
 	e.stopped = false
 	for !e.stopped {
+		e.skim()
 		if len(e.pq) == 0 || e.pq[0].at >= end {
 			break
 		}
@@ -175,6 +348,7 @@ func (e *Engine) RunWindow(end Time) {
 // NextEventAt reports the timestamp of the earliest pending event and whether
 // one exists.
 func (e *Engine) NextEventAt() (Time, bool) {
+	e.skim()
 	if len(e.pq) == 0 {
 		return 0, false
 	}
@@ -187,11 +361,5 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of live (uncancelled) events in the calendar.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.pq {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
+	return len(e.pq) - e.dead
 }

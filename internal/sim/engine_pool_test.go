@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestEngineStepZeroAllocsSteadyState gates the tentpole: once the pool has
+// warmed up, a schedule-fire cycle through AtCall must not allocate.
+func TestEngineStepZeroAllocsSteadyState(t *testing.T) {
+	e := NewEngine()
+	var count int
+	inc := func(arg any) { *(arg.(*int))++ }
+	// Warm up the pool and the heap's backing array.
+	for i := 0; i < 100; i++ {
+		e.AfterCall(time.Microsecond, inc, &count)
+	}
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterCall(time.Microsecond, inc, &count)
+		if !e.Step() {
+			t.Fatal("no event ran")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state post+step allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestEngineCancelZeroAllocs verifies Cancel itself never allocates, even
+// with lazy deletion accumulating dead events.
+func TestEngineCancelZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	// Warm pool.
+	for i := 0; i < 64; i++ {
+		e.After(time.Microsecond, func() {})
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := e.AfterCall(time.Microsecond, func(any) {}, nil)
+		e.Cancel(h)
+		e.Step() // collect
+	})
+	if allocs != 0 {
+		t.Errorf("post+cancel+collect allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestEngineHandleAfterRecycle pins the ABA protection: a handle to a fired
+// event must stay inert (and report its outcome) after the slot is reused.
+func TestEngineHandleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	h1 := e.After(time.Microsecond, func() {})
+	if !h1.Pending() {
+		t.Fatal("h1 not pending after schedule")
+	}
+	e.Run()
+	if !h1.Fired() || h1.Canceled() || h1.Pending() {
+		t.Fatalf("after fire: Fired=%v Canceled=%v Pending=%v", h1.Fired(), h1.Canceled(), h1.Pending())
+	}
+	// The pool now holds the slot; the next schedule reuses it.
+	h2 := e.After(time.Microsecond, func() {})
+	if h2.ev != h1.ev {
+		t.Fatal("slot was not recycled (pool broken?)")
+	}
+	// Cancelling the stale handle must not touch the new occurrence.
+	e.Cancel(h1)
+	fired := false
+	h3 := e.After(2*time.Microsecond, func() { fired = true })
+	_ = h3
+	e.Run()
+	if !h2.Fired() {
+		t.Error("recycled occurrence was cancelled by a stale handle")
+	}
+	if !fired {
+		t.Error("later event did not fire")
+	}
+
+	// Cancelled handles report Canceled after collection (until the slot is
+	// reused — outcome queries are only guaranteed up to recycling).
+	h4 := e.After(time.Microsecond, func() { t.Error("cancelled event fired") })
+	e.Cancel(h4)
+	e.Run()
+	if !h4.Canceled() || h4.Fired() {
+		t.Errorf("after cancel+collect: Canceled=%v Fired=%v", h4.Canceled(), h4.Fired())
+	}
+	// A stale cancelled handle must never cancel the slot's next occupant.
+	h5 := e.After(time.Microsecond, func() {})
+	e.Cancel(h4)
+	e.Run()
+	if !h5.Fired() {
+		t.Error("stale cancelled handle cancelled a recycled occurrence")
+	}
+}
+
+// refSched is the reference scheduler for the property test: a plain sorted
+// list with eager deletion — the simplest correct implementation.
+type refSched struct {
+	now   Time
+	seq   uint64
+	evs   []refEv
+	fired []int
+}
+
+type refEv struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+func (r *refSched) post(at Time, id int) uint64 {
+	r.seq++
+	r.evs = append(r.evs, refEv{at: at, seq: r.seq, id: id})
+	return r.seq
+}
+
+func (r *refSched) cancel(seq uint64) {
+	for i := range r.evs {
+		if r.evs[i].seq == seq {
+			r.evs = append(r.evs[:i], r.evs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *refSched) step() bool {
+	if len(r.evs) == 0 {
+		return false
+	}
+	sort.Slice(r.evs, func(i, j int) bool {
+		if r.evs[i].at != r.evs[j].at {
+			return r.evs[i].at < r.evs[j].at
+		}
+		return r.evs[i].seq < r.evs[j].seq
+	})
+	ev := r.evs[0]
+	r.evs = r.evs[1:]
+	r.now = ev.at
+	r.fired = append(r.fired, ev.id)
+	return true
+}
+
+// TestEngineCancelLazyDeletionProperty drives random interleavings of
+// post/cancel/step through the pooled lazy-deletion engine and the reference
+// scheduler and requires identical fired sequences, timestamps, and pending
+// counts throughout. High cancel rates push the engine through its
+// compaction path.
+func TestEngineCancelLazyDeletionProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		ref := &refSched{}
+		var got []int
+		type live struct {
+			h   Handle
+			seq uint64
+		}
+		var pending []live
+		nextID := 0
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // post
+				id := nextID
+				nextID++
+				at := e.Now().Add(time.Duration(rng.Intn(50)) * time.Microsecond)
+				h := e.AtCall(at, func(arg any) { got = append(got, arg.(int)) }, id)
+				seq := ref.post(at, id)
+				pending = append(pending, live{h, seq})
+			case r < 8 && len(pending) > 0: // cancel a random pending event
+				i := rng.Intn(len(pending))
+				e.Cancel(pending[i].h)
+				ref.cancel(pending[i].seq)
+				pending = append(pending[:i], pending[i+1:]...)
+			default: // step
+				gs := e.Step()
+				rs := ref.step()
+				if gs != rs {
+					t.Fatalf("seed %d op %d: Step()=%v ref=%v", seed, op, gs, rs)
+				}
+				if gs && e.Now() != ref.now {
+					t.Fatalf("seed %d op %d: now=%v ref=%v", seed, op, e.Now(), ref.now)
+				}
+				// Drop fired events from our pending book-keeping.
+				for i := 0; i < len(pending); {
+					if pending[i].h.Fired() {
+						pending = append(pending[:i], pending[i+1:]...)
+					} else {
+						i++
+					}
+				}
+			}
+			if e.Pending() != len(ref.evs) {
+				t.Fatalf("seed %d op %d: Pending()=%d ref=%d", seed, op, e.Pending(), len(ref.evs))
+			}
+		}
+		for e.Step() {
+			ref.step()
+		}
+		if len(got) != len(ref.fired) {
+			t.Fatalf("seed %d: fired %d events, ref fired %d", seed, len(got), len(ref.fired))
+		}
+		for i := range got {
+			if got[i] != ref.fired[i] {
+				t.Fatalf("seed %d: fired[%d]=%d, ref=%d", seed, i, got[i], ref.fired[i])
+			}
+		}
+	}
+}
+
+// TestEngineCompactionKeepsOrder forces heavy cancellation (beyond the
+// compaction threshold) and checks survivors still fire in (at, seq) order.
+func TestEngineCompactionKeepsOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var hs []Handle
+	for i := 0; i < 500; i++ {
+		i := i
+		hs = append(hs, e.At(Time(int64(500-i)), func() { got = append(got, i) }))
+	}
+	// Cancel 400 of 500 — well past dead>64 && dead*2>len(pq).
+	for i := 0; i < 500; i++ {
+		if i%5 != 0 {
+			e.Cancel(hs[i])
+		}
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d, want 100", len(got))
+	}
+	// Scheduled at Time(500-i), so survivors must come out in descending i.
+	for j := 1; j < len(got); j++ {
+		if got[j] >= got[j-1] {
+			t.Fatalf("out of order after compaction: %d then %d", got[j-1], got[j])
+		}
+	}
+}

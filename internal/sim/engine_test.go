@@ -55,7 +55,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 5)
+	evs := make([]Handle, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		evs[i] = e.After(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) })

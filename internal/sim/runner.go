@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +40,7 @@ type Runner struct {
 
 	mu        sync.Mutex
 	inbox     []xev
+	spare     []xev // drained inbox buffer, swapped back in by flush
 	seqs      []uint64
 	inWindow  bool
 	windowEnd Time
@@ -119,27 +120,39 @@ func (r *Runner) Post(src, dst int, at Time, fn func()) {
 }
 
 // flush drains the inbox into the destination engines in (at, src, seq)
-// order. Called between windows only.
+// order. Called between windows only. The drained buffer is recycled into
+// the next window's inbox so a steady cross-traffic rate stops allocating.
 func (r *Runner) flush() {
 	r.mu.Lock()
 	pend := r.inbox
-	r.inbox = nil
+	r.inbox = r.spare[:0]
 	r.mu.Unlock()
 	if len(pend) == 0 {
+		r.spare = pend
 		return
 	}
-	sort.Slice(pend, func(i, j int) bool {
-		if pend[i].at != pend[j].at {
-			return pend[i].at < pend[j].at
+	slices.SortFunc(pend, func(a, b xev) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
-		if pend[i].src != pend[j].src {
-			return pend[i].src < pend[j].src
+		if a.src != b.src {
+			return a.src - b.src
 		}
-		return pend[i].seq < pend[j].seq
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
 	})
 	for _, x := range pend {
 		r.engines[x.dst].At(x.at, x.fn)
 	}
+	for i := range pend {
+		pend[i].fn = nil
+	}
+	r.spare = pend[:0]
 }
 
 // Step flushes pending cross-engine events and runs one window ending no
@@ -178,6 +191,28 @@ func (r *Runner) Step(limit Time) bool {
 	r.inWindow = true
 	r.windowEnd = end
 	r.mu.Unlock()
+
+	if r.workers == 1 {
+		// Serial mode: run the window inline. Engine order within a window is
+		// free choice — lookahead guarantees no intra-window interaction — so
+		// ascending index takes the same scheduling decisions the worker pool
+		// would, without goroutine or atomic-counter overhead.
+		for _, eng := range r.engines {
+			if closed {
+				eng.RunUntil(end)
+			} else {
+				eng.RunWindow(end)
+			}
+		}
+		r.mu.Lock()
+		r.inWindow = false
+		r.mu.Unlock()
+		r.now = end
+		for _, h := range r.hooks {
+			h()
+		}
+		return true
+	}
 
 	// Worker goroutines pull engine indices from a shared counter. A panic
 	// inside an engine (a simulated-application bug) is caught per engine,

@@ -1,0 +1,30 @@
+package tracepipe
+
+import (
+	"testing"
+
+	"ktau/internal/ktau"
+)
+
+// TestAppendFrameAllocsAmortized pins the per-round trace-frame encode at ≤1
+// allocation per frame amortized when the caller reuses its buffer: the name
+// dictionary is pooled and the output buffer is caller-owned, so the only
+// tolerated allocation is an occasional pool refill.
+func TestAppendFrameAllocsAmortized(t *testing.T) {
+	f := Frame{Node: "n3", NodeIdx: 3, Round: 17}
+	recs := make([]Rec, 0, 256)
+	for i := 0; i < 256; i++ {
+		recs = append(recs, Rec{TSC: int64(i), Name: "sys_read", Kind: ktau.KindEntry})
+	}
+	f.Streams = []Stream{{PID: 1, Task: "lu.A", Kernel: true, Recs: recs}}
+
+	var buf []byte
+	buf = AppendFrame(buf[:0], f) // warm to steady-state capacity
+
+	allocs := testing.AllocsPerRun(500, func() {
+		buf = AppendFrame(buf[:0], f)
+	})
+	if allocs > 1 {
+		t.Fatalf("AppendFrame allocated %.2f allocs/frame, want <= 1 amortized", allocs)
+	}
+}

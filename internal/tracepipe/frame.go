@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ktau/internal/ktau"
 )
@@ -92,90 +93,117 @@ func (f Frame) records() int {
 	return n
 }
 
+// frameWriter appends wire-format primitives to a caller-supplied buffer.
+type frameWriter struct{ b []byte }
+
+func (w *frameWriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *frameWriter) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *frameWriter) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *frameWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *frameWriter) bit(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *frameWriter) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.b = binary.LittleEndian.AppendUint16(w.b, uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// dict is the reusable per-frame name-interning state. Hot instrumentation
+// points produce the same handful of names every round, so the dictionary's
+// map buckets and name slice are pooled rather than rebuilt per frame.
+type dict struct {
+	names []string
+	index map[string]uint32
+}
+
+func (d *dict) intern(s string) uint32 {
+	if i, ok := d.index[s]; ok {
+		return i
+	}
+	i := uint32(len(d.names))
+	d.names = append(d.names, s)
+	d.index[s] = i
+	return i
+}
+
+func (d *dict) reset() {
+	d.names = d.names[:0]
+	clear(d.index)
+}
+
+var dictPool = sync.Pool{New: func() any {
+	return &dict{names: make([]string, 0, 16), index: make(map[string]uint32, 16)}
+}}
+
 // EncodeFrame serialises a frame payload (the bytes following the on-wire
 // preamble). Event names are interned into a per-frame dictionary so hot
 // instrumentation points cost four bytes per record instead of a string.
-func EncodeFrame(f Frame) []byte {
-	var b []byte
-	u8 := func(v uint8) { b = append(b, v) }
-	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
-	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
-	i64 := func(v int64) { u64(uint64(v)) }
-	str := func(s string) {
-		if len(s) > math.MaxUint16 {
-			s = s[:math.MaxUint16]
-		}
-		b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
-		b = append(b, s...)
-	}
-	bit := func(v bool) {
-		if v {
-			u8(1)
-		} else {
-			u8(0)
-		}
-	}
+func EncodeFrame(f Frame) []byte { return AppendFrame(nil, f) }
 
+// AppendFrame serialises a frame payload, appending to dst and returning the
+// extended buffer. Callers on a hot path reuse dst's capacity across rounds;
+// the result aliases dst, so retainers (queues, sinks) must copy it out.
+func AppendFrame(dst []byte, f Frame) []byte {
 	// Build the name dictionary in first-appearance order (deterministic:
 	// streams and records are already deterministically ordered).
-	names := make([]string, 0, 16)
-	index := make(map[string]uint32, 16)
-	intern := func(s string) uint32 {
-		if i, ok := index[s]; ok {
-			return i
-		}
-		i := uint32(len(names))
-		names = append(names, s)
-		index[s] = i
-		return i
-	}
+	d := dictPool.Get().(*dict)
 	for _, s := range f.Streams {
 		for _, r := range s.Recs {
-			intern(r.Name)
+			d.intern(r.Name)
 		}
 	}
 
-	u32(TraceMagic)
-	u32(TraceVersion)
-	str(f.Node)
-	u32(uint32(f.NodeIdx))
-	u32(uint32(f.Round))
-	bit(f.Last)
-	u64(f.Backlog)
-	u64(f.ReadErrs)
-	u64(f.Dropped)
-	u64(f.DroppedRecs)
-	u32(uint32(len(names)))
-	for _, n := range names {
-		str(n)
+	w := frameWriter{b: dst}
+	w.u32(TraceMagic)
+	w.u32(TraceVersion)
+	w.str(f.Node)
+	w.u32(uint32(f.NodeIdx))
+	w.u32(uint32(f.Round))
+	w.bit(f.Last)
+	w.u64(f.Backlog)
+	w.u64(f.ReadErrs)
+	w.u64(f.Dropped)
+	w.u64(f.DroppedRecs)
+	w.u32(uint32(len(d.names)))
+	for _, n := range d.names {
+		w.str(n)
 	}
-	u32(uint32(len(f.Streams)))
+	w.u32(uint32(len(f.Streams)))
 	for _, s := range f.Streams {
-		i64(int64(s.PID))
-		str(s.Task)
-		bit(s.Kernel)
-		u64(s.Lost)
-		u32(uint32(len(s.Recs)))
+		w.i64(int64(s.PID))
+		w.str(s.Task)
+		w.bit(s.Kernel)
+		w.u64(s.Lost)
+		w.u32(uint32(len(s.Recs)))
 		for _, r := range s.Recs {
-			i64(r.TSC)
-			u32(index[r.Name])
-			u8(uint8(r.Kind))
-			i64(r.Val)
+			w.i64(r.TSC)
+			w.u32(d.index[r.Name])
+			w.u8(uint8(r.Kind))
+			w.i64(r.Val)
 		}
 	}
-	u32(uint32(len(f.Msgs)))
+	w.u32(uint32(len(f.Msgs)))
 	for _, m := range f.Msgs {
-		u32(uint32(m.Src))
-		u32(uint32(m.Dst))
-		i64(int64(m.Tag))
-		i64(int64(m.Bytes))
-		u64(m.Seq)
-		bit(m.Send)
-		i64(int64(m.PID))
-		i64(m.StartTSC)
-		i64(m.EndTSC)
+		w.u32(uint32(m.Src))
+		w.u32(uint32(m.Dst))
+		w.i64(int64(m.Tag))
+		w.i64(int64(m.Bytes))
+		w.u64(m.Seq)
+		w.bit(m.Send)
+		w.i64(int64(m.PID))
+		w.i64(m.StartTSC)
+		w.i64(m.EndTSC)
 	}
-	return b
+	d.reset()
+	dictPool.Put(d)
+	return w.b
 }
 
 // DecodeFrame parses a frame payload produced by EncodeFrame.

@@ -122,9 +122,12 @@ type link struct {
 	replaced bool
 }
 
+// push enqueues one encoded frame. The queue owns its payloads — p is copied
+// out, so callers may pass a scratch buffer they will overwrite next round.
 func (l *link) push(p []byte) {
+	cp := append(make([]byte, 0, len(p)), p...)
 	l.mu.Lock()
-	l.pending = append(l.pending, p)
+	l.pending = append(l.pending, cp)
 	l.mu.Unlock()
 }
 
@@ -310,6 +313,7 @@ func (tp *Pipeline) spawnAgent(idx int, n *cluster.Node, collector int, l *link)
 	return n.K.Spawn("ktraced", func(u *kernel.UCtx) {
 		st := &agentStats{lastLost: make(map[streamKey]uint64)}
 		route := &agentRoute{collector: collector, l: l}
+		var encBuf []byte // frame-encode scratch, reused every round
 		for round := 0; ; round++ {
 			if cfg.Rounds > 0 && round >= cfg.Rounds {
 				return
@@ -322,7 +326,8 @@ func (tp *Pipeline) spawnAgent(idx int, n *cluster.Node, collector int, l *link)
 			last := final || (cfg.Rounds > 0 && round == cfg.Rounds-1)
 
 			f := tp.drainRound(u, h, idx, n, round, last, st)
-			payload := EncodeFrame(f)
+			encBuf = AppendFrame(encBuf[:0], f)
+			payload := encBuf // link.push copies; safe to reuse next round
 
 			// User-space processing: ring walks + dictionary encode.
 			u.Compute(time.Duration(len(payload)/1024+1) * cfg.ShipCostPerKB)
@@ -349,7 +354,21 @@ func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
 	f := Frame{Node: n.Name, NodeIdx: idx, Round: round, Last: last}
 	reg := n.K.Ktau().Reg
 
-	for _, t := range n.K.AllTasks() {
+	// One backing array holds every kernel stream's records this round: a
+	// single sized allocation instead of per-record append growth. The frame
+	// is retained by the collector, so the backing is owned by this round
+	// (not pooled); streams are capacity-capped subslices so a later append
+	// to recBuf can never alias an earlier stream.
+	tasks := n.K.AllTasks()
+	waitingRecs := 0
+	for _, t := range tasks {
+		if ring := t.KD().Trace(); ring != nil {
+			waitingRecs += ring.Len()
+		}
+	}
+	recBuf := make([]Rec, 0, waitingRecs)
+
+	for _, t := range tasks {
 		ring := t.KD().Trace()
 		if ring == nil {
 			continue
@@ -381,9 +400,11 @@ func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
 			continue
 		}
 		s := Stream{PID: t.PID(), Task: t.Name(), Kernel: true, Lost: dump.Lost}
+		start := len(recBuf)
 		for _, r := range dump.Records {
-			s.Recs = append(s.Recs, Rec{TSC: r.TSC, Name: reg.Name(r.Ev), Kind: r.Kind, Val: r.Val})
+			recBuf = append(recBuf, Rec{TSC: r.TSC, Name: reg.Name(r.Ev), Kind: r.Kind, Val: r.Val})
 		}
+		s.Recs = recBuf[start:len(recBuf):len(recBuf)]
 		if len(s.Recs) > 0 || s.Lost != st.lastLost[key] {
 			st.lastLost[key] = s.Lost
 			f.Streams = append(f.Streams, s)

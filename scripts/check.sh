@@ -59,4 +59,25 @@ go test -run '^$' -bench BenchmarkParallelChiba -benchtime=1x .
 echo "== benchmark smoke (writes BENCH_trace.json) =="
 go test -run '^$' -bench BenchmarkTraceOverhead -benchtime=1x .
 
+echo "== core hot-path benchmarks (writes BENCH_core.json, gates Chiba speedup) =="
+go test -run '^$' -bench 'BenchmarkEngineThroughput|BenchmarkKtauEventPath|BenchmarkFrameEncode' -benchmem .
+go test -run '^$' -bench BenchmarkCoreHotPath -benchtime=1x .
+if [ ! -f BENCH_core.json ]; then
+    echo "check.sh: BENCH_core.json was not written" >&2
+    exit 1
+fi
+# The serial 32-node Chiba run must stay well ahead of the recorded seed
+# baseline: regressing the pooled hot path by more than 20% of the baseline
+# time (speedup dropping below 1.25x) fails the gate.
+speedup=$(sed -n 's/.*"chiba_speedup_x": \([0-9.]*\).*/\1/p' BENCH_core.json)
+if [ -z "$speedup" ]; then
+    echo "check.sh: no chiba speedup_x recorded in BENCH_core.json" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($speedup >= 1.25) }"; then
+    echo "check.sh: serial Chiba speedup regressed: ${speedup}x < 1.25x over seed baseline" >&2
+    exit 1
+fi
+echo "serial Chiba speedup over seed baseline: ${speedup}x"
+
 echo "check.sh: all green"
