@@ -603,6 +603,33 @@ func RunFaultStudy(ranks int, seed uint64) *FaultStudy {
 	return experiments.RunFaultStudy(ranks, seed)
 }
 
+// ---- multi-tenant serving workload (servesim) ----
+
+// ServeSpec configures the multi-tenant serving experiment: an open-loop
+// request workload monitored by the perfmon pipeline, with a noisy-neighbor
+// daemon planted on one server node.
+type ServeSpec = experiments.ServeSpec
+
+// ServeResult is the harvested serving run: per-tenant latency quantiles,
+// the merged latency store, the collector's kernel time-series, and the
+// tail-latency attribution for each tenant's worst server node.
+type ServeResult = experiments.ServeResult
+
+// DefaultServe returns the baseline two-tenant serving scenario for a
+// cluster of the given size (minimum 8 nodes; 8 logical clients per node).
+func DefaultServe(nodes int) ServeSpec { return experiments.DefaultServe(nodes) }
+
+// RunServe executes the serving scenario end to end and correlates each
+// tenant's worst request tails with the kernel's view of that node.
+func RunServe(spec ServeSpec) *ServeResult { return experiments.RunServe(spec) }
+
+// RunServeDefault runs the baseline scenario at the given cluster size.
+func RunServeDefault(nodes int, seed uint64) *ServeResult {
+	spec := experiments.DefaultServe(nodes)
+	spec.Seed = seed
+	return experiments.RunServe(spec)
+}
+
 // ---- cluster-wide streaming trace pipeline (tracepipe) ----
 
 // TracePipe is a deployed cluster-wide trace pipeline: per-node ktraced

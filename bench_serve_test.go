@@ -1,0 +1,94 @@
+// Serving-workload benchmark: one serial run of the default two-tenant
+// scenario at 16 nodes (4 client nodes driving 12 servers, 128 logical
+// clients, the api-batchd rogue planted). BenchmarkServe re-measures the
+// run and writes BENCH_serve.json comparing the worst tenant p99 and the
+// completed request rate against the recorded baseline. Both metrics live
+// in the virtual time domain, so for a fixed seed they are deterministic:
+// the gate in scripts/check.sh catches behavioural regressions (scheduling,
+// queueing, or protocol changes that stretch tails or lose throughput),
+// not host jitter.
+//
+//	go test -bench=BenchmarkServe -benchtime=1x
+package ktau_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ktau"
+)
+
+// Recorded baseline for the 16-node seed-7 scenario (virtual-time metrics,
+// host-independent): the worst tenant p99 and the completed request rate
+// over the load window at the time the benchmark was introduced.
+const (
+	baseServeP99Ms = 16.253 // worst tenant p99, milliseconds
+	baseServeRPS   = 4972.0 // completed requests per virtual second
+)
+
+// BenchmarkServe runs the default serving scenario once per iteration and
+// writes the regression comparison to BENCH_serve.json.
+func BenchmarkServe(b *testing.B) {
+	var out map[string]any
+	for i := 0; i < b.N; i++ {
+		spec := ktau.DefaultServe(16)
+		spec.Seed = 7
+		t0 := time.Now()
+		res := ktau.RunServe(spec)
+		wall := time.Since(t0)
+		if !res.Completed {
+			b.Fatal("serve run did not drain")
+		}
+		if res.LeakedConns != 0 {
+			b.Fatalf("%d connection endpoints leaked", res.LeakedConns)
+		}
+
+		var ok uint64
+		var worstP99 time.Duration
+		tenants := map[string]any{}
+		for _, ts := range res.Tenants {
+			ok += ts.OK
+			if ts.P99 > worstP99 {
+				worstP99 = ts.P99
+			}
+			tenants[ts.Name] = map[string]any{
+				"ok":      ts.OK,
+				"drops":   ts.Drops,
+				"p50_ms":  float64(ts.P50) / 1e6,
+				"p99_ms":  float64(ts.P99) / 1e6,
+				"p999_ms": float64(ts.P999) / 1e6,
+			}
+		}
+		p99ms := float64(worstP99) / 1e6
+		rps := float64(ok) / res.Spec.Serve.Duration.Seconds()
+		b.ReportMetric(p99ms, "p99-ms")
+		b.ReportMetric(rps, "req/s")
+		b.ReportMetric(wall.Seconds(), "wall-s")
+
+		out = map[string]any{
+			"benchmark":          "multi-tenant serving workload, 16 nodes, seed 7, serial",
+			"nodes":              16,
+			"host_cpus":          runtime.NumCPU(),
+			"wall_s":             wall.Seconds(),
+			"virtual_load_s":     res.Spec.Serve.Duration.Seconds(),
+			"p99_ms":             p99ms,
+			"baseline_p99_ms":    baseServeP99Ms,
+			"p99_ratio":          p99ms / baseServeP99Ms,
+			"req_per_s":          rps,
+			"baseline_req_per_s": baseServeRPS,
+			"rps_ratio":          rps / baseServeRPS,
+			"rogue_fingered":     res.RogueFingered,
+			"tenants":            tenants,
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

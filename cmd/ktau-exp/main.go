@@ -36,6 +36,7 @@ var experimentOrder = []string{
 	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"ionode",  // §6 future-work extension, not a paper table/figure
 	"faults",  // monitored run under an injected fault plan, not a paper table/figure
+	"serve",   // multi-tenant serving workload with tail-latency attribution
 	"trace",   // cluster-wide streaming trace pipeline (merged Perfetto trace)
 	"traceov", // trace-pipeline perturbation study (off/profile/profile+trace)
 }
@@ -61,6 +62,7 @@ var experimentRunners = map[string]runner{
 	"fig10":   func(ranks int, out io.Writer) { ktau.RunFig10(ranks).Render(out) },
 	"ionode":  func(ranks int, out io.Writer) { ktau.RunIONodeStudy(1).Render(out) },
 	"faults":  func(ranks int, out io.Writer) { ktau.RunFaultStudy(ranks, 1).Render(out) },
+	"serve":   func(ranks int, out io.Writer) { ktau.RunServeDefault(ranks, 1).Render(out) },
 	"trace":   runTrace,
 	"traceov": func(ranks int, out io.Writer) { ktau.RunTraceOverhead(ranks, 1).Render(out) },
 }
@@ -112,8 +114,8 @@ func runTrace(ranks int, out io.Writer) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (table2|table3|table4|fig2a|fig2c|fig2e|fig3..fig10|trace|traceov|all)")
-	ranks := flag.Int("ranks", 128, "MPI ranks for the Chiba-family experiments")
+	exp := flag.String("exp", "", "experiment id (table2|table3|table4|fig2a|fig2c|fig2e|fig3..fig10|trace|traceov|serve|all)")
+	ranks := flag.Int("ranks", 128, "MPI ranks for the Chiba-family experiments (cluster nodes for serve)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	parallel := flag.Bool("parallel", false, "run node engines on multiple host CPUs (results are byte-identical to serial)")

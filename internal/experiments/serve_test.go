@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallServe shrinks the default scenario to test scale while keeping both
+// tenants, the system daemons, and the planted rogue.
+func smallServe(seed uint64) ServeSpec {
+	spec := DefaultServe(8)
+	spec.Seed = seed
+	spec.Serve.Duration = 600 * time.Millisecond
+	return spec
+}
+
+func TestServeAttributionFingersRogue(t *testing.T) {
+	res := RunServe(smallServe(7))
+	if !res.Completed {
+		t.Fatal("fleet did not drain")
+	}
+	if !res.Drained {
+		t.Error("monitoring pipeline did not drain")
+	}
+	if res.LeakedConns != 0 {
+		t.Errorf("%d connection endpoints leaked", res.LeakedConns)
+	}
+	for _, ts := range res.Tenants {
+		if ts.OK == 0 {
+			t.Fatalf("tenant %s completed no requests", ts.Name)
+		}
+		if ts.Lost != 0 {
+			t.Errorf("tenant %s lost %d replies without faults", ts.Name, ts.Lost)
+		}
+		if ts.Arrived != ts.OK+ts.Drops+ts.Lost {
+			t.Errorf("tenant %s conservation broken: %d vs %d+%d+%d",
+				ts.Name, ts.Arrived, ts.OK, ts.Drops, ts.Lost)
+		}
+		if ts.WorstNode < 0 {
+			t.Fatalf("tenant %s has no worst tail node", ts.Name)
+		}
+		if ts.Attr.Windows == 0 || len(ts.Attr.Rounds) == 0 {
+			t.Errorf("tenant %s attribution empty: %d windows, %d rounds",
+				ts.Name, ts.Attr.Windows, len(ts.Attr.Rounds))
+		}
+	}
+	if !res.RogueFingered {
+		for _, ts := range res.Tenants {
+			t.Logf("tenant %s: worst=ccn%d p999=%v attr=%s",
+				ts.Name, ts.WorstNode, ts.WorstP999, ts.Attr.String())
+		}
+		t.Error("planted rogue daemon was not fingered")
+	}
+
+	var out strings.Builder
+	res.Render(&out)
+	for _, want := range []string{"tenant", "p999 spike", "api-batchd", "throughput"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// serveFingerprint runs the fault-injected serving scenario and captures a
+// byte-exact fingerprint of everything observable: the merged latency store,
+// every node's packed /proc/ktau profile, and the collector store exports.
+func serveFingerprint(t *testing.T, parallel bool, workers int) string {
+	t.Helper()
+	spec := smallServe(42)
+	spec.Parallel = parallel
+	spec.Workers = workers
+	plan := DegradedPlan(spec.Nodes, 42)
+	spec.Faults = &plan
+
+	res := RunServe(spec)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "completed=%v drained=%v collector=%d failovers=%d faults=%+v\n",
+		res.Completed, res.Drained, res.Collector, res.Failovers, res.Injector.Stats)
+	buf.WriteString(fmt.Sprintf("latency-store=%x\n", res.Stats.AppendBinary(nil)))
+	for _, ts := range res.Tenants {
+		fmt.Fprintf(&buf, "tenant=%s arr=%d ok=%d drops=%d lost=%d worst=%d attr=%s\n",
+			ts.Name, ts.Arrived, ts.OK, ts.Drops, ts.Lost, ts.WorstNode, ts.Attr.String())
+	}
+	if err := res.Store.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Store.WriteJSONLines(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestServeParallelMatchesSerialByteForByte: the serving workload, monitored
+// and fault-injected, must produce byte-identical latency stores and kernel
+// views whether node engines run serially or on several host CPUs.
+func TestServeParallelMatchesSerialByteForByte(t *testing.T) {
+	serial := serveFingerprint(t, false, 0)
+	parallel := serveFingerprint(t, true, 4)
+	if serial == parallel {
+		return
+	}
+	a, b := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			t.Fatalf("parallel serve run diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+				i+1, a[i], b[i])
+		}
+	}
+	t.Fatalf("parallel serve run diverged from serial: lengths %d vs %d lines", len(a), len(b))
+}

@@ -551,6 +551,119 @@ func (st *Store) ProcWindow(node string, window int) []ProcWindowTotal {
 	return out
 }
 
+// RoundsOverlapping returns the stored rounds of a node whose [FromTSC,
+// ToTSC] window overlaps any of the given [from, to] TSC windows, in
+// ascending round order. It is the bridge from application-level excursion
+// windows (e.g. a tail request's admit→done span) to the kernel samples
+// that cover them.
+func (st *Store) RoundsOverlapping(node string, wins [][2]int64) []int {
+	ns := st.nodes[node]
+	if ns == nil || len(wins) == 0 {
+		return nil
+	}
+	var out []int
+	for _, m := range ns.marks.items() {
+		for _, w := range wins {
+			if m.ToTSC >= w[0] && m.FromTSC <= w[1] {
+				out = append(out, m.Round)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// roundSet answers membership over a sorted ascending round list.
+func roundSet(rounds []int) func(int) bool {
+	return func(r int) bool {
+		i := sort.SearchInts(rounds, r)
+		return i < len(rounds) && rounds[i] == r
+	}
+}
+
+// NodeWindowRounds sums one node's per-event activity over an explicit set
+// of stored rounds (ascending, as returned by RoundsOverlapping), sorted by
+// exclusive cycles hottest-first like NodeWindow.
+func (st *Store) NodeWindowRounds(node string, rounds []int) []HotEvent {
+	ns := st.nodes[node]
+	if ns == nil || len(rounds) == 0 {
+		return nil
+	}
+	in := roundSet(rounds)
+	var out []HotEvent
+	for evName, s := range ns.events {
+		var h HotEvent
+		h.Name = evName
+		h.Group = s.group
+		for _, smp := range s.ring.items() {
+			if in(smp.Round) {
+				h.Calls += smp.DCalls
+				h.Incl += smp.DIncl
+				h.Excl += smp.DExcl
+			}
+		}
+		if h.Calls == 0 && h.Excl == 0 {
+			continue
+		}
+		h.Nodes = 1
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Excl != out[j].Excl {
+			return out[i].Excl > out[j].Excl
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ProcWindowRounds sums a node's per-process activity over an explicit set
+// of stored rounds (ascending), sorted by PID for determinism.
+func (st *Store) ProcWindowRounds(node string, rounds []int) []ProcWindowTotal {
+	ns := st.nodes[node]
+	if ns == nil || len(rounds) == 0 {
+		return nil
+	}
+	in := roundSet(rounds)
+	var out []ProcWindowTotal
+	for pid, ps := range ns.procs {
+		t := ProcWindowTotal{PID: pid, Name: ps.name}
+		for _, smp := range ps.ring.items() {
+			if in(smp.Round) {
+				t.DTotal += smp.DTotal
+				t.DIRQ += smp.DIRQ
+				t.DBH += smp.DBH
+				t.DSched += smp.DSched
+				t.DTCP += smp.DTCP
+				t.DTicks += smp.DTicks
+			}
+		}
+		if t.DTotal == 0 && t.DSched == 0 && t.DTicks == 0 {
+			continue
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// WallCyclesRounds sums the wall-clock spans of an explicit set of stored
+// rounds (ascending) on a node's clock.
+func (st *Store) WallCyclesRounds(node string, rounds []int) int64 {
+	ns := st.nodes[node]
+	if ns == nil || len(rounds) == 0 {
+		return 0
+	}
+	in := roundSet(rounds)
+	var total int64
+	for _, m := range ns.marks.items() {
+		if in(m.Round) {
+			total += m.ToTSC - m.FromTSC
+		}
+	}
+	return total
+}
+
 // WallCycles returns the span of the last `window` stored windows on a
 // node's clock (0 = whole monitored span).
 func (st *Store) WallCycles(node string, window int) int64 {

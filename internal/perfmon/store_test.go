@@ -323,3 +323,85 @@ func TestRankImbalance(t *testing.T) {
 		t.Fatal("empty prefix must disable the ranking")
 	}
 }
+
+func TestStoreRoundsOverlapping(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	for round := 0; round < 10; round++ {
+		st.Ingest(feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, int64(round+1)), 0)
+	}
+	// feedFrame stamps round r as [r*100, (r+1)*100].
+	cases := []struct {
+		wins [][2]int64
+		want []int
+	}{
+		{nil, nil},
+		{[][2]int64{{250, 260}}, []int{2}},
+		{[][2]int64{{250, 410}}, []int{2, 3, 4}},
+		{[][2]int64{{50, 60}, {850, 999}}, []int{0, 8, 9}},
+		{[][2]int64{{100, 200}}, []int{0, 1, 2}}, // inclusive boundaries
+		{[][2]int64{{5000, 6000}}, nil},
+	}
+	for i, c := range cases {
+		got := st.RoundsOverlapping("a", c.wins)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: rounds = %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: rounds = %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestStoreRoundSetQueries(t *testing.T) {
+	st := NewStore(StoreConfig{})
+	for round := 0; round < 6; round++ {
+		f := feedFrame("a", 0, round, "schedule", ktau.GroupSched, 1, 100)
+		f.Kernel = append(f.Kernel, ktau.EventDelta{
+			Name: "net_rx_action", Group: ktau.GroupBH, DCalls: 2, DIncl: 50, DExcl: 50,
+		})
+		f.Procs = []ProcDelta{
+			{PID: 1, Name: "daemon", DTotal: 10, DSched: 5, DTicks: 3},
+			{PID: 2, Name: "rank", DTotal: 20, DSched: 1, DTicks: 1},
+		}
+		st.Ingest(f, 0)
+	}
+	rounds := []int{1, 3, 4}
+
+	evs := st.NodeWindowRounds("a", rounds)
+	if len(evs) != 2 {
+		t.Fatalf("NodeWindowRounds len = %d, want 2", len(evs))
+	}
+	// Sorted hottest-first: schedule 3*100 over net_rx_action 3*50.
+	if evs[0].Name != "schedule" || evs[0].Excl != 300 || evs[0].Calls != 3 {
+		t.Fatalf("evs[0] = %+v", evs[0])
+	}
+	if evs[1].Name != "net_rx_action" || evs[1].Excl != 150 {
+		t.Fatalf("evs[1] = %+v", evs[1])
+	}
+
+	procs := st.ProcWindowRounds("a", rounds)
+	if len(procs) != 2 || procs[0].PID != 1 || procs[0].DTicks != 9 || procs[1].DTotal != 60 {
+		t.Fatalf("ProcWindowRounds = %+v", procs)
+	}
+
+	if w := st.WallCyclesRounds("a", rounds); w != 300 {
+		t.Fatalf("WallCyclesRounds = %d, want 300", w)
+	}
+
+	// The round-set queries must agree with the window queries when the set
+	// covers everything retained.
+	all := st.RoundsOverlapping("a", [][2]int64{{0, 1 << 40}})
+	if len(all) != 6 {
+		t.Fatalf("all rounds = %v", all)
+	}
+	evAll := st.NodeWindowRounds("a", all)
+	evWin := st.NodeWindow("a", 0)
+	if len(evAll) != len(evWin) || evAll[0].Excl != evWin[0].Excl {
+		t.Fatalf("round-set vs window disagree: %+v vs %+v", evAll, evWin)
+	}
+	if st.WallCyclesRounds("a", all) != st.WallCycles("a", 0) {
+		t.Fatal("WallCyclesRounds(all) != WallCycles(0)")
+	}
+}

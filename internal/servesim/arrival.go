@@ -1,0 +1,108 @@
+package servesim
+
+import (
+	"time"
+
+	"ktau/internal/sim"
+)
+
+// ArrivalKind selects the open-loop arrival process of a tenant's clients.
+type ArrivalKind uint8
+
+const (
+	// Poisson arrivals: exponential inter-arrival gaps at a constant rate.
+	Poisson ArrivalKind = iota
+	// MMPP arrivals (Markov-modulated Poisson process): each client flips
+	// between a calm and a burst state with exponentially distributed dwell
+	// times, drawing Poisson arrivals at the state's rate. Bursty tenants
+	// are what push admission queues and expose tail behaviour.
+	MMPP
+)
+
+// ArrivalSpec describes one tenant's per-client arrival process. Every
+// client owns an independent seeded RNG stream, so the population's
+// aggregate is deterministic and insensitive to draw interleaving.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// Mean is the calm-state mean inter-arrival time per client.
+	Mean time.Duration
+	// Burst multiplies the arrival rate while a client is bursting (MMPP
+	// only; must be >= 1).
+	Burst float64
+	// CalmDwell/BurstDwell are the mean dwell times of the two states
+	// (MMPP only).
+	CalmDwell  time.Duration
+	BurstDwell time.Duration
+}
+
+func (a ArrivalSpec) withDefaults() ArrivalSpec {
+	if a.Mean <= 0 {
+		a.Mean = 50 * time.Millisecond
+	}
+	if a.Burst < 1 {
+		a.Burst = 1
+	}
+	if a.CalmDwell <= 0 {
+		a.CalmDwell = 10 * a.Mean
+	}
+	if a.BurstDwell <= 0 {
+		a.BurstDwell = 3 * a.Mean
+	}
+	return a
+}
+
+// arrivalProc is the per-client sampling state of an arrival process.
+type arrivalProc struct {
+	spec     ArrivalSpec
+	rng      *sim.RNG
+	bursting bool
+	// dwellLeft is the remaining time in the current MMPP state.
+	dwellLeft time.Duration
+}
+
+func newArrivalProc(spec ArrivalSpec, rng *sim.RNG) *arrivalProc {
+	p := &arrivalProc{spec: spec.withDefaults(), rng: rng}
+	if p.spec.Kind == MMPP {
+		// Start calm with a fresh dwell; the exponential's memorylessness
+		// makes "fresh" and "stationary residual" the same distribution.
+		p.dwellLeft = p.expDur(p.spec.CalmDwell)
+	}
+	return p
+}
+
+func (p *arrivalProc) expDur(mean time.Duration) time.Duration {
+	return time.Duration(float64(mean) * p.rng.ExpFloat64())
+}
+
+// next returns the gap to this client's next request arrival.
+func (p *arrivalProc) next() time.Duration {
+	if p.spec.Kind != MMPP {
+		return p.expDur(p.spec.Mean)
+	}
+	// Walk through state flips until a draw lands inside the current
+	// state's remaining dwell. Re-drawing the exponential gap after a flip
+	// is exact for a Markov-modulated process (memorylessness again).
+	var acc time.Duration
+	for {
+		if p.dwellLeft <= 0 {
+			p.bursting = !p.bursting
+			if p.bursting {
+				p.dwellLeft = p.expDur(p.spec.BurstDwell)
+			} else {
+				p.dwellLeft = p.expDur(p.spec.CalmDwell)
+			}
+			continue
+		}
+		mean := p.spec.Mean
+		if p.bursting {
+			mean = time.Duration(float64(mean) / p.spec.Burst)
+		}
+		g := p.expDur(mean)
+		if g <= p.dwellLeft {
+			p.dwellLeft -= g
+			return acc + g
+		}
+		acc += p.dwellLeft
+		p.dwellLeft = 0
+	}
+}

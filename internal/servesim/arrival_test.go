@@ -1,0 +1,105 @@
+package servesim
+
+import (
+	"testing"
+	"time"
+
+	"ktau/internal/sim"
+)
+
+func TestPoissonMeanGap(t *testing.T) {
+	spec := ArrivalSpec{Kind: Poisson, Mean: 10 * time.Millisecond}
+	p := newArrivalProc(spec, sim.NewStream(5, "poisson"))
+	const n = 100_000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += p.next()
+	}
+	mean := sum / n
+	if relErr(mean, spec.Mean) > 0.02 {
+		t.Errorf("poisson mean gap = %v, want ~%v", mean, spec.Mean)
+	}
+}
+
+func TestMMPPMeanRateBetweenStates(t *testing.T) {
+	spec := ArrivalSpec{
+		Kind: MMPP, Mean: 10 * time.Millisecond, Burst: 8,
+		CalmDwell: 100 * time.Millisecond, BurstDwell: 30 * time.Millisecond,
+	}
+	p := newArrivalProc(spec, sim.NewStream(6, "mmpp"))
+	const n = 200_000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += p.next()
+	}
+	mean := sum / n
+	// The long-run mean gap must sit strictly between the burst-state gap
+	// (Mean/Burst) and the calm-state gap (Mean), and close to the
+	// theoretical mixture: rate = (calmDwell*calmRate + burstDwell*burstRate)
+	// / (calmDwell + burstDwell).
+	calmRate := 1.0 / float64(spec.Mean)
+	burstRate := spec.Burst / float64(spec.Mean)
+	wCalm := float64(spec.CalmDwell)
+	wBurst := float64(spec.BurstDwell)
+	wantRate := (wCalm*calmRate + wBurst*burstRate) / (wCalm + wBurst)
+	want := time.Duration(1 / wantRate)
+	if relErr(mean, want) > 0.05 {
+		t.Errorf("mmpp mean gap = %v, want ~%v", mean, want)
+	}
+	if mean >= spec.Mean || mean <= spec.Mean/8 {
+		t.Errorf("mmpp mean gap %v not between burst and calm gaps", mean)
+	}
+}
+
+// TestMMPPIsBurstier verifies the point of the MMPP model: with the same
+// long-run rate, per-window arrival counts are overdispersed relative to
+// Poisson (index of dispersion well above 1).
+func TestMMPPIsBurstier(t *testing.T) {
+	dispersion := func(kind ArrivalKind) float64 {
+		spec := ArrivalSpec{
+			Kind: kind, Mean: 5 * time.Millisecond, Burst: 10,
+			CalmDwell: 200 * time.Millisecond, BurstDwell: 50 * time.Millisecond,
+		}
+		p := newArrivalProc(spec, sim.NewStream(9, "burst"))
+		const window = 50 * time.Millisecond
+		const windows = 4000
+		counts := make([]float64, windows)
+		var at time.Duration
+		for {
+			at += p.next()
+			w := int(at / window)
+			if w >= windows {
+				break
+			}
+			counts[w]++
+		}
+		var sum, sq float64
+		for _, c := range counts {
+			sum += c
+		}
+		mean := sum / windows
+		for _, c := range counts {
+			sq += (c - mean) * (c - mean)
+		}
+		return (sq / windows) / mean
+	}
+	pois := dispersion(Poisson)
+	mmpp := dispersion(MMPP)
+	if pois > 1.3 {
+		t.Errorf("poisson dispersion = %.2f, want ~1", pois)
+	}
+	if mmpp < 2 {
+		t.Errorf("mmpp dispersion = %.2f, want clearly overdispersed (>2)", mmpp)
+	}
+}
+
+func TestArrivalDeterminism(t *testing.T) {
+	spec := ArrivalSpec{Kind: MMPP, Mean: 2 * time.Millisecond, Burst: 4}
+	a := newArrivalProc(spec, sim.NewStream(11, "det"))
+	b := newArrivalProc(spec, sim.NewStream(11, "det"))
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.next(), b.next(); ga != gb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ga, gb)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package servesim
+
+import (
+	"encoding/binary"
+	"time"
+
+	"ktau/internal/sim"
+)
+
+// TailRec is the full lifecycle of one request, kept for the slowest
+// requests per (tenant, server node) so tail excursions can be correlated
+// with kernel activity in their exact windows.
+type TailRec struct {
+	Tenant int
+	Node   int // server's cluster node index
+	Client int // global client index within the tenant
+	Seq    uint64
+
+	// Lifecycle instants on the shared virtual clock.
+	Arrival      sim.Time // request generated at the client
+	SendStart    sim.Time // client sender picked it up (gap = send queueing)
+	Admit        sim.Time // server read it off the wire
+	ServiceStart sim.Time // a worker dequeued it
+	ReplySent    sim.Time // worker finished computing, reply enqueued
+	Done         sim.Time // client finished reading the reply
+
+	// Derived durations.
+	Lat     time.Duration // Done - Arrival: the client-observed latency
+	Queue   time.Duration // ServiceStart - Admit: admission-queue delay
+	Service time.Duration // ReplySent - ServiceStart: compute time
+}
+
+// less orders tail records slowest-first with a total, deterministic order.
+func (r TailRec) less(o TailRec) bool {
+	if r.Lat != o.Lat {
+		return r.Lat > o.Lat
+	}
+	if r.Arrival != o.Arrival {
+		return r.Arrival < o.Arrival
+	}
+	if r.Client != o.Client {
+		return r.Client < o.Client
+	}
+	return r.Seq < o.Seq
+}
+
+// tailList keeps the K slowest records in sorted order with a fixed
+// capacity: insertion is a bounded shift, no allocation after construction.
+type tailList struct {
+	recs []TailRec
+	k    int
+}
+
+func (tl *tailList) add(r TailRec) {
+	if tl.k == 0 {
+		return
+	}
+	if len(tl.recs) == tl.k && !r.less(tl.recs[len(tl.recs)-1]) {
+		return
+	}
+	pos := len(tl.recs)
+	for pos > 0 && r.less(tl.recs[pos-1]) {
+		pos--
+	}
+	if len(tl.recs) < tl.k {
+		tl.recs = tl.recs[:len(tl.recs)+1]
+	}
+	copy(tl.recs[pos+1:], tl.recs[pos:])
+	tl.recs[pos] = r
+}
+
+// cell is one (tenant, node) accumulation slot.
+type cell struct {
+	hist  Hist
+	arr   uint64 // requests generated (arrivals)
+	ok    uint64 // completed requests
+	drops uint64 // admission-queue rejections
+	lost  uint64 // replies never seen (faults); latency unknown
+	tails tailList
+}
+
+// Store accumulates per-(tenant, server-node) latency histograms, counters,
+// and slowest-request records. Each load-generator node owns a private
+// shard (all writes are engine-local, no locks); shards merge
+// deterministically at harvest. The record path allocates nothing.
+type Store struct {
+	Tenants int
+	Nodes   int
+	TailK   int
+	cells   []cell
+}
+
+// NewStore returns an empty store covering tenants x nodes cells, keeping
+// the tailK slowest requests per cell.
+func NewStore(tenants, nodes, tailK int) *Store {
+	if tailK < 0 {
+		tailK = 0
+	}
+	s := &Store{Tenants: tenants, Nodes: nodes, TailK: tailK}
+	s.cells = make([]cell, tenants*nodes)
+	for i := range s.cells {
+		s.cells[i].tails = tailList{recs: make([]TailRec, 0, tailK), k: tailK}
+	}
+	return s
+}
+
+func (s *Store) at(tenant, node int) *cell { return &s.cells[tenant*s.Nodes+node] }
+
+// RecordArrival counts a generated request; every arrival ends up exactly
+// once in ok, drops, or lost (the conservation invariant tests check).
+func (s *Store) RecordArrival(tenant, node int) { s.at(tenant, node).arr++ }
+
+// RecordOK folds one completed request into the store.
+func (s *Store) RecordOK(r TailRec) {
+	c := s.at(r.Tenant, r.Node)
+	c.ok++
+	c.hist.Record(r.Lat)
+	c.tails.add(r)
+}
+
+// RecordDrop counts an admission-queue rejection.
+func (s *Store) RecordDrop(tenant, node int) { s.at(tenant, node).drops++ }
+
+// RecordLost counts n requests whose replies never arrived.
+func (s *Store) RecordLost(tenant, node int, n uint64) { s.at(tenant, node).lost += n }
+
+// Hist returns the (tenant, node) latency histogram.
+func (s *Store) Hist(tenant, node int) *Hist { return &s.at(tenant, node).hist }
+
+// TenantHist merges one tenant's per-node histograms into out.
+func (s *Store) TenantHist(tenant int, out *Hist) {
+	for n := 0; n < s.Nodes; n++ {
+		out.Merge(&s.at(tenant, n).hist)
+	}
+}
+
+// Counts returns a (tenant, node) cell's arrival/completed/dropped/lost
+// totals.
+func (s *Store) Counts(tenant, node int) (arr, ok, drops, lost uint64) {
+	c := s.at(tenant, node)
+	return c.arr, c.ok, c.drops, c.lost
+}
+
+// TenantCounts sums a tenant's totals across nodes.
+func (s *Store) TenantCounts(tenant int) (arr, ok, drops, lost uint64) {
+	for n := 0; n < s.Nodes; n++ {
+		c := s.at(tenant, n)
+		arr += c.arr
+		ok += c.ok
+		drops += c.drops
+		lost += c.lost
+	}
+	return
+}
+
+// Tails returns the slowest records of a (tenant, node) cell, slowest
+// first. The returned slice aliases the store.
+func (s *Store) Tails(tenant, node int) []TailRec { return s.at(tenant, node).tails.recs }
+
+// TenantTails returns a tenant's K slowest records across all nodes.
+func (s *Store) TenantTails(tenant int) []TailRec {
+	out := tailList{recs: make([]TailRec, 0, s.TailK), k: s.TailK}
+	for n := 0; n < s.Nodes; n++ {
+		for _, r := range s.at(tenant, n).tails.recs {
+			out.add(r)
+		}
+	}
+	return out.recs
+}
+
+// Merge folds another store of identical shape into this one. Merging is
+// associative: shards combined in any grouping yield the same store.
+func (s *Store) Merge(o *Store) {
+	if o.Tenants != s.Tenants || o.Nodes != s.Nodes {
+		panic("servesim: merging stores of different shapes")
+	}
+	for i := range s.cells {
+		sc, oc := &s.cells[i], &o.cells[i]
+		sc.hist.Merge(&oc.hist)
+		sc.arr += oc.arr
+		sc.ok += oc.ok
+		sc.drops += oc.drops
+		sc.lost += oc.lost
+		for _, r := range oc.tails.recs {
+			sc.tails.add(r)
+		}
+	}
+}
+
+// AppendBinary appends a canonical encoding of every cell (histogram,
+// counters, tail records), used to prove serial and parallel runs produce
+// byte-identical latency stores.
+func (s *Store) AppendBinary(dst []byte) []byte {
+	u64 := func(v uint64) { dst = binary.LittleEndian.AppendUint64(dst, v) }
+	u64(uint64(s.Tenants))
+	u64(uint64(s.Nodes))
+	for i := range s.cells {
+		c := &s.cells[i]
+		dst = c.hist.AppendBinary(dst)
+		u64(c.arr)
+		u64(c.ok)
+		u64(c.drops)
+		u64(c.lost)
+		u64(uint64(len(c.tails.recs)))
+		for _, r := range c.tails.recs {
+			u64(uint64(r.Tenant))
+			u64(uint64(r.Node))
+			u64(uint64(r.Client))
+			u64(r.Seq)
+			u64(uint64(r.Arrival))
+			u64(uint64(r.SendStart))
+			u64(uint64(r.Admit))
+			u64(uint64(r.ServiceStart))
+			u64(uint64(r.ReplySent))
+			u64(uint64(r.Done))
+			u64(uint64(r.Lat))
+			u64(uint64(r.Queue))
+			u64(uint64(r.Service))
+		}
+	}
+	return dst
+}

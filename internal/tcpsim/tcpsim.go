@@ -20,6 +20,7 @@ import (
 	"ktau/internal/kernel"
 	"ktau/internal/ktau"
 	"ktau/internal/netsim"
+	"ktau/internal/sim"
 )
 
 // Params are the TCP path cost parameters, calibrated to a ~450 MHz-era
@@ -85,6 +86,9 @@ type Stack struct {
 
 	irqPending bool
 
+	// open is the number of this stack's endpoints not yet closed.
+	open int
+
 	// Stats counts stack activity.
 	Stats struct {
 		SegsSent, SegsRcvd uint64
@@ -95,6 +99,13 @@ type Stack struct {
 		DupSegs uint64
 		// CorruptSegs counts data segments delivered with damaged payloads.
 		CorruptSegs uint64
+		// ConnsOpened/ConnsClosed count endpoint lifecycle on this stack;
+		// their difference is the live-socket gauge (see OpenConns).
+		ConnsOpened, ConnsClosed uint64
+		// FinsSent/FinsRcvd count teardown notices on the wire.
+		FinsSent, FinsRcvd uint64
+		// IdleCloses counts endpoints reaped by the idle-timeout watchdog.
+		IdleCloses uint64
 	}
 }
 
@@ -126,6 +137,11 @@ func NewStack(k *kernel.Kernel, nic *netsim.NIC, p Params) *Stack {
 // Kernel returns the owning kernel.
 func (s *Stack) Kernel() *kernel.Kernel { return s.k }
 
+// OpenConns reports how many of this stack's endpoints are still open: a
+// leak detector for long-lived connection populations (serving fleets must
+// drain to zero).
+func (s *Stack) OpenConns() int { return s.open }
+
 // Params returns the stack's cost model.
 func (s *Stack) Params() Params { return s.p }
 
@@ -140,6 +156,16 @@ type ackSeg struct {
 	n   int
 }
 
+// finSeg is a teardown notice: the peer closed its end after sending `total`
+// payload bytes. The byte count is the stand-in for TCP's FIN sequence
+// number: readers only observe end-of-stream once every byte the peer sent
+// has been delivered, so a FIN that overtakes data in flight (fault-injected
+// latency jitter can reorder frames) does not truncate the stream.
+type finSeg struct {
+	dst   *Conn
+	total uint64
+}
+
 // Conn is one direction-agnostic endpoint of an established connection.
 type Conn struct {
 	stack *Stack
@@ -152,6 +178,14 @@ type Conn struct {
 	rcvWQ     *kernel.WaitQueue
 	sndWQ     *kernel.WaitQueue
 	owner     *kernel.Task // last task to read from this endpoint
+
+	closed     bool   // local end closed (FIN sent)
+	peerClosed bool   // peer's FIN processed by the softirq
+	finTotal   uint64 // payload bytes the peer had sent when it closed
+	delivered  uint64 // payload bytes delivered into rcvBytes (dups excluded)
+	sentTotal  uint64 // payload bytes this end has sent
+	idleTO     time.Duration
+	lastActive sim.Time
 
 	// Stats counts endpoint traffic.
 	Stats struct {
@@ -175,6 +209,10 @@ func Connect(a, b *Stack) (*Conn, *Conn) {
 	}
 	ca.peer = cb
 	cb.peer = ca
+	a.open++
+	a.Stats.ConnsOpened++
+	b.open++
+	b.Stats.ConnsOpened++
 	return ca, cb
 }
 
@@ -191,8 +229,12 @@ func (c *Conn) Send(u *kernel.UCtx, n int) {
 	if n <= 0 {
 		return
 	}
+	if c.closed {
+		panic("tcpsim: Send on closed connection")
+	}
 	s := c.stack
 	u.Syscall("sys_writev", func(kc *kernel.KCtx) {
+		c.lastActive = kc.Now()
 		kc.Entry(s.evSockSendmsg)
 		kc.Use(s.p.SockSendCost)
 		kc.Entry(s.evTcpSendmsg)
@@ -215,6 +257,7 @@ func (c *Conn) Send(u *kernel.UCtx, n int) {
 			})
 			s.Stats.SegsSent++
 			c.Stats.BytesSent += uint64(chunk)
+			c.sentTotal += uint64(chunk)
 			remaining -= chunk
 		}
 		kc.Exit(s.evTcpSendmsg)
@@ -222,22 +265,41 @@ func (c *Conn) Send(u *kernel.UCtx, n int) {
 	})
 }
 
+// eof reports end-of-stream: the local end is closed, or the peer closed and
+// every byte it ever sent has already been delivered into the receive
+// buffer (so nothing more can arrive).
+func (c *Conn) eof() bool {
+	return c.closed || (c.peerClosed && c.delivered >= c.finTotal)
+}
+
 // Recv reads exactly n bytes from the connection through the syscall +
-// tcp_recvmsg path, blocking (voluntarily) until data arrives. It must be
-// called from the task goroutine that owns u.
-func (c *Conn) Recv(u *kernel.UCtx, n int) {
+// tcp_recvmsg path, blocking (voluntarily) until data arrives. It reports
+// whether the full amount was read: false means end-of-stream — the local
+// end was closed, or the peer closed with fewer than n bytes left. Any
+// buffered remainder short of n has been consumed by then, so framed
+// protocols should only see EOF on a frame boundary. It must be called from
+// the task goroutine that owns u.
+func (c *Conn) Recv(u *kernel.UCtx, n int) bool {
 	if n <= 0 {
-		return
+		return true
 	}
 	s := c.stack
 	c.owner = u.Task()
+	ok := true
 	u.Syscall("sys_read", func(kc *kernel.KCtx) {
 		kc.Entry(s.evTcpRecvmsg)
 		kc.Use(s.p.RecvMsgCost)
 		remaining := n
 		for remaining > 0 {
 			for c.rcvBytes == 0 {
+				if c.eof() {
+					ok = false
+					break
+				}
 				kc.Wait(c.rcvWQ)
+			}
+			if !ok {
+				break
 			}
 			take := c.rcvBytes
 			if take > remaining {
@@ -247,9 +309,11 @@ func (c *Conn) Recv(u *kernel.UCtx, n int) {
 			remaining -= take
 			kc.Use(time.Duration(take) * s.p.RecvCopyPerByte)
 			c.Stats.BytesRcvd += uint64(take)
+			c.lastActive = kc.Now()
 		}
 		kc.Exit(s.evTcpRecvmsg)
 	})
+	return ok
 }
 
 // TakeCorrupt reports and clears the endpoint's corruption taint: whether a
@@ -263,16 +327,16 @@ func (c *Conn) TakeCorrupt() bool {
 }
 
 // RecvTimeout reads exactly n bytes like Recv, but gives up once the
-// deadline d passes without the full amount being available. Nothing is
-// consumed on timeout, so a retry sees the byte stream intact. It reports
-// whether the read completed; d <= 0 means no deadline.
+// deadline d passes without the full amount being available, or immediately
+// on end-of-stream. Nothing is consumed on either failure, so a retry sees
+// the byte stream intact. It reports whether the read completed; d <= 0
+// means no deadline.
 func (c *Conn) RecvTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
 	if n <= 0 {
 		return true
 	}
 	if d <= 0 {
-		c.Recv(u, n)
-		return true
+		return c.Recv(u, n)
 	}
 	s := c.stack
 	c.owner = u.Task()
@@ -288,7 +352,7 @@ func (c *Conn) RecvTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
 		// unrelated later sleep.
 		ev := s.k.Engine().At(deadline, func() { s.k.Wake(t) })
 		for c.rcvBytes < n {
-			if kc.Now() >= deadline {
+			if kc.Now() >= deadline || (c.eof() && c.rcvBytes < n) {
 				ok = false
 				break
 			}
@@ -299,6 +363,7 @@ func (c *Conn) RecvTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
 			c.rcvBytes -= n
 			kc.Use(time.Duration(n) * s.p.RecvCopyPerByte)
 			c.Stats.BytesRcvd += uint64(n)
+			c.lastActive = kc.Now()
 		}
 		kc.Exit(s.evTcpRecvmsg)
 	})
@@ -315,6 +380,9 @@ func (c *Conn) SendTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
 	if n <= 0 {
 		return true
 	}
+	if c.closed {
+		panic("tcpsim: SendTimeout on closed connection")
+	}
 	if d <= 0 {
 		c.Send(u, n)
 		return true
@@ -322,6 +390,7 @@ func (c *Conn) SendTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
 	s := c.stack
 	ok := true
 	u.Syscall("sys_writev", func(kc *kernel.KCtx) {
+		c.lastActive = kc.Now()
 		kc.Entry(s.evSockSendmsg)
 		kc.Use(s.p.SockSendCost)
 		kc.Entry(s.evTcpSendmsg)
@@ -355,12 +424,104 @@ func (c *Conn) SendTimeout(u *kernel.UCtx, n int, d time.Duration) bool {
 			})
 			s.Stats.SegsSent++
 			c.Stats.BytesSent += uint64(chunk)
+			c.sentTotal += uint64(chunk)
 			remaining -= chunk
 		}
 		kc.Exit(s.evTcpSendmsg)
 		kc.Exit(s.evSockSendmsg)
 	})
 	return ok
+}
+
+// Close gracefully closes this endpoint: a FIN carrying the final payload
+// byte count goes to the peer, blocked local readers are released (they
+// observe EOF), and the simulated socket is released from the stack's open
+// count. Close is idempotent and does not recall in-flight data — the peer
+// reads everything sent before the close, then sees end-of-stream. It must
+// be called from the task goroutine that owns u.
+func (c *Conn) Close(u *kernel.UCtx) {
+	if c.closed {
+		return
+	}
+	s := c.stack
+	u.Syscall("sys_close", func(kc *kernel.KCtx) {
+		kc.Use(s.p.SockSendCost)
+		c.closeLocal(false)
+	})
+}
+
+// closeLocal performs the shared teardown. It runs either inside a task's
+// sys_close or directly from the idle-timeout engine event; the idle path is
+// an asynchronous kernel-side reap (like a keepalive timer) whose cost is
+// charged to no process.
+func (c *Conn) closeLocal(idle bool) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	s := c.stack
+	spec := s.netSpec()
+	s.nic.Send(netsim.Frame{
+		Dst:     c.peer.stack.k.Node,
+		Bytes:   spec.FrameOverheadBytes,
+		Payload: finSeg{dst: c.peer, total: c.sentTotal},
+	})
+	s.Stats.FinsSent++
+	if idle {
+		s.Stats.IdleCloses++
+	}
+	s.open--
+	s.Stats.ConnsClosed++
+	// Release blocked readers on the dead endpoint so they observe EOF.
+	c.rcvWQ.WakeAll(s.k)
+	c.sndWQ.WakeAll(s.k)
+}
+
+// Closed reports whether the local end has been closed.
+func (c *Conn) Closed() bool { return c.closed }
+
+// PeerClosed reports whether the peer's FIN has been processed.
+func (c *Conn) PeerClosed() bool { return c.peerClosed }
+
+// EOF reports whether reads can no longer make progress (see eof).
+func (c *Conn) EOF() bool { return c.eof() }
+
+// SetIdleTimeout arms a watchdog that reaps the endpoint after d of
+// inactivity (no send, no delivery, no read, and an empty receive buffer).
+// It is the backstop that keeps long-lived open-loop client connections from
+// leaking simulated sockets when their owner wanders off; the reap is a
+// kernel-side close, so the peer still sees an orderly FIN. d <= 0 disables
+// the watchdog for this endpoint.
+func (c *Conn) SetIdleTimeout(d time.Duration) {
+	c.idleTO = d
+	if d <= 0 || c.closed {
+		return
+	}
+	c.lastActive = c.stack.k.Engine().Now()
+	c.armIdle()
+}
+
+// armIdle schedules the next watchdog check at the earliest instant the
+// endpoint could have been idle for the full timeout. Stale checks re-arm
+// rather than cancel, so no timer handles need tracking.
+func (c *Conn) armIdle() {
+	eng := c.stack.k.Engine()
+	eng.At(c.lastActive.Add(c.idleTO), func() {
+		if c.closed || c.idleTO <= 0 || c.stack.k.Crashed() {
+			return
+		}
+		now := eng.Now()
+		if now >= c.lastActive.Add(c.idleTO) {
+			if c.rcvBytes == 0 {
+				c.closeLocal(true)
+				return
+			}
+			// Data is buffered but unread: treat the delivery as the last
+			// activity and give the reader one more full timeout.
+			c.lastActive = now
+		}
+		c.armIdle()
+	})
 }
 
 // rxInterrupt raises the device IRQ for pending frames, coalescing while an
@@ -407,6 +568,8 @@ func (s *Stack) netRxAction(b *kernel.BHCtx) {
 				c.corrupt = true
 			}
 			c.rcvBytes += pl.n
+			c.delivered += uint64(pl.n)
+			c.lastActive = s.k.Engine().Now()
 			s.Stats.SegsRcvd++
 			// Delayed acks: a window-credit ack returns once roughly two
 			// segments' worth of data has accumulated. (The residual below
@@ -431,6 +594,22 @@ func (s *Stack) netRxAction(b *kernel.BHCtx) {
 			s.Stats.AcksRcvd++
 			cpu := b.CPU().ID
 			b.Defer(func() { c.sndWQ.WakeAllFrom(s.k, cpu) })
+		case finSeg:
+			b.Span(s.evTcpV4Rcv, s.p.AckCost)
+			c := pl.dst
+			if f.Dup {
+				s.Stats.DupSegs++
+				continue
+			}
+			if !c.peerClosed {
+				c.peerClosed = true
+				c.finTotal = pl.total
+				s.Stats.FinsRcvd++
+			}
+			// Wake blocked readers: if the stream is fully delivered they
+			// observe EOF; otherwise they go back to waiting for the tail.
+			cpu := b.CPU().ID
+			b.Defer(func() { c.rcvWQ.WakeAllFrom(s.k, cpu) })
 		}
 	}
 	// Budget exhausted with frames remaining: re-raise the interrupt.

@@ -330,3 +330,134 @@ func TestManySmallMessagesLatency(t *testing.T) {
 		}
 	}
 }
+
+func TestCloseDeliversEOFAfterData(t *testing.T) {
+	eng, a, b := rig(t, nil, nil)
+	ab, ba := Connect(a, b)
+	if a.OpenConns() != 1 || b.OpenConns() != 1 {
+		t.Fatalf("open conns = %d/%d, want 1/1", a.OpenConns(), b.OpenConns())
+	}
+	const n = 5_000
+	var tailOK, eofOK bool
+	sender := a.Kernel().Spawn("sender", func(u *kernel.UCtx) {
+		ab.Send(u, n)
+		ab.Close(u)
+	}, kernel.SpawnOpts{})
+	receiver := b.Kernel().Spawn("receiver", func(u *kernel.UCtx) {
+		tailOK = ba.Recv(u, n)
+		eofOK = ba.Recv(u, 1)
+		ba.Close(u)
+	}, kernel.SpawnOpts{})
+	drive(t, eng, time.Second, sender, receiver)
+	// Let the last FIN cross the wire and be processed by the softirq.
+	settle := eng.Now().Add(50 * time.Millisecond)
+	for eng.Now() < settle && eng.Step() {
+	}
+
+	if !tailOK {
+		t.Error("data before FIN should be fully readable")
+	}
+	if eofOK {
+		t.Error("read past FIN should report EOF")
+	}
+	if a.OpenConns() != 0 || b.OpenConns() != 0 {
+		t.Errorf("open conns after close = %d/%d, want 0/0", a.OpenConns(), b.OpenConns())
+	}
+	if a.Stats.FinsSent != 1 || b.Stats.FinsRcvd != 1 || b.Stats.FinsSent != 1 || a.Stats.FinsRcvd != 1 {
+		t.Errorf("fin counts: a sent=%d rcvd=%d, b sent=%d rcvd=%d",
+			a.Stats.FinsSent, a.Stats.FinsRcvd, b.Stats.FinsSent, b.Stats.FinsRcvd)
+	}
+	if !ba.Closed() || !ba.PeerClosed() || !ab.Closed() {
+		t.Error("close state not fully propagated")
+	}
+}
+
+func TestCloseWakesBlockedReader(t *testing.T) {
+	eng, a, b := rig(t, nil, nil)
+	ab, ba := Connect(a, b)
+	got := true
+	receiver := b.Kernel().Spawn("receiver", func(u *kernel.UCtx) {
+		got = ba.Recv(u, 100) // blocks: no data will ever come
+	}, kernel.SpawnOpts{})
+	closer := a.Kernel().Spawn("closer", func(u *kernel.UCtx) {
+		u.Sleep(5 * time.Millisecond)
+		ab.Close(u)
+	}, kernel.SpawnOpts{})
+	drive(t, eng, time.Second, receiver, closer)
+	if got {
+		t.Error("blocked reader should observe EOF, not complete")
+	}
+}
+
+func TestRecvTimeoutSeesEOFBeforeDeadline(t *testing.T) {
+	eng, a, b := rig(t, nil, nil)
+	ab, ba := Connect(a, b)
+	var done sim.Time
+	got := true
+	receiver := b.Kernel().Spawn("receiver", func(u *kernel.UCtx) {
+		got = ba.RecvTimeout(u, 100, 10*time.Second)
+		done = u.Now()
+	}, kernel.SpawnOpts{})
+	closer := a.Kernel().Spawn("closer", func(u *kernel.UCtx) {
+		ab.Close(u)
+	}, kernel.SpawnOpts{})
+	drive(t, eng, 15*time.Second, receiver, closer)
+	if got {
+		t.Error("RecvTimeout should fail on EOF")
+	}
+	if done.Duration() >= 10*time.Second {
+		t.Errorf("RecvTimeout waited for the deadline (%v) instead of bailing at EOF", done.Duration())
+	}
+}
+
+func TestIdleTimeoutReapsAbandonedConn(t *testing.T) {
+	eng, a, b := rig(t, nil, nil)
+	ab, ba := Connect(a, b)
+	ab.SetIdleTimeout(50 * time.Millisecond)
+	ba.SetIdleTimeout(50 * time.Millisecond)
+	limit := eng.Now().Add(500 * time.Millisecond)
+	for eng.Now() < limit && eng.Step() {
+	}
+	if !ab.Closed() || !ba.Closed() {
+		t.Fatal("abandoned endpoints should be reaped by the idle watchdog")
+	}
+	if a.OpenConns() != 0 || b.OpenConns() != 0 {
+		t.Errorf("open conns = %d/%d, want 0/0", a.OpenConns(), b.OpenConns())
+	}
+	if a.Stats.IdleCloses != 1 || b.Stats.IdleCloses != 1 {
+		t.Errorf("idle closes = %d/%d, want 1/1", a.Stats.IdleCloses, b.Stats.IdleCloses)
+	}
+}
+
+func TestIdleTimeoutSparesActiveConn(t *testing.T) {
+	eng, a, b := rig(t, nil, nil)
+	ab, ba := Connect(a, b)
+	ab.SetIdleTimeout(50 * time.Millisecond)
+	ba.SetIdleTimeout(50 * time.Millisecond)
+	const rounds, chunk = 5, 2_000
+	sender := a.Kernel().Spawn("sender", func(u *kernel.UCtx) {
+		for i := 0; i < rounds; i++ {
+			u.Sleep(30 * time.Millisecond) // under the timeout, but close
+			ab.Send(u, chunk)
+		}
+	}, kernel.SpawnOpts{})
+	receiver := b.Kernel().Spawn("receiver", func(u *kernel.UCtx) {
+		for i := 0; i < rounds; i++ {
+			if !ba.Recv(u, chunk) {
+				t.Error("active connection reaped mid-transfer")
+				return
+			}
+		}
+	}, kernel.SpawnOpts{})
+	drive(t, eng, time.Second, sender, receiver)
+	if ba.Stats.BytesRcvd != rounds*chunk {
+		t.Errorf("bytes received = %d, want %d", ba.Stats.BytesRcvd, rounds*chunk)
+	}
+	// After the traffic stops both ends go quiet and the watchdog reaps them.
+	limit := eng.Now().Add(500 * time.Millisecond)
+	for eng.Now() < limit && eng.Step() {
+	}
+	if a.OpenConns() != 0 || b.OpenConns() != 0 {
+		t.Errorf("open conns after quiesce = %d/%d, want 0/0", a.OpenConns(), b.OpenConns())
+	}
+}

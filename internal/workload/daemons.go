@@ -30,6 +30,21 @@ func OverheadDaemon() DaemonSpec {
 	return DaemonSpec{Name: "overhead", Period: 10 * time.Second, Busy: 3 * time.Second}
 }
 
+// NoisyNeighbor is a serving-cluster antagonist: a batch-style process that
+// wakes every 10 ms and burns 45 ms of CPU — roughly 80% of one processor,
+// enough to visibly stretch request tails on a shared node without starving
+// the serving tasks outright. The serve experiment plants one of these on a
+// single server node and expects the tail-latency attribution to finger it.
+func NoisyNeighbor(name string) DaemonSpec {
+	return DaemonSpec{
+		Name:       name,
+		Period:     10 * time.Millisecond,
+		Busy:       45 * time.Millisecond,
+		Jitter:     0.25,
+		StartDelay: 30 * time.Millisecond,
+	}
+}
+
 // StartDaemon spawns the daemon on a node. It runs until kernel shutdown.
 func StartDaemon(k *kernel.Kernel, spec DaemonSpec) *kernel.Task {
 	return k.Spawn(spec.Name, func(u *kernel.UCtx) {

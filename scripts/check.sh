@@ -45,8 +45,23 @@ echo "== go test -race (trace pipeline + cluster-trace determinism) =="
 go test -race ./internal/tracepipe/
 go test -race ./internal/experiments/ -run TestClusterTraceParallelMatchesSerial
 
+echo "== go test -race (serving workload + serve serial/parallel cross-check) =="
+go test -race ./internal/tcpsim/ ./internal/servesim/
+go test -race ./internal/experiments/ -run TestServeParallelMatchesSerialByteForByte
+
 echo "== fault-plan smoke test =="
 go run ./cmd/ktau-exp -exp faults -ranks 8 > /dev/null
+
+echo "== serving-workload smoke test (rogue daemon must be fingered) =="
+serve_out=$(go run ./cmd/ktau-exp -exp serve -ranks 8)
+case "$serve_out" in
+*"fingered as the top competing process"*) ;;
+*)
+    echo "check.sh: serve smoke run did not finger the rogue daemon" >&2
+    echo "$serve_out" >&2
+    exit 1
+    ;;
+esac
 
 echo "== trace-pipeline smoke test (merged trace must be valid JSON with flow events) =="
 trace_tmp=$(mktemp /tmp/ktau_trace_XXXXXX.json)
@@ -79,5 +94,30 @@ if ! awk "BEGIN { exit !($speedup >= 1.25) }"; then
     exit 1
 fi
 echo "serial Chiba speedup over seed baseline: ${speedup}x"
+
+echo "== serving-workload benchmark (writes BENCH_serve.json, gates p99 and req/s) =="
+go test -run '^$' -bench BenchmarkServe -benchtime=1x .
+if [ ! -f BENCH_serve.json ]; then
+    echo "check.sh: BENCH_serve.json was not written" >&2
+    exit 1
+fi
+# Both metrics are virtual-time quantities, deterministic for the benchmark's
+# fixed seed: the tail may not stretch more than 25% past the recorded
+# baseline, and completed throughput may not drop below 80% of it.
+p99_ratio=$(sed -n 's/.*"p99_ratio": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+rps_ratio=$(sed -n 's/.*"rps_ratio": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+if [ -z "$p99_ratio" ] || [ -z "$rps_ratio" ]; then
+    echo "check.sh: serve ratios missing from BENCH_serve.json" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($p99_ratio <= 1.25) }"; then
+    echo "check.sh: serving p99 regressed: ${p99_ratio}x over recorded baseline (limit 1.25x)" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($rps_ratio >= 0.80) }"; then
+    echo "check.sh: serving throughput regressed: ${rps_ratio}x of recorded baseline (floor 0.80x)" >&2
+    exit 1
+fi
+echo "serving benchmark vs baseline: p99 ${p99_ratio}x, throughput ${rps_ratio}x"
 
 echo "check.sh: all green"
