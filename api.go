@@ -705,13 +705,56 @@ func RunClusterTrace(ranks int, seed uint64) *ClusterTraceResult {
 }
 
 // TraceOverheadResult quantifies the observation pipelines' own
-// perturbation (collection off vs profile-only vs profile+trace).
+// perturbation (collection off / profile-only / full trace / sampled /
+// adaptive).
 type TraceOverheadResult = experiments.TraceOverheadResult
 
-// RunTraceOverhead reruns one Chiba workload under the three collection
-// configurations and reports the per-layer slowdown.
+// RunTraceOverhead reruns one Chiba workload under the collection
+// configurations of the perturbation sweep and reports each slowdown.
 func RunTraceOverhead(ranks int, seed uint64) *TraceOverheadResult {
 	return experiments.RunTraceOverhead(ranks, seed)
+}
+
+// ---- adaptive (always-on) tracing ----
+
+// TracePolicy is one node's trace-collection policy: which event groups the
+// agent keeps, and at what probability.
+type TracePolicy = tracepipe.Policy
+
+// TraceAdaptive enables deterministic sampling and backlog throttling on
+// every trace agent.
+type TraceAdaptive = tracepipe.Adaptive
+
+// TraceFocusConfig runs the collector-driven focus loop: nodes the OS-noise
+// detector flags get full-fidelity tracing, everyone else stays sampled.
+type TraceFocusConfig = tracepipe.FocusConfig
+
+// TraceFullPolicy traces every group at full rate — what the focus loop
+// pushes to flagged nodes by default.
+func TraceFullPolicy() TracePolicy { return tracepipe.FullPolicy() }
+
+// AdaptiveTraceConfig returns the always-on trace-pipeline configuration:
+// sampling at the given base rate, default backlog throttling, and the
+// collector-driven focus loop.
+func AdaptiveTraceConfig(rate float64) *TracePipeConfig {
+	return experiments.AdaptiveTraceConfig(rate)
+}
+
+// RunClusterTraceAdaptive is RunClusterTrace with the adaptive pipeline:
+// sampling at the given base rate, backlog throttling, and the focus loop.
+func RunClusterTraceAdaptive(ranks int, seed uint64, rate float64) *ClusterTraceResult {
+	return experiments.RunClusterTraceAdaptive(ranks, seed, rate)
+}
+
+// TraceDetectionResult pairs the online detector's verdict with the
+// trace-side evidence for one collection configuration.
+type TraceDetectionResult = experiments.TraceDetectionResult
+
+// RunTraceDetection plants the §5.1 OS-noise daemon on one node of a
+// monitored, traced run and reports how both views see it under the given
+// trace configuration (nil = full tracing).
+func RunTraceDetection(ranks int, seed uint64, noisy int, tcfg *TracePipeConfig) *TraceDetectionResult {
+	return experiments.RunTraceDetection(ranks, seed, noisy, tcfg)
 }
 
 // TraceChibaSpec returns the standard configuration for a traced cluster

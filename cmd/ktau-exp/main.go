@@ -38,12 +38,20 @@ var experimentOrder = []string{
 	"faults",  // monitored run under an injected fault plan, not a paper table/figure
 	"serve",   // multi-tenant serving workload with tail-latency attribution
 	"trace",   // cluster-wide streaming trace pipeline (merged Perfetto trace)
-	"traceov", // trace-pipeline perturbation study (off/profile/profile+trace)
+	"traceov", // trace-pipeline perturbation sweep (off/profile/full/sampled/adaptive)
 }
 
 // traceOut is the -trace-out path; when set, the trace experiment writes
 // the merged cluster trace there and validates the emitted JSON.
 var traceOut string
+
+// traceRate / traceAdaptive select the adaptive pipeline for the trace
+// experiment: -trace-adaptive (or any -trace-rate below 1) swaps in
+// sampling, backlog throttling and the collector-driven focus loop.
+var (
+	traceRate     float64
+	traceAdaptive bool
+)
 
 var experimentRunners = map[string]runner{
 	"table2":  func(ranks int, out io.Writer) { ktau.RunTable2(ranks, 1).Render(out) },
@@ -71,7 +79,12 @@ var experimentRunners = map[string]runner{
 // merged Chrome trace and verifies it: the file must parse as JSON and
 // contain at least one correlated MPI flow event.
 func runTrace(ranks int, out io.Writer) {
-	res := ktau.RunClusterTrace(ranks, 1)
+	var res *ktau.ClusterTraceResult
+	if traceAdaptive || traceRate < 1 {
+		res = ktau.RunClusterTraceAdaptive(ranks, 1, traceRate)
+	} else {
+		res = ktau.RunClusterTrace(ranks, 1)
+	}
 	res.Render(out)
 	if traceOut == "" {
 		return
@@ -122,6 +135,10 @@ func main() {
 	workers := flag.Int("workers", 0, "host worker goroutines with -parallel (0 = GOMAXPROCS)")
 	flag.StringVar(&traceOut, "trace-out", "",
 		"write the merged cluster trace (Perfetto-loadable JSON) to this file (trace experiment)")
+	flag.Float64Var(&traceRate, "trace-rate", 1,
+		"adaptive sampling rate for the trace experiment (below 1 enables the adaptive pipeline)")
+	flag.BoolVar(&traceAdaptive, "trace-adaptive", false,
+		"run the trace experiment with the adaptive pipeline (sampling, throttling, focus loop)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()

@@ -117,6 +117,21 @@ func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
 	var tp *tracepipe.Pipeline
 	if opts.Trace != nil {
 		tcfg := *opts.Trace
+		if tcfg.Focus != nil {
+			// The focus loop watches the profile pipeline's detector; wire the
+			// deployment we just made unless the caller supplied its own.
+			fc := *tcfg.Focus
+			if fc.Store == nil {
+				fc.Store = pm.Store()
+			}
+			if fc.RankPrefix == "" {
+				fc.RankPrefix = pcfg.RankPrefix
+			}
+			if fc.Detect == (perfmon.DetectConfig{}) {
+				fc.Detect = pm.Config().Detect
+			}
+			tcfg.Focus = &fc
+		}
 		wireTraceSources(&tcfg, spec, w)
 		tp, err = tracepipe.Deploy(c, tcfg)
 		if err != nil {

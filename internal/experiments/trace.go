@@ -10,6 +10,7 @@ import (
 	"ktau/internal/mpisim"
 	"ktau/internal/perfmon"
 	"ktau/internal/tracepipe"
+	"ktau/internal/workload"
 )
 
 // wireTraceSources points a tracepipe deployment at the MPI job: each node's
@@ -101,32 +102,75 @@ func TraceChibaSpec(ranks int, seed uint64) (ChibaSpec, LiveOptions) {
 	return spec, opts
 }
 
+// AdaptiveTraceConfig returns the production ("always-on") trace-pipeline
+// configuration: deterministic sampling of every event group at the given
+// base rate, backlog throttling at the defaults, and the collector-driven
+// focus loop (flagged nodes get full tracing; RunChibaLive wires the
+// detector's store and rank prefix automatically).
+func AdaptiveTraceConfig(rate float64) *tracepipe.Config {
+	return &tracepipe.Config{
+		Interval: 25 * time.Millisecond,
+		Adaptive: &tracepipe.Adaptive{
+			Base: tracepipe.Policy{Groups: ktau.GroupAll, Rate: rate},
+		},
+		Focus: &tracepipe.FocusConfig{Interval: 100 * time.Millisecond},
+	}
+}
+
+// AdaptiveChibaSpec is TraceChibaSpec with the adaptive pipeline swapped in,
+// throttle thresholds tightened so the fault plan actually drives the state
+// machine through degrade/recover transitions. Shared by the adaptive
+// determinism test and RunClusterTraceAdaptive.
+func AdaptiveChibaSpec(ranks int, seed uint64, rate float64) (ChibaSpec, LiveOptions) {
+	spec, opts := TraceChibaSpec(ranks, seed)
+	cfg := AdaptiveTraceConfig(rate)
+	cfg.Adaptive.ThrottleHigh = 512
+	cfg.Adaptive.ThrottleLow = 128
+	opts.Trace = cfg
+	return spec, opts
+}
+
 // ClusterTraceResult is the outcome of one traced cluster run.
 type ClusterTraceResult struct {
 	Live *LiveResult
 	// Records / MsgEvents total what the collector ingested.
 	Records   uint64
 	MsgEvents uint64
+	// SampledOut totals the records the sampling policies discarded (0 on
+	// non-adaptive runs).
+	SampledOut uint64
 	// Flows are the correlated MPI send→recv pairs.
 	Flows []tracepipe.Flow
 	// Stats are the per-node pipeline self-metrics (loss, drops, backlog).
 	Stats []tracepipe.NodeStats
 }
 
+func clusterTraceResult(live *LiveResult) *ClusterTraceResult {
+	store := live.Trace.Store()
+	recs, msgs := store.Totals()
+	return &ClusterTraceResult{
+		Live:       live,
+		Records:    recs,
+		MsgEvents:  msgs,
+		SampledOut: store.SampledOut(),
+		Flows:      store.Flows(),
+		Stats:      store.Stats(),
+	}
+}
+
 // RunClusterTrace executes the standard traced cluster run (fault-injected,
 // live-monitored) and returns the merged whole-cluster trace state.
 func RunClusterTrace(ranks int, seed uint64) *ClusterTraceResult {
 	spec, opts := TraceChibaSpec(ranks, seed)
-	live := RunChibaLive(spec, opts)
-	store := live.Trace.Store()
-	recs, msgs := store.Totals()
-	return &ClusterTraceResult{
-		Live:      live,
-		Records:   recs,
-		MsgEvents: msgs,
-		Flows:     store.Flows(),
-		Stats:     store.Stats(),
-	}
+	return clusterTraceResult(RunChibaLive(spec, opts))
+}
+
+// RunClusterTraceAdaptive is RunClusterTrace with the adaptive pipeline:
+// sampling at the given base rate, backlog throttling, and the
+// collector-driven focus loop.
+func RunClusterTraceAdaptive(ranks int, seed uint64, rate float64) *ClusterTraceResult {
+	spec, opts := AdaptiveChibaSpec(ranks, seed, rate)
+	return clusterTraceResult(RunChibaLive(spec, opts))
 }
 
 // WriteTrace writes the merged whole-cluster Chrome trace (Perfetto-loadable).
@@ -137,8 +181,8 @@ func (r *ClusterTraceResult) WriteTrace(w io.Writer) error {
 // Render prints the traced run's summary: collection volume, flow
 // correlation, and per-node self-metrics.
 func (r *ClusterTraceResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "Cluster trace: %d records, %d MPI endpoint events, %d correlated flows\n",
-		r.Records, r.MsgEvents, len(r.Flows))
+	fmt.Fprintf(w, "Cluster trace: %d records, %d MPI endpoint events, %d correlated flows, %d sampled out\n",
+		r.Records, r.MsgEvents, len(r.Flows), r.SampledOut)
 	fmt.Fprintf(w, "collector=node%d failovers=%d drained=%v\n",
 		r.Live.Trace.CollectorNode(), r.Live.Trace.Failovers(), r.TraceDrainedOK())
 	rows := make([][]string, 0, len(r.Stats))
@@ -149,6 +193,8 @@ func (r *ClusterTraceResult) Render(w io.Writer) {
 			fmt.Sprintf("%d", s.KernRecords),
 			fmt.Sprintf("%d", s.UserRecords),
 			fmt.Sprintf("%d", s.KernRingLost+s.UserRingLost),
+			fmt.Sprintf("%d", s.KernSampledOut+s.UserSampledOut),
+			fmt.Sprintf("%d", s.ThrottlePeak),
 			fmt.Sprintf("%d", s.ReadErrs),
 			fmt.Sprintf("%d/%d", s.AgentDroppedFrames, s.SinkDroppedFrames),
 			fmt.Sprintf("%d", s.BacklogPeak),
@@ -157,8 +203,8 @@ func (r *ClusterTraceResult) Render(w io.Writer) {
 		})
 	}
 	analysis.Table(w, []string{
-		"Node", "Frames", "KernRecs", "UserRecs", "RingLost", "ReadErrs",
-		"Drops a/s", "BacklogPk", "WireBytes", "Down",
+		"Node", "Frames", "KernRecs", "UserRecs", "RingLost", "Sampled", "ThrPk",
+		"ReadErrs", "Drops a/s", "BacklogPk", "WireBytes", "Down",
 	}, rows)
 }
 
@@ -171,25 +217,45 @@ func (r *ClusterTraceResult) TraceDrainedOK() bool { return r.Live.TraceDrained 
 // TraceOverheadRow is one collection configuration's outcome.
 type TraceOverheadRow struct {
 	Config string
-	Exec   time.Duration
+	// Rate is the trace sampling rate in effect (1 = full tracing; 0 for
+	// configurations that collect no traces). Adaptive marks the
+	// throttle+focus configuration.
+	Rate     float64
+	Adaptive bool
+	Exec     time.Duration
 	// SlowPct is slowdown versus the uninstrumented-collection baseline,
 	// clamped at 0 as the paper reports.
 	SlowPct float64
-	// Records / WireBytes count what the deployed pipelines shipped.
-	Records   uint64
-	WireBytes uint64
+	// Records / WireBytes count what the deployed pipelines shipped;
+	// SampledOut what the sampling policies deliberately discarded.
+	Records    uint64
+	SampledOut uint64
+	WireBytes  uint64
 }
 
 // TraceOverheadResult quantifies the observation pipelines' own
-// perturbation: the same job run with collection off, with the profile
-// pipeline only, and with profile + streaming trace collection.
+// perturbation as a sampling-rate sweep: the same job run with collection
+// off, with the profile pipeline only, with full tracing, with fixed-rate
+// sampled tracing, and with the full adaptive (sampled + throttled +
+// focused) configuration that is meant to stay on in production.
 type TraceOverheadResult struct {
 	Ranks int
 	Rows  []TraceOverheadRow
 }
 
-// RunTraceOverhead reruns one Chiba workload under the three collection
-// configurations and reports the per-layer slowdown.
+// Row returns the named configuration's row (nil if absent).
+func (t *TraceOverheadResult) Row(config string) *TraceOverheadRow {
+	for i := range t.Rows {
+		if t.Rows[i].Config == config {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RunTraceOverhead reruns one Chiba workload across the collection
+// configurations and reports the per-layer slowdown. The adaptive row is
+// the ROADMAP target: Profile+Trace(adaptive) must stay under 5%.
 func RunTraceOverhead(ranks int, seed uint64) *TraceOverheadResult {
 	base := DefaultChiba(ranks, 1)
 	base.Seed = seed
@@ -214,26 +280,45 @@ func RunTraceOverhead(ranks int, seed uint64) *TraceOverheadResult {
 		Config: "Profile", Exec: prof.Exec, WireBytes: profWire,
 	})
 
-	// Profile+Trace: trace rings enabled, ktraced agents drain and ship
-	// records alongside the profile pipeline.
-	tspec := base
-	tspec.TraceCapacity = 4096
-	trace := RunChibaLive(tspec, LiveOptions{
-		PerfMon: perfmon.Config{Interval: 20 * time.Millisecond},
-		Trace:   &tracepipe.Config{Interval: 25 * time.Millisecond},
-	})
-	var traceWire, traceRecs uint64
-	for _, n := range trace.LiveNodes {
-		traceWire += n.WireBytes
+	// Traced configurations: ktraced agents drain and ship records
+	// alongside the profile pipeline, under one policy per row.
+	runTraced := func(name string, rate float64, adaptive bool, tcfg *tracepipe.Config) {
+		tspec := base
+		tspec.TraceCapacity = 4096
+		trace := RunChibaLive(tspec, LiveOptions{
+			PerfMon: perfmon.Config{Interval: 20 * time.Millisecond},
+			Trace:   tcfg,
+		})
+		var wire uint64
+		for _, n := range trace.LiveNodes {
+			wire += n.WireBytes
+		}
+		store := trace.Trace.Store()
+		for _, s := range store.Stats() {
+			wire += s.WireBytes
+		}
+		recs, _ := store.Totals()
+		res.Rows = append(res.Rows, TraceOverheadRow{
+			Config: name, Rate: rate, Adaptive: adaptive, Exec: trace.Exec,
+			Records: recs, SampledOut: store.SampledOut(), WireBytes: wire,
+		})
 	}
-	for _, s := range trace.Trace.Store().Stats() {
-		traceWire += s.WireBytes
+
+	runTraced("Profile+Trace", 1, false,
+		&tracepipe.Config{Interval: 25 * time.Millisecond})
+	for _, rate := range []float64{0.25, 0.05} {
+		// Fixed-rate rows isolate the sampling effect: throttling disabled
+		// (MaxLevel -1), no focus loop.
+		runTraced(fmt.Sprintf("Profile+Trace(r=%g)", rate), rate, false,
+			&tracepipe.Config{
+				Interval: 25 * time.Millisecond,
+				Adaptive: &tracepipe.Adaptive{
+					Base:     tracepipe.Policy{Groups: ktau.GroupAll, Rate: rate},
+					MaxLevel: -1,
+				},
+			})
 	}
-	traceRecs, _ = trace.Trace.Store().Totals()
-	res.Rows = append(res.Rows, TraceOverheadRow{
-		Config: "Profile+Trace", Exec: trace.Exec,
-		Records: traceRecs, WireBytes: traceWire,
-	})
+	runTraced("Profile+Trace(adaptive)", 0.05, true, AdaptiveTraceConfig(0.05))
 
 	baseExec := res.Rows[0].Exec.Seconds()
 	for i := range res.Rows {
@@ -248,16 +333,97 @@ func RunTraceOverhead(ranks int, seed uint64) *TraceOverheadResult {
 
 // Render prints the overhead table.
 func (t *TraceOverheadResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "Trace pipeline perturbation, NPB LU (%d ranks)\n", t.Ranks)
+	fmt.Fprintf(w, "Trace pipeline perturbation sweep, NPB LU (%d ranks)\n", t.Ranks)
 	rows := make([][]string, 0, len(t.Rows))
 	for _, r := range t.Rows {
+		rate := "-"
+		if r.Rate > 0 {
+			rate = fmt.Sprintf("%g", r.Rate)
+		}
 		rows = append(rows, []string{
 			r.Config,
+			rate,
 			fmt.Sprintf("%.3f", r.Exec.Seconds()),
 			fmt.Sprintf("%.2f%%", r.SlowPct),
 			fmt.Sprintf("%d", r.Records),
+			fmt.Sprintf("%d", r.SampledOut),
 			fmt.Sprintf("%d", r.WireBytes),
 		})
 	}
-	analysis.Table(w, []string{"Config", "Exec (s)", "%Slowdown", "TraceRecs", "WireBytes"}, rows)
+	analysis.Table(w, []string{
+		"Config", "Rate", "Exec (s)", "%Slowdown", "TraceRecs", "SampledOut", "WireBytes",
+	}, rows)
+}
+
+// ---- Detection quality under sampling: does the adaptive pipeline still
+// finger the right node? ----
+
+// TraceDetectionResult pairs the profile-side detector verdict with the
+// trace-side evidence for one collection configuration.
+type TraceDetectionResult struct {
+	// Flagged is the perfmon OS-noise detector's output (node names).
+	Flagged []string
+	// SchedRecords counts scheduling records ("schedule", "schedule_vol")
+	// per node in the collected trace.
+	SchedRecords []uint64
+	// TopNode is the node index with the most scheduling records (-1 when
+	// the trace is empty).
+	TopNode int
+	// Records / SampledOut total the collector's ingest accounting.
+	Records    uint64
+	SampledOut uint64
+}
+
+// Fingered reports whether both views agree on the given node: the detector
+// flagged it and the trace ranks it first by scheduling records.
+func (r *TraceDetectionResult) Fingered(node string, idx int) bool {
+	flagged := false
+	for _, n := range r.Flagged {
+		if n == node {
+			flagged = true
+		}
+	}
+	return flagged && r.TopNode == idx
+}
+
+// RunTraceDetection plants the §5.1 OS-noise daemon on one node of a
+// monitored, traced Chiba run and reports how both views see it under the
+// given trace configuration (nil = full tracing). With the adaptive
+// configuration this is the end-to-end focus-loop check: the detector flags
+// the noisy node, the collector pushes it the full policy, and the trace
+// evidence sharpens on exactly the node that deserves it.
+func RunTraceDetection(ranks int, seed uint64, noisy int, tcfg *tracepipe.Config) *TraceDetectionResult {
+	spec := DefaultChiba(ranks, 1)
+	spec.Seed = seed
+	spec.Iters = 4
+	spec.TraceCapacity = 4096
+	if tcfg == nil {
+		tcfg = &tracepipe.Config{Interval: 25 * time.Millisecond}
+	}
+	live := RunChibaLive(spec, LiveOptions{
+		PerfMon:    perfmon.Config{Interval: 20 * time.Millisecond},
+		NoisyNodes: []int{noisy},
+		// The §5.1 anomaly, compressed so several bursts land within the
+		// short run (same timing the live-detector tests use).
+		Noisy: workload.DaemonSpec{
+			Name: "overhead", Period: 50 * time.Millisecond, Busy: 25 * time.Millisecond,
+		},
+		Trace: tcfg,
+	})
+	store := live.Trace.Store()
+	recs, _ := store.Totals()
+	out := &TraceDetectionResult{
+		Flagged:      live.Noise.Flagged,
+		SchedRecords: store.NodeEventCounts("schedule", "schedule_vol"),
+		TopNode:      -1,
+		Records:      recs,
+		SampledOut:   store.SampledOut(),
+	}
+	var best uint64
+	for i, n := range out.SchedRecords {
+		if n > best {
+			best, out.TopNode = n, i
+		}
+	}
+	return out
 }

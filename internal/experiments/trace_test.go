@@ -115,21 +115,164 @@ func TestClusterTraceParallelMatchesSerial(t *testing.T) {
 	t.Fatalf("parallel trace diverged from serial: lengths %d vs %d lines", len(a), len(b))
 }
 
-// TestTraceOverhead pins the perturbation study: the overhead table must
-// carry the three collection configurations with a non-trivial trace row.
+// adaptiveFingerprint is traceFingerprint over the adaptive configuration:
+// sampling, throttling (tight thresholds so the fault plan drives the state
+// machine) and the collector focus loop all active.
+func adaptiveFingerprint(t *testing.T, parallel bool, workers int) string {
+	t.Helper()
+	spec, opts := AdaptiveChibaSpec(8, 42, 0.25)
+	spec.Parallel = parallel
+	spec.Workers = workers
+	live := RunChibaLive(spec, opts)
+	store := live.Trace.Store()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "completed=%v drained=%v tdrained=%v collector=%d tcollector=%d failovers=%d\n",
+		live.Completed, live.Drained, live.TraceDrained,
+		live.Collector, live.Trace.CollectorNode(), live.Trace.Failovers())
+	if err := store.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestAdaptiveTraceParallelMatchesSerial extends the determinism guarantee
+// to the adaptive pipeline: sampling draws, throttle transitions and focus
+// policy pushes are all functions of simulated state, so the same seed must
+// produce a byte-identical merged trace at any worker count.
+func TestAdaptiveTraceParallelMatchesSerial(t *testing.T) {
+	serial := adaptiveFingerprint(t, false, 0)
+	parallel := adaptiveFingerprint(t, true, 4)
+	if serial == parallel {
+		return
+	}
+	a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("parallel adaptive trace diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+				i+1, a[i], b[i])
+		}
+	}
+	t.Fatalf("parallel adaptive trace diverged from serial: lengths %d vs %d lines", len(a), len(b))
+}
+
+// TestAdaptiveClusterTrace checks the adaptive run end to end: sampling
+// actually discards records, the tightened thresholds drive the throttle,
+// and flow correlation survives (messages are never sampled).
+func TestAdaptiveClusterTrace(t *testing.T) {
+	full := RunClusterTrace(8, 42)
+	res := RunClusterTraceAdaptive(8, 42, 0.25)
+	if !res.Live.Completed || !res.TraceDrainedOK() {
+		t.Fatal("adaptive run did not complete and drain")
+	}
+	if res.SampledOut == 0 {
+		t.Fatal("sampling at rate 0.25 discarded nothing")
+	}
+	if res.Records == 0 || res.Records >= full.Records {
+		t.Fatalf("adaptive records = %d, want 0 < n < full %d", res.Records, full.Records)
+	}
+	if res.MsgEvents != full.MsgEvents {
+		t.Fatalf("msg events = %d, want %d (messages must never be sampled)", res.MsgEvents, full.MsgEvents)
+	}
+	if len(res.Flows) == 0 {
+		t.Fatal("no correlated flows in the adaptive trace")
+	}
+	var thr uint32
+	for _, s := range res.Stats {
+		if s.ThrottlePeak > thr {
+			thr = s.ThrottlePeak
+		}
+	}
+	if thr == 0 {
+		t.Fatal("tightened thresholds never engaged the throttle")
+	}
+}
+
+// TestTraceDetectionUnderSampling is the detection-quality check the
+// adaptive design must not break: with the §5.1 daemon planted on one node,
+// the online detector must flag it under full AND adaptive collection, and
+// under adaptive collection the focus loop must make the flagged node the
+// top scheduling-record node in the trace itself — sampling sharpens the
+// evidence instead of washing it out.
+func TestTraceDetectionUnderSampling(t *testing.T) {
+	const noisy = 2
+	full := RunTraceDetection(16, 1, noisy, nil)
+	adap := RunTraceDetection(16, 1, noisy, AdaptiveTraceConfig(0.05))
+	name := fmt.Sprintf("ccn%d", noisy)
+
+	flagged := func(r *TraceDetectionResult) bool {
+		for _, n := range r.Flagged {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !flagged(full) {
+		t.Fatalf("full trace: detector missed %s: flagged=%v", name, full.Flagged)
+	}
+	if !flagged(adap) {
+		t.Fatalf("adaptive trace: detector missed %s: flagged=%v", name, adap.Flagged)
+	}
+	if !adap.Fingered(name, noisy) {
+		t.Fatalf("adaptive trace does not finger %s: top=%d sched=%v",
+			name, adap.TopNode, adap.SchedRecords)
+	}
+	if adap.SampledOut == 0 {
+		t.Fatal("adaptive detection run sampled nothing out")
+	}
+	if adap.Records >= full.Records {
+		t.Fatalf("adaptive collected %d records, not fewer than full %d", adap.Records, full.Records)
+	}
+}
+
+// TestTraceOverhead pins the perturbation study: the overhead sweep must
+// carry the six collection configurations, the sampled rows must account
+// for their losses, and the adaptive configuration must not cost more than
+// full tracing.
 func TestTraceOverhead(t *testing.T) {
 	res := RunTraceOverhead(8, 7)
-	if len(res.Rows) != 3 {
-		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	want := []string{
+		"Off", "Profile", "Profile+Trace",
+		"Profile+Trace(r=0.25)", "Profile+Trace(r=0.05)", "Profile+Trace(adaptive)",
 	}
-	if res.Rows[0].Config != "Off" || res.Rows[2].Config != "Profile+Trace" {
-		t.Fatalf("row order wrong: %+v", res.Rows)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	for i, w := range want {
+		if res.Rows[i].Config != w {
+			t.Fatalf("row %d = %q, want %q", i, res.Rows[i].Config, w)
+		}
 	}
 	if res.Rows[0].SlowPct != 0 {
 		t.Fatalf("baseline slowdown = %v, want 0", res.Rows[0].SlowPct)
 	}
-	if res.Rows[2].Records == 0 {
-		t.Fatal("trace row collected no records")
+	full, adaptive := res.Row("Profile+Trace"), res.Row("Profile+Trace(adaptive)")
+	if full == nil || adaptive == nil {
+		t.Fatal("Row lookup failed")
+	}
+	if full.Records == 0 {
+		t.Fatal("full trace row collected no records")
+	}
+	if full.SampledOut != 0 {
+		t.Fatalf("full trace row sampled %d records out, want 0", full.SampledOut)
+	}
+	if !adaptive.Adaptive || adaptive.Rate != 0.05 {
+		t.Fatalf("adaptive row misconfigured: %+v", adaptive)
+	}
+	if adaptive.SampledOut == 0 {
+		t.Fatal("adaptive row sampled nothing out")
+	}
+	if adaptive.Records == 0 || adaptive.Records >= full.Records {
+		t.Fatalf("adaptive records = %d, want 0 < n < full %d", adaptive.Records, full.Records)
+	}
+	if adaptive.SlowPct > full.SlowPct {
+		t.Fatalf("adaptive slowdown %.2f%% exceeds full trace %.2f%%", adaptive.SlowPct, full.SlowPct)
 	}
 	for _, r := range res.Rows {
 		if r.Exec <= 0 {

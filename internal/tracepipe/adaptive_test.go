@@ -1,0 +1,280 @@
+package tracepipe
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ktau/internal/cluster"
+	"ktau/internal/kernel"
+	"ktau/internal/ktau"
+	"ktau/internal/sim"
+)
+
+func TestPolicyRateFor(t *testing.T) {
+	p := Policy{Groups: ktau.GroupSched | ktau.GroupIRQ, FullGroups: ktau.GroupSched, Rate: 0.25}
+	cases := []struct {
+		g    ktau.Group
+		want float64
+	}{
+		{ktau.GroupSched, 1},                 // FullGroups: always kept
+		{ktau.GroupIRQ, 0.25},                // sampled member
+		{ktau.GroupSyscall, 0},               // outside both masks: dropped
+		{0, 0.25},                            // unknown events are sampled, never dropped
+		{ktau.GroupIRQ | ktau.GroupSched, 1}, // any full bit wins
+	}
+	for _, c := range cases {
+		if got := p.rateFor(c.g); got != c.want {
+			t.Errorf("rateFor(%v) = %v, want %v", c.g, got, c.want)
+		}
+	}
+	if got := (Policy{}).rateFor(ktau.GroupSched); got != 0 {
+		t.Errorf("zero policy rateFor = %v, want 0", got)
+	}
+	full := FullPolicy()
+	if got := full.rateFor(ktau.GroupSyscall); got != 1 {
+		t.Errorf("FullPolicy rateFor = %v, want 1", got)
+	}
+}
+
+func TestAdaptiveEffective(t *testing.T) {
+	a := Adaptive{Base: Policy{Groups: ktau.GroupAll, Rate: 0.8}}.withDefaults()
+	if p := a.effective(a.Base, 0); p != a.Base {
+		t.Fatalf("level 0 must return the base policy, got %+v", p)
+	}
+	if p := a.effective(a.Base, 1); p.Rate != 0.4 {
+		t.Fatalf("level 1 rate = %v, want 0.4", p.Rate)
+	}
+	if p := a.effective(a.Base, 3); p.Groups != ktau.GroupAll {
+		t.Fatal("groups must be untouched below MaxLevel")
+	}
+	deep := a.effective(a.Base, a.MaxLevel)
+	if deep.Groups != ktau.GroupSched {
+		t.Fatalf("at MaxLevel groups = %v, want GroupSched only", deep.Groups)
+	}
+	// The rate floor must hold however deep the throttle goes.
+	a.MinRate = 0.1
+	if p := a.effective(a.Base, 10); p.Rate != 0.1 {
+		t.Fatalf("floored rate = %v, want 0.1", p.Rate)
+	}
+}
+
+func TestThrottleObserve(t *testing.T) {
+	a := Adaptive{ThrottleHigh: 100, RecoverAfter: 2}.withDefaults()
+	var th throttle
+
+	th.observe(&a, 100, false) // at the high mark: degrade
+	th.observe(&a, 500, false)
+	if th.level != 2 {
+		t.Fatalf("level = %d after two hot rounds, want 2", th.level)
+	}
+	th.observe(&a, 50, false) // hysteresis band (25 < 50 < 100): hold
+	if th.level != 2 || th.calm != 0 {
+		t.Fatalf("band round: level=%d calm=%d, want 2/0", th.level, th.calm)
+	}
+	th.observe(&a, 10, false) // calm
+	if th.level != 2 {
+		t.Fatalf("one calm round must not recover yet, level = %d", th.level)
+	}
+	th.observe(&a, 10, false) // second calm round: recover one level
+	if th.level != 1 {
+		t.Fatalf("level = %d after RecoverAfter calm rounds, want 1", th.level)
+	}
+	th.observe(&a, 10, true) // ship failure degrades regardless of backlog
+	if th.level != 2 {
+		t.Fatalf("level = %d after ship failure, want 2", th.level)
+	}
+	for i := 0; i < 20; i++ {
+		th.observe(&a, 1<<20, false)
+	}
+	if th.level != a.MaxLevel {
+		t.Fatalf("level = %d, must cap at MaxLevel %d", th.level, a.MaxLevel)
+	}
+
+	off := Adaptive{MaxLevel: -1}.withDefaults()
+	var disabled throttle
+	disabled.observe(&off, 1<<20, true)
+	if disabled.level != 0 {
+		t.Fatal("MaxLevel -1 must disable throttling")
+	}
+}
+
+// TestSampleDrawDiscipline pins the RNG contract sampling determinism rests
+// on: rates 0 and 1 decide without consuming a draw, so masking a group out
+// (or running unsampled) never shifts any later decision.
+func TestSampleDrawDiscipline(t *testing.T) {
+	a, b := sim.NewStream(7, "s"), sim.NewStream(7, "s")
+	for i := 0; i < 100; i++ {
+		if !sample(a, 1) || sample(a, 0) {
+			t.Fatal("rate 1 must keep, rate 0 must drop")
+		}
+	}
+	// After 200 no-draw decisions on a, both streams must still agree.
+	for i := 0; i < 1000; i++ {
+		if sample(a, 0.3) != sample(b, 0.3) {
+			t.Fatalf("draw %d diverged after no-draw decisions", i)
+		}
+	}
+}
+
+// bootAdaptiveCluster is bootTracedCluster with the adaptive machinery on:
+// every group sampled at the given rate, throttling left at defaults.
+func bootAdaptiveCluster(t *testing.T, seed uint64, rounds int, rate float64) (*cluster.Cluster, *Pipeline) {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Nodes: cluster.UniformNodes("node", testNodes),
+		Ktau: ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true, TraceCapacity: 1024},
+		Seed: seed,
+	})
+	t.Cleanup(c.Shutdown)
+	for i, n := range c.Nodes {
+		n.K.Spawn(fmt.Sprintf("app.rank%d", i), func(u *kernel.UCtx) {
+			for r := 0; r < 40; r++ {
+				u.Compute(2 * time.Millisecond)
+				u.Sleep(time.Millisecond)
+			}
+		}, kernel.SpawnOpts{})
+	}
+	userCalls := make([]int, testNodes)
+	tp, err := Deploy(c, Config{
+		Interval: 10 * time.Millisecond,
+		Rounds:   rounds,
+		Adaptive: &Adaptive{Base: Policy{Groups: ktau.GroupAll, Rate: rate}},
+		UserSources: func(idx int) []UserSource {
+			return []UserSource{{
+				PID: 1000 + idx, Task: fmt.Sprintf("user%d", idx),
+				Drain: func() ([]Rec, uint64) {
+					userCalls[idx]++
+					base := int64(userCalls[idx]) * 1000
+					return []Rec{
+						{TSC: base, Name: "MPI_Recv()", Kind: ktau.KindEntry},
+						{TSC: base + 500, Name: "MPI_Recv()", Kind: ktau.KindExit},
+					}, 0
+				},
+			}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tp
+}
+
+// TestAdaptivePipelineAccounting drives a sampled pipeline end to end and
+// checks the loss-accounting invariant: every produced record is either
+// ingested, lost to the ring, or counted sampled-out — nothing vanishes.
+func TestAdaptivePipelineAccounting(t *testing.T) {
+	const rounds = 8
+	c, tp := bootAdaptiveCluster(t, 42, rounds, 0.5)
+	if !c.RunUntilDone(tp.Tasks(), time.Minute) {
+		t.Fatal("pipeline did not drain")
+	}
+	sampledSeen := false
+	for _, s := range tp.Store().Stats() {
+		// The synthetic user source hands out exactly 2 records per round
+		// with no ring loss, so the split must be exact.
+		if s.UserRecords+s.UserSampledOut != 2*rounds {
+			t.Errorf("%s: user records %d + sampled %d != produced %d",
+				s.Node, s.UserRecords, s.UserSampledOut, 2*rounds)
+		}
+		if s.UserSampledOut > 0 || s.KernSampledOut > 0 {
+			sampledSeen = true
+		}
+		if s.KernRecords == 0 {
+			t.Errorf("%s shipped no kernel records at rate 0.5", s.Node)
+		}
+	}
+	if !sampledSeen {
+		t.Fatal("rate 0.5 sampled nothing out anywhere")
+	}
+	if tp.Store().SampledOut() == 0 {
+		t.Fatal("collector total SampledOut = 0")
+	}
+}
+
+// TestAdaptivePipelineDeterministic runs the same sampled deployment twice
+// with the same seed: every export must be byte-identical.
+func TestAdaptivePipelineDeterministic(t *testing.T) {
+	run := func() string {
+		c, tp := bootAdaptiveCluster(t, 1234, 6, 0.3)
+		if !c.RunUntilDone(tp.Tasks(), time.Minute) {
+			t.Fatal("pipeline did not drain")
+		}
+		var buf bytes.Buffer
+		if err := tp.Store().WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.Store().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same-seed adaptive runs produced different exports")
+	}
+}
+
+// TestStreamEvictionUnderChurn pins the agentStats bound: tasks that exit
+// stop occupying the per-agent stream map once their final state has
+// shipped, so long-running deployments on churning nodes cannot leak.
+func TestStreamEvictionUnderChurn(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes: cluster.UniformNodes("node", 2),
+		Ktau: ktau.Options{Compiled: ktau.GroupAll, Boot: ktau.GroupAll,
+			Mapping: true, RetainExited: true, TraceCapacity: 256},
+		Seed: 9,
+	})
+	t.Cleanup(c.Shutdown)
+
+	// Churn: short-lived tasks spawned in waves on node 0, each generating a
+	// little kernel activity before exiting.
+	const churn = 30
+	churned := make([]*kernel.Task, 0, churn)
+	n0 := c.Node(0)
+	for i := 0; i < churn; i++ {
+		delay := time.Duration(i) * 3 * time.Millisecond
+		churned = append(churned, n0.K.Spawn(fmt.Sprintf("churn%d", i), func(u *kernel.UCtx) {
+			u.Sleep(delay)
+			u.Compute(time.Millisecond)
+		}, kernel.SpawnOpts{}))
+	}
+
+	tp, err := Deploy(c, Config{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run long enough that every churned task exits and the agent sees many
+	// quiet rounds afterwards, then wind down.
+	c.Settle(400 * time.Millisecond)
+	tp.Stop()
+	if !c.RunUntilDone(tp.Tasks(), time.Minute) {
+		t.Fatal("pipeline did not drain")
+	}
+
+	exited := map[int]bool{}
+	for _, task := range churned {
+		if !task.Exited() {
+			t.Fatalf("churn task %s still running", task.Name())
+		}
+		exited[task.PID()] = true
+	}
+	st := tp.stats[0]
+	for key := range st.streams {
+		if key.Kernel && exited[key.PID] {
+			t.Errorf("stream map still tracks exited pid %d", key.PID)
+		}
+	}
+	if len(st.streams) == 0 {
+		t.Fatal("stream map empty — agent tracked nothing")
+	}
+	// The churned records themselves must have shipped before eviction.
+	var got uint64
+	for _, s := range tp.Store().Stats() {
+		got += s.KernRecords
+	}
+	if got == 0 {
+		t.Fatal("no kernel records collected from the churning node")
+	}
+}

@@ -31,9 +31,10 @@ type streamKey struct {
 }
 
 type streamState struct {
-	task string
-	lost uint64 // max cumulative ring-overwrite count seen
-	recs []Rec  // appended in frame-arrival order (chronological per stream)
+	task    string
+	lost    uint64 // max cumulative ring-overwrite count seen
+	sampled uint64 // max cumulative sampled-out count seen
+	recs    []Rec  // appended in frame-arrival order (chronological per stream)
 }
 
 type nodeMsg struct {
@@ -42,18 +43,19 @@ type nodeMsg struct {
 }
 
 type nodeTraceState struct {
-	name        string
-	frames      uint64
-	wireBytes   uint64
-	kernRecs    uint64
-	userRecs    uint64
-	msgEvents   uint64
-	backlogPeak uint64
-	readErrs    uint64 // agent-reported (cumulative, last seen)
-	agentDrops  uint64 // agent-reported dropped frames
-	agentDropR  uint64 // agent-reported dropped records
-	sinkDrops   uint64 // collector-side damaged/desynced frames
-	down        bool
+	name         string
+	frames       uint64
+	wireBytes    uint64
+	kernRecs     uint64
+	userRecs     uint64
+	msgEvents    uint64
+	backlogPeak  uint64
+	throttlePeak uint32 // deepest agent throttle level reported
+	readErrs     uint64 // agent-reported (cumulative, last seen)
+	agentDrops   uint64 // agent-reported dropped frames
+	agentDropR   uint64 // agent-reported dropped records
+	sinkDrops    uint64 // collector-side damaged/desynced frames
+	down         bool
 }
 
 // NewCollector creates an empty collector for a cluster of the given size;
@@ -87,6 +89,9 @@ func (c *Collector) Ingest(f Frame, wireBytes int) {
 	if f.Backlog > n.backlogPeak {
 		n.backlogPeak = f.Backlog
 	}
+	if f.Throttle > n.throttlePeak {
+		n.throttlePeak = f.Throttle
+	}
 	n.readErrs = maxU64(n.readErrs, f.ReadErrs)
 	n.agentDrops = maxU64(n.agentDrops, f.Dropped)
 	n.agentDropR = maxU64(n.agentDropR, f.DroppedRecs)
@@ -101,6 +106,7 @@ func (c *Collector) Ingest(f Frame, wireBytes int) {
 			st.task = s.Task
 		}
 		st.lost = maxU64(st.lost, s.Lost)
+		st.sampled = maxU64(st.sampled, s.Sampled)
 		st.recs = append(st.recs, s.Recs...)
 		if s.Kernel {
 			n.kernRecs += uint64(len(s.Recs))
@@ -156,6 +162,13 @@ type NodeStats struct {
 	// (records produced faster than the agent drained them).
 	KernRingLost uint64
 	UserRingLost uint64
+	// KernSampledOut / UserSampledOut count records the node's sampling
+	// policy deliberately discarded (exact loss accounting: produced =
+	// ingested + ring lost + sampled out).
+	KernSampledOut uint64
+	UserSampledOut uint64
+	// ThrottlePeak is the deepest backlog-throttle level the agent reported.
+	ThrottlePeak uint32
 	// ReadErrs counts agent rounds whose procfs trace reads kept failing.
 	ReadErrs uint64
 	// AgentDroppedFrames / AgentDroppedRecords count shipments the agent
@@ -186,6 +199,7 @@ func (c *Collector) Stats() []NodeStats {
 			AgentDroppedRecords: n.agentDropR,
 			SinkDroppedFrames:   n.sinkDrops,
 			BacklogPeak:         n.backlogPeak,
+			ThrottlePeak:        n.throttlePeak,
 			Down:                n.down,
 		}
 		for key, st := range c.streams {
@@ -194,8 +208,10 @@ func (c *Collector) Stats() []NodeStats {
 			}
 			if key.Kernel {
 				s.KernRingLost += st.lost
+				s.KernSampledOut += st.sampled
 			} else {
 				s.UserRingLost += st.lost
+				s.UserSampledOut += st.sampled
 			}
 		}
 		out = append(out, s)
@@ -210,6 +226,40 @@ func (c *Collector) Totals() (records, msgs uint64) {
 		msgs += s.MsgEvents
 	}
 	return records, msgs
+}
+
+// SampledOut sums the records the cluster's sampling policies discarded.
+func (c *Collector) SampledOut() uint64 {
+	var n uint64
+	for _, s := range c.Stats() {
+		n += s.KernSampledOut + s.UserSampledOut
+	}
+	return n
+}
+
+// NodeEventCounts returns, per node index, how many ingested records carry
+// one of the given event names — the per-node evidence a detection-quality
+// check compares against the profile-side detectors (e.g. counting
+// "schedule"/"schedule_vol" records to finger the noisiest node).
+func (c *Collector) NodeEventCounts(names ...string) []uint64 {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.nodes))
+	for key, st := range c.streams {
+		if key.NodeIdx < 0 || key.NodeIdx >= len(out) {
+			continue
+		}
+		for _, r := range st.recs {
+			if want[r.Name] {
+				out[key.NodeIdx]++
+			}
+		}
+	}
+	return out
 }
 
 func maxU64(a, b uint64) uint64 {
@@ -271,6 +321,24 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 				}
 			}
 			return nil
+		},
+		func() error {
+			if _, err := fmt.Fprintf(w, "# HELP ktau_tracepipe_sampled_out_total Records discarded by the node's sampling policy.\n# TYPE ktau_tracepipe_sampled_out_total counter\n"); err != nil {
+				return err
+			}
+			for _, s := range stats {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_sampled_out_total{node=%q,origin=\"kernel\"} %d\n", s.Node, s.KernSampledOut); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_sampled_out_total{node=%q,origin=\"user\"} %d\n", s.Node, s.UserSampledOut); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			return section("ktau_tracepipe_throttle_peak_level", "Deepest backlog-throttle level the node's agent reached.", "gauge",
+				func(s NodeStats) (uint64, bool) { return uint64(s.ThrottlePeak), true })
 		},
 		func() error {
 			return section("ktau_tracepipe_msg_events_total", "MPI message endpoint events ingested per node.", "counter",

@@ -17,8 +17,14 @@ import (
 const (
 	// TraceMagic identifies a tracepipe frame ("KTRC").
 	TraceMagic = 0x4b545243
-	// TraceVersion is the wire format version.
-	TraceVersion = 1
+	// TraceVersion is the current wire format version: varint-delta encoding
+	// (timestamps as per-stream deltas, counters as uvarints) on top of the
+	// per-frame name dictionary.
+	TraceVersion = 2
+	// TraceVersion1 is the original fixed-width encoding. Encoders moved on,
+	// but DecodeFrame still accepts v1 payloads so mixed-version clusters
+	// (and archived traces) keep working.
+	TraceVersion1 = 1
 	// TraceHeaderBytes is the fixed on-wire preamble preceding each frame's
 	// payload: magic(4) + version(4) + payload length(4) + reserved(4).
 	TraceHeaderBytes = 16
@@ -43,7 +49,11 @@ type Stream struct {
 	// Lost is the ring's cumulative overwrite count at drain time — the
 	// paper's "trace data may be lost if the buffer is not read fast enough".
 	Lost uint64
-	Recs []Rec
+	// Sampled is the cumulative count of records the agent's sampling policy
+	// deliberately discarded from this stream. Together with Lost it keeps
+	// the loss accounting exact: produced = ingested + Lost + Sampled.
+	Sampled uint64
+	Recs    []Rec
 }
 
 // Msg is one MPI message endpoint event used for send→recv flow
@@ -69,6 +79,9 @@ type Frame struct {
 	Round   int
 	// Last marks the agent's final round; the sink exits after ingesting it.
 	Last bool
+	// Throttle is the agent's backlog-throttle level this round (0 = the
+	// configured base policy was in effect).
+	Throttle uint32
 	// Backlog is how many records were found waiting in the node's rings at
 	// drain time this round — how far behind production the agent runs.
 	Backlog uint64
@@ -100,6 +113,8 @@ func (w *frameWriter) u8(v uint8)   { w.b = append(w.b, v) }
 func (w *frameWriter) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
 func (w *frameWriter) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
 func (w *frameWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *frameWriter) uv(v uint64)  { w.b = binary.AppendUvarint(w.b, v) }
+func (w *frameWriter) zz(v int64)   { w.b = binary.AppendVarint(w.b, v) }
 func (w *frameWriter) bit(v bool) {
 	if v {
 		w.u8(1)
@@ -144,12 +159,17 @@ var dictPool = sync.Pool{New: func() any {
 
 // EncodeFrame serialises a frame payload (the bytes following the on-wire
 // preamble). Event names are interned into a per-frame dictionary so hot
-// instrumentation points cost four bytes per record instead of a string.
+// instrumentation points cost an index per record instead of a string.
 func EncodeFrame(f Frame) []byte { return AppendFrame(nil, f) }
 
-// AppendFrame serialises a frame payload, appending to dst and returning the
-// extended buffer. Callers on a hot path reuse dst's capacity across rounds;
-// the result aliases dst, so retainers (queues, sinks) must copy it out.
+// AppendFrame serialises a frame payload in the current (v2) format,
+// appending to dst and returning the extended buffer. Record timestamps are
+// zigzag-varint deltas against the previous record of the same stream and
+// message timestamps deltas against the previous message's start, so the
+// monotone virtual-TSC sequences that dominate a frame cost one or two
+// bytes each instead of eight. Callers on a hot path reuse dst's capacity
+// across rounds; the result aliases dst, so retainers (queues, sinks) must
+// copy it out.
 func AppendFrame(dst []byte, f Frame) []byte {
 	// Build the name dictionary in first-appearance order (deterministic:
 	// streams and records are already deterministically ordered).
@@ -163,6 +183,70 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	w := frameWriter{b: dst}
 	w.u32(TraceMagic)
 	w.u32(TraceVersion)
+	w.str(f.Node)
+	w.uv(uint64(f.NodeIdx))
+	w.uv(uint64(f.Round))
+	w.bit(f.Last)
+	w.uv(uint64(f.Throttle))
+	w.uv(f.Backlog)
+	w.uv(f.ReadErrs)
+	w.uv(f.Dropped)
+	w.uv(f.DroppedRecs)
+	w.uv(uint64(len(d.names)))
+	for _, n := range d.names {
+		w.str(n)
+	}
+	w.uv(uint64(len(f.Streams)))
+	for _, s := range f.Streams {
+		w.zz(int64(s.PID))
+		w.str(s.Task)
+		w.bit(s.Kernel)
+		w.uv(s.Lost)
+		w.uv(s.Sampled)
+		w.uv(uint64(len(s.Recs)))
+		prev := int64(0)
+		for _, r := range s.Recs {
+			w.zz(r.TSC - prev)
+			prev = r.TSC
+			w.uv(uint64(d.index[r.Name]))
+			w.u8(uint8(r.Kind))
+			w.zz(r.Val)
+		}
+	}
+	w.uv(uint64(len(f.Msgs)))
+	prevStart := int64(0)
+	for _, m := range f.Msgs {
+		w.uv(uint64(m.Src))
+		w.uv(uint64(m.Dst))
+		w.zz(int64(m.Tag))
+		w.zz(int64(m.Bytes))
+		w.uv(m.Seq)
+		w.bit(m.Send)
+		w.zz(int64(m.PID))
+		w.zz(m.StartTSC - prevStart)
+		prevStart = m.StartTSC
+		w.zz(m.EndTSC - m.StartTSC)
+	}
+	d.reset()
+	dictPool.Put(d)
+	return w.b
+}
+
+// AppendFrameV1 serialises a frame payload in the legacy fixed-width v1
+// format. Kept (and exercised by tests) so DecodeFrame's v1 path stays
+// honest; v1 has no field for Throttle or per-stream Sampled counts, so
+// those are silently dropped.
+func AppendFrameV1(dst []byte, f Frame) []byte {
+	d := dictPool.Get().(*dict)
+	for _, s := range f.Streams {
+		for _, r := range s.Recs {
+			d.intern(r.Name)
+		}
+	}
+
+	w := frameWriter{b: dst}
+	w.u32(TraceMagic)
+	w.u32(TraceVersion1)
 	w.str(f.Node)
 	w.u32(uint32(f.NodeIdx))
 	w.u32(uint32(f.Round))
@@ -206,16 +290,111 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	return w.b
 }
 
-// DecodeFrame parses a frame payload produced by EncodeFrame.
+// EncodeFrameV1 is AppendFrameV1 into a fresh buffer.
+func EncodeFrameV1(f Frame) []byte { return AppendFrameV1(nil, f) }
+
+// DecodeFrame parses a frame payload produced by AppendFrame (v2) or
+// AppendFrameV1 (the legacy fixed-width encoding).
 func DecodeFrame(blob []byte) (Frame, error) {
 	r := frameReader{b: blob}
 	var f Frame
 	if r.u32() != TraceMagic {
 		return f, errors.New("tracepipe: bad frame magic")
 	}
-	if v := r.u32(); v != TraceVersion {
+	switch v := r.u32(); v {
+	case TraceVersion:
+		return decodeV2(&r)
+	case TraceVersion1:
+		return decodeV1(&r)
+	default:
+		if r.err != nil {
+			return f, r.err
+		}
 		return f, fmt.Errorf("tracepipe: unsupported frame version %d", v)
 	}
+}
+
+// decodeV2 parses the varint-delta body (reader positioned after the
+// magic/version words).
+func decodeV2(r *frameReader) (Frame, error) {
+	var f Frame
+	f.Node = r.str()
+	f.NodeIdx = int(r.uv())
+	f.Round = int(r.uv())
+	f.Last = r.u8() == 1
+	f.Throttle = uint32(r.uv())
+	f.Backlog = r.uv()
+	f.ReadErrs = r.uv()
+	f.Dropped = r.uv()
+	f.DroppedRecs = r.uv()
+	nn := int(r.uv())
+	if r.err == nil && nn > len(r.b) {
+		return f, errTruncated
+	}
+	names := make([]string, 0, nn)
+	for i := 0; i < nn && r.err == nil; i++ {
+		names = append(names, r.str())
+	}
+	nameAt := func(i uint64) string {
+		if i >= uint64(len(names)) {
+			r.err = errors.New("tracepipe: name index out of range")
+			return ""
+		}
+		return names[i]
+	}
+	ns := int(r.uv())
+	if r.err == nil && ns > len(r.b) {
+		return f, errTruncated
+	}
+	for i := 0; i < ns && r.err == nil; i++ {
+		var s Stream
+		s.PID = int(r.zz())
+		s.Task = r.str()
+		s.Kernel = r.u8() == 1
+		s.Lost = r.uv()
+		s.Sampled = r.uv()
+		nr := int(r.uv())
+		if r.err == nil && nr > len(r.b) {
+			return f, errTruncated
+		}
+		prev := int64(0)
+		for j := 0; j < nr && r.err == nil; j++ {
+			var rec Rec
+			prev += r.zz()
+			rec.TSC = prev
+			rec.Name = nameAt(r.uv())
+			rec.Kind = ktau.RecordKind(r.u8())
+			rec.Val = r.zz()
+			s.Recs = append(s.Recs, rec)
+		}
+		f.Streams = append(f.Streams, s)
+	}
+	nm := int(r.uv())
+	if r.err == nil && nm > len(r.b) {
+		return f, errTruncated
+	}
+	prevStart := int64(0)
+	for i := 0; i < nm && r.err == nil; i++ {
+		var m Msg
+		m.Src = int(r.uv())
+		m.Dst = int(r.uv())
+		m.Tag = int(r.zz())
+		m.Bytes = int(r.zz())
+		m.Seq = r.uv()
+		m.Send = r.u8() == 1
+		m.PID = int(r.zz())
+		prevStart += r.zz()
+		m.StartTSC = prevStart
+		m.EndTSC = m.StartTSC + r.zz()
+		f.Msgs = append(f.Msgs, m)
+	}
+	return f, r.err
+}
+
+// decodeV1 parses the legacy fixed-width body (reader positioned after the
+// magic/version words).
+func decodeV1(r *frameReader) (Frame, error) {
+	var f Frame
 	f.Node = r.str()
 	f.NodeIdx = int(r.u32())
 	f.Round = int(r.u32())
@@ -226,7 +405,7 @@ func DecodeFrame(blob []byte) (Frame, error) {
 	f.DroppedRecs = r.u64()
 	nn := int(r.u32())
 	if r.err == nil && nn > len(r.b) {
-		return f, errors.New("tracepipe: truncated frame")
+		return f, errTruncated
 	}
 	names := make([]string, 0, nn)
 	for i := 0; i < nn && r.err == nil; i++ {
@@ -248,7 +427,7 @@ func DecodeFrame(blob []byte) (Frame, error) {
 		s.Lost = r.u64()
 		nr := int(r.u32())
 		if r.err == nil && nr > len(r.b) {
-			return f, errors.New("tracepipe: truncated frame")
+			return f, errTruncated
 		}
 		for j := 0; j < nr && r.err == nil; j++ {
 			var rec Rec
@@ -262,7 +441,7 @@ func DecodeFrame(blob []byte) (Frame, error) {
 	}
 	nm := int(r.u32())
 	if r.err == nil && nm > len(r.b) {
-		return f, errors.New("tracepipe: truncated frame")
+		return f, errTruncated
 	}
 	for i := 0; i < nm && r.err == nil; i++ {
 		var m Msg
@@ -280,6 +459,8 @@ func DecodeFrame(blob []byte) (Frame, error) {
 	return f, r.err
 }
 
+var errTruncated = errors.New("tracepipe: truncated frame")
+
 type frameReader struct {
 	b   []byte
 	off int
@@ -291,7 +472,7 @@ func (r *frameReader) need(n int) bool {
 		return false
 	}
 	if r.off+n > len(r.b) {
-		r.err = errors.New("tracepipe: truncated frame")
+		r.err = errTruncated
 		return false
 	}
 	return true
@@ -325,6 +506,35 @@ func (r *frameReader) u64() uint64 {
 }
 
 func (r *frameReader) i64() int64 { return int64(r.u64()) }
+
+// uv reads an unsigned varint; a truncated or overlong encoding is an error,
+// never a panic.
+func (r *frameReader) uv() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// zz reads a zigzag-encoded signed varint.
+func (r *frameReader) zz() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
 
 func (r *frameReader) str() string {
 	if !r.need(2) {

@@ -9,10 +9,10 @@ import (
 
 func sampleFrame() Frame {
 	return Frame{
-		Node: "ccn3", NodeIdx: 3, Round: 7, Last: true,
+		Node: "ccn3", NodeIdx: 3, Round: 7, Last: true, Throttle: 2,
 		Backlog: 12, ReadErrs: 2, Dropped: 1, DroppedRecs: 40,
 		Streams: []Stream{
-			{PID: 101, Task: "LU.rank3", Kernel: true, Lost: 5, Recs: []Rec{
+			{PID: 101, Task: "LU.rank3", Kernel: true, Lost: 5, Sampled: 17, Recs: []Rec{
 				{TSC: 1000, Name: "schedule", Kind: ktau.KindEntry},
 				{TSC: 1100, Name: "schedule", Kind: ktau.KindExit},
 				{TSC: 1200, Name: `do_IRQ["timer"]`, Kind: ktau.KindAtomic, Val: 9},
@@ -90,9 +90,46 @@ func TestFrameDictionarySharesNames(t *testing.T) {
 	one := len(EncodeFrame(mk(1)))
 	hundred := len(EncodeFrame(mk(100)))
 	perRec := float64(hundred-one) / 99
-	// Dictionary encoding: repeated names must cost an index (4 bytes), not
-	// the string; a full record is TSC+idx+kind+val = 21 bytes.
-	if perRec > 25 {
-		t.Fatalf("per-record cost %.1f bytes suggests names are not dictionary-encoded", perRec)
+	// Dictionary + varint delta encoding: a repeated-name record is a small
+	// TSC delta, a dictionary index, a kind byte and a zero value — a handful
+	// of bytes, not the 21 the fixed-width v1 layout spent.
+	if perRec > 8 {
+		t.Fatalf("per-record cost %.1f bytes suggests varint delta encoding regressed", perRec)
+	}
+}
+
+// TestFrameV1Decode pins backward compatibility: a frame encoded with the
+// legacy fixed-width v1 layout must still decode, minus the fields v1 has no
+// room for (Throttle, Sampled).
+func TestFrameV1Decode(t *testing.T) {
+	f := sampleFrame()
+	got, err := DecodeFrame(EncodeFrameV1(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f
+	want.Throttle = 0
+	for i := range want.Streams {
+		want.Streams[i].Sampled = 0
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("v1 round trip mismatch:\n in: %+v\nout: %+v", want, got)
+	}
+	// v1 truncations must also error, never panic.
+	blob := EncodeFrameV1(f)
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeFrame(blob[:n]); err == nil {
+			t.Fatalf("v1 truncation at %d decoded without error", n)
+		}
+	}
+}
+
+// TestFrameV2Smaller pins the point of the varint layout: the same frame
+// must encode strictly smaller than the v1 fixed-width layout.
+func TestFrameV2Smaller(t *testing.T) {
+	f := sampleFrame()
+	v2, v1 := len(EncodeFrame(f)), len(EncodeFrameV1(f))
+	if v2 >= v1 {
+		t.Fatalf("v2 frame is %d bytes, v1 is %d — varint layout must be smaller", v2, v1)
 	}
 }

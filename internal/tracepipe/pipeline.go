@@ -29,16 +29,19 @@ import (
 
 	"ktau/internal/cluster"
 	"ktau/internal/kernel"
+	"ktau/internal/ktau"
 	"ktau/internal/libktau"
 	"ktau/internal/perfmon"
+	"ktau/internal/sim"
 	"ktau/internal/tcpsim"
 )
 
 // UserSource exposes one process's user-level (TAU) trace ring to the
 // node's agent. Drain must return the buffered records (already resolved to
-// names) and the ring's cumulative lost count, consuming the buffer. It is
-// called from the agent's task on the process's own node, so it runs inside
-// that node's engine and needs no locking.
+// names) and the ring's cumulative lost count, consuming the buffer; the
+// returned slice's ownership passes to the pipeline (adaptive deployments
+// filter it in place). It is called from the agent's task on the process's
+// own node, so it runs inside that node's engine and needs no locking.
 type UserSource struct {
 	PID   int
 	Task  string
@@ -81,6 +84,14 @@ type Config struct {
 	// PeerDownAfter is how many consecutive receive timeouts a sink
 	// tolerates before marking its node down and exiting (default 3).
 	PeerDownAfter int
+	// Adaptive, when non-nil, enables deterministic per-group sampling and
+	// backlog throttling on every agent (nil = full tracing, the historical
+	// behaviour — no RNG draws are made, so existing runs are unperturbed).
+	Adaptive *Adaptive
+	// Focus, when non-nil, runs the collector-driven policy loop: flagged
+	// nodes get Focus.Full, everyone else stays on Adaptive.Base. Requires
+	// Adaptive and a perfmon store to watch.
+	Focus *FocusConfig
 }
 
 func (c *Config) defaults() {
@@ -185,6 +196,18 @@ type Pipeline struct {
 	agentDone []bool
 	stopped   bool
 
+	// Adaptive-mode state. ad/focus are defaulted copies of the config's
+	// pointers; polBoxes[i] is node i's pushed-policy slot (written by posts
+	// on node i's engine, read by node i's agent); stats[i] is node i's
+	// agent bookkeeping (read by tests once the cluster is quiescent);
+	// lastPushed and nextFocus belong to the barrier-hook focus loop.
+	ad         *Adaptive
+	focus      *FocusConfig
+	polBoxes   []*policyBox
+	stats      []*agentStats
+	lastPushed []Policy
+	nextFocus  sim.Time
+
 	// mu guards the collector-side bookkeeping (mutated only in collector
 	// engine contexts, read back once the cluster is quiescent).
 	mu         sync.Mutex
@@ -224,6 +247,30 @@ func Deploy(c *cluster.Cluster, cfg Config) (*Pipeline, error) {
 		collector:  collector,
 		agentDone:  make([]bool, len(c.Nodes)),
 		downMarked: make(map[int]bool),
+		stats:      make([]*agentStats, len(c.Nodes)),
+	}
+	if cfg.Focus != nil && cfg.Adaptive == nil {
+		return nil, errors.New("tracepipe: Focus requires Adaptive")
+	}
+	if cfg.Adaptive != nil {
+		ad := cfg.Adaptive.withDefaults()
+		tp.ad = &ad
+		tp.polBoxes = make([]*policyBox, len(c.Nodes))
+		for i := range tp.polBoxes {
+			tp.polBoxes[i] = &policyBox{}
+		}
+	}
+	if cfg.Focus != nil {
+		if cfg.Focus.Store == nil {
+			return nil, errors.New("tracepipe: Focus requires a perfmon store to watch")
+		}
+		fc := cfg.Focus.withDefaults()
+		tp.focus = &fc
+		tp.lastPushed = make([]Policy, len(c.Nodes))
+		for i := range tp.lastPushed {
+			tp.lastPushed[i] = tp.ad.Base
+		}
+		c.Runner.OnBarrier(tp.focusTick)
 	}
 	for i, n := range c.Nodes {
 		tp.col.SetNodeName(i, n.Name)
@@ -294,13 +341,35 @@ type agentRoute struct {
 	l         *link
 }
 
+// streamMeta is one stream's per-agent bookkeeping: the cumulative lost and
+// sampled-out counters, and the values last shipped to the collector (so a
+// quiet stream is skipped, not re-sent).
+type streamMeta struct {
+	lastLost uint64
+	sampled  uint64
+	shipped  uint64 // value of sampled when the stream was last shipped
+}
+
 // agentStats is the cumulative self-reported loss accounting one agent
-// carries between rounds and embeds in every frame.
+// carries between rounds and embeds in every frame. The streams map is
+// bounded: entries for exited tasks are evicted once their final state has
+// shipped (perfmon's prevProc discipline), so task churn cannot grow it
+// without limit.
 type agentStats struct {
 	readErrs    uint64
 	dropped     uint64
 	droppedRecs uint64
-	lastLost    map[streamKey]uint64
+	streams     map[streamKey]*streamMeta
+}
+
+// stream returns (creating if needed) the bookkeeping for one stream key.
+func (st *agentStats) stream(key streamKey) *streamMeta {
+	m := st.streams[key]
+	if m == nil {
+		m = &streamMeta{}
+		st.streams[key] = m
+	}
+	return m
 }
 
 // spawnAgent starts the per-node trace daemon ("ktraced"). Kernel rings are
@@ -310,9 +379,19 @@ type agentStats struct {
 func (tp *Pipeline) spawnAgent(idx int, n *cluster.Node, collector int, l *link) *kernel.Task {
 	h := libktau.Open(n.FS)
 	cfg := tp.cfg
+	// The sampler draws from a stream derived at deployment time (never from
+	// live RNG state), so adding the trace pipeline to a run perturbs no
+	// other consumer's sequence and sampled runs stay byte-identical at any
+	// worker count. Non-adaptive deployments make no draws at all.
+	var smp *sim.RNG
+	if tp.ad != nil {
+		smp = tp.c.RNG.Stream("tracepipe/sample/" + n.Name)
+	}
+	st := &agentStats{streams: make(map[streamKey]*streamMeta)}
+	tp.stats[idx] = st
 	return n.K.Spawn("ktraced", func(u *kernel.UCtx) {
-		st := &agentStats{lastLost: make(map[streamKey]uint64)}
 		route := &agentRoute{collector: collector, l: l}
+		var thr throttle
 		var encBuf []byte // frame-encode scratch, reused every round
 		for round := 0; ; round++ {
 			if cfg.Rounds > 0 && round >= cfg.Rounds {
@@ -325,16 +404,29 @@ func (tp *Pipeline) spawnAgent(idx int, n *cluster.Node, collector int, l *link)
 			}
 			last := final || (cfg.Rounds > 0 && round == cfg.Rounds-1)
 
-			f := tp.drainRound(u, h, idx, n, round, last, st)
+			var pol Policy
+			if tp.ad != nil {
+				base := tp.ad.Base
+				if box := tp.polBoxes[idx]; box.ok {
+					base = box.p
+				}
+				pol = tp.ad.effective(base, thr.level)
+			}
+			f := tp.drainRound(u, h, idx, n, round, last, st, pol, smp)
+			f.Throttle = uint32(thr.level)
 			encBuf = AppendFrame(encBuf[:0], f)
 			payload := encBuf // link.push copies; safe to reuse next round
 
 			// User-space processing: ring walks + dictionary encode.
 			u.Compute(time.Duration(len(payload)/1024+1) * cfg.ShipCostPerKB)
 
-			if !tp.ship(route, idx, n, u, f, payload) {
+			shipped := tp.ship(route, idx, n, u, f, payload)
+			if !shipped {
 				st.dropped++
 				st.droppedRecs += uint64(f.records())
+			}
+			if tp.ad != nil {
+				thr.observe(tp.ad, f.Backlog, !shipped)
 			}
 			if f.Last {
 				return
@@ -346,9 +438,13 @@ func (tp *Pipeline) spawnAgent(idx int, n *cluster.Node, collector int, l *link)
 // drainRound drains every ring on the node into one frame: kernel trace
 // rings via the instrumented /proc/ktau/trace two-call protocol (task
 // creation order, so the stream layout is deterministic), then the
-// configured user-level rings and MPI message logs.
+// configured user-level rings and MPI message logs. When pol carries an
+// adaptive policy (smp non-nil), each drained record is kept or discarded by
+// the node's seeded sampler; discards are counted per stream so the loss
+// accounting stays exact. MPI message events are never sampled — flow
+// correlation needs both endpoints.
 func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
-	n *cluster.Node, round int, last bool, st *agentStats) Frame {
+	n *cluster.Node, round int, last bool, st *agentStats, pol Policy, smp *sim.RNG) Frame {
 
 	cfg := tp.cfg
 	f := Frame{Node: n.Name, NodeIdx: idx, Round: round, Last: last}
@@ -375,8 +471,25 @@ func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
 		}
 		waiting := uint64(ring.Len())
 		key := streamKey{NodeIdx: idx, PID: t.PID(), Kernel: true}
-		if waiting == 0 && ring.Lost() == st.lastLost[key] {
-			continue
+		m, tracked := st.streams[key]
+		if waiting == 0 {
+			if !tracked {
+				// Nothing buffered and nothing shipped before: an exited (or
+				// never-active) ring with no new state. The only way an
+				// untracked empty ring can show Lost > 0 is a drain that
+				// already shipped that loss before the entry was evicted, so
+				// skipping an exited one loses nothing.
+				if t.Exited() || ring.Lost() == 0 {
+					continue
+				}
+			} else if ring.Lost() == m.lastLost {
+				if t.Exited() {
+					// Final state already shipped: evict the bookkeeping so
+					// the map stays bounded under task churn.
+					delete(st.streams, key)
+				}
+				continue
+			}
 		}
 		f.Backlog += waiting
 
@@ -399,14 +512,21 @@ func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
 			st.readErrs++
 			continue
 		}
+		m = st.stream(key)
 		s := Stream{PID: t.PID(), Task: t.Name(), Kernel: true, Lost: dump.Lost}
 		start := len(recBuf)
 		for _, r := range dump.Records {
+			if smp != nil && !sample(smp, pol.rateFor(reg.GroupOf(r.Ev))) {
+				m.sampled++
+				continue
+			}
 			recBuf = append(recBuf, Rec{TSC: r.TSC, Name: reg.Name(r.Ev), Kind: r.Kind, Val: r.Val})
 		}
 		s.Recs = recBuf[start:len(recBuf):len(recBuf)]
-		if len(s.Recs) > 0 || s.Lost != st.lastLost[key] {
-			st.lastLost[key] = s.Lost
+		s.Sampled = m.sampled
+		if len(s.Recs) > 0 || s.Lost != m.lastLost || m.sampled != m.shipped {
+			m.lastLost = s.Lost
+			m.shipped = m.sampled
 			f.Streams = append(f.Streams, s)
 		}
 	}
@@ -415,13 +535,33 @@ func (tp *Pipeline) drainRound(u *kernel.UCtx, h libktau.Handle, idx int,
 		for _, src := range cfg.UserSources(idx) {
 			recs, lost := src.Drain()
 			key := streamKey{NodeIdx: idx, PID: src.PID, Kernel: false}
-			if len(recs) == 0 && lost == st.lastLost[key] {
+			m := st.streams[key]
+			if m == nil {
+				if len(recs) == 0 && lost == 0 {
+					continue
+				}
+				m = st.stream(key)
+			}
+			f.Backlog += uint64(len(recs))
+			if smp != nil {
+				rate := pol.rateFor(ktau.GroupUser)
+				kept := recs[:0]
+				for _, r := range recs {
+					if !sample(smp, rate) {
+						m.sampled++
+						continue
+					}
+					kept = append(kept, r)
+				}
+				recs = kept
+			}
+			if len(recs) == 0 && lost == m.lastLost && m.sampled == m.shipped {
 				continue
 			}
-			st.lastLost[key] = lost
-			f.Backlog += uint64(len(recs))
+			m.lastLost = lost
+			m.shipped = m.sampled
 			f.Streams = append(f.Streams, Stream{
-				PID: src.PID, Task: src.Task, Lost: lost, Recs: recs,
+				PID: src.PID, Task: src.Task, Lost: lost, Sampled: m.sampled, Recs: recs,
 			})
 		}
 	}

@@ -14,6 +14,11 @@
 set -e
 cd "$(dirname "$0")/.."
 
+# Every mktemp path is appended to tmpfiles so an early exit (set -e) still
+# cleans up.
+tmpfiles=""
+trap 'rm -f $tmpfiles' EXIT
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -43,7 +48,7 @@ go test -race ./internal/experiments/ -run TestParallelMatchesSerialByteForByte
 
 echo "== go test -race (trace pipeline + cluster-trace determinism) =="
 go test -race ./internal/tracepipe/
-go test -race ./internal/experiments/ -run TestClusterTraceParallelMatchesSerial
+go test -race ./internal/experiments/ -run 'TestClusterTraceParallelMatchesSerial|TestAdaptiveTraceParallelMatchesSerial'
 
 echo "== go test -race (serving workload + serve serial/parallel cross-check) =="
 go test -race ./internal/tcpsim/ ./internal/servesim/
@@ -65,14 +70,47 @@ esac
 
 echo "== trace-pipeline smoke test (merged trace must be valid JSON with flow events) =="
 trace_tmp=$(mktemp /tmp/ktau_trace_XXXXXX.json)
+tmpfiles="$tmpfiles $trace_tmp"
 go run ./cmd/ktau-exp -exp trace -ranks 8 -trace-out "$trace_tmp" > /dev/null
-rm -f "$trace_tmp"
+
+echo "== adaptive trace smoke test (sampled pipeline must still emit flow events) =="
+trace_adaptive_tmp=$(mktemp /tmp/ktau_trace_adaptive_XXXXXX.json)
+tmpfiles="$tmpfiles $trace_adaptive_tmp"
+go run ./cmd/ktau-exp -exp trace -ranks 8 -trace-rate 0.25 -trace-out "$trace_adaptive_tmp" > /dev/null
 
 echo "== benchmark smoke (writes BENCH_parallel.json) =="
 go test -run '^$' -bench BenchmarkParallelChiba -benchtime=1x .
 
-echo "== benchmark smoke (writes BENCH_trace.json) =="
+echo "== trace perturbation sweep (writes BENCH_trace.json, gates slowdowns) =="
 go test -run '^$' -bench BenchmarkTraceOverhead -benchtime=1x .
+if [ ! -f BENCH_trace.json ]; then
+    echo "check.sh: BENCH_trace.json was not written" >&2
+    exit 1
+fi
+# Virtual-time slowdowns are deterministic for the fixed seed. The profile
+# pipeline must stay under 5% (the paper's daemon budget), the full trace
+# under a 25% regression ceiling, and the adaptive (always-on) configuration
+# under 5% — the headline this sweep exists to defend.
+profile_pct=$(sed -n 's/.*"profile_slowdown_pct": \([0-9.eE+-]*\).*/\1/p' BENCH_trace.json)
+full_pct=$(sed -n 's/.*"full_trace_slowdown_pct": \([0-9.eE+-]*\).*/\1/p' BENCH_trace.json)
+adaptive_pct=$(sed -n 's/.*"adaptive_slowdown_pct": \([0-9.eE+-]*\).*/\1/p' BENCH_trace.json)
+if [ -z "$profile_pct" ] || [ -z "$full_pct" ] || [ -z "$adaptive_pct" ]; then
+    echo "check.sh: slowdown keys missing from BENCH_trace.json" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($profile_pct <= 5) }"; then
+    echo "check.sh: profile slowdown regressed: ${profile_pct}% > 5%" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($full_pct <= 25) }"; then
+    echo "check.sh: full-trace slowdown regressed: ${full_pct}% > 25%" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($adaptive_pct < 5) }"; then
+    echo "check.sh: adaptive trace slowdown ${adaptive_pct}% >= 5% — always-on budget blown" >&2
+    exit 1
+fi
+echo "trace sweep slowdowns: profile ${profile_pct}%, full ${full_pct}%, adaptive ${adaptive_pct}%"
 
 echo "== core hot-path benchmarks (writes BENCH_core.json, gates Chiba speedup) =="
 go test -run '^$' -bench 'BenchmarkEngineThroughput|BenchmarkKtauEventPath|BenchmarkFrameEncode' -benchmem .
