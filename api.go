@@ -9,6 +9,7 @@ import (
 	"ktau/internal/cluster"
 	"ktau/internal/experiments"
 	"ktau/internal/faultsim"
+	"ktau/internal/harness"
 	"ktau/internal/kernel"
 	iktau "ktau/internal/ktau"
 	"ktau/internal/ktrace"
@@ -762,3 +763,51 @@ func RunTraceDetection(ranks int, seed uint64, noisy int, tcfg *TracePipeConfig)
 func TraceChibaSpec(ranks int, seed uint64) (ChibaSpec, LiveOptions) {
 	return experiments.TraceChibaSpec(ranks, seed)
 }
+
+// ---- sweep harness (cmd/ktau-sweep) ----
+
+// SweepParams identifies one sweep cell: spec name plus every grid axis.
+type SweepParams = harness.Params
+
+// SweepCell is one cell's structured outcome (status, metrics, fingerprints).
+type SweepCell = harness.CellResult
+
+// SweepGrid is a parameter grid that expands into cells.
+type SweepGrid = harness.Grid
+
+// SweepOptions configures a sweep run (per-cell timeout, concurrency,
+// output directory).
+type SweepOptions = harness.SweepConfig
+
+// SweepResult is a completed sweep: one cell result per grid cell.
+type SweepResult = harness.SweepResult
+
+// SweepBaseline is a committed sweep snapshot used as a regression gate.
+type SweepBaseline = harness.Baseline
+
+// Sweep cell statuses.
+const (
+	SweepOK      = harness.StatusOK
+	SweepTimeout = harness.StatusTimeout
+	SweepPanic   = harness.StatusPanic
+	SweepError   = harness.StatusError
+)
+
+// Sweep-harness entry points. RunSweepCell executes one cell (panic-safe);
+// RunSweep expands a grid onto a bounded pool with a mandatory per-cell
+// timeout; the baseline functions implement the committed-snapshot gate; the
+// bench functions are the strict BENCH_*.json gate that replaced check.sh's
+// sed scraping.
+var (
+	RunSweepCell      = harness.RunCell
+	RunSweep          = harness.RunSweep
+	NamedSweepGrids   = harness.NamedGrids
+	SweepSpecs        = harness.Specs
+	NewSweepBaseline  = harness.NewBaseline
+	SaveSweepBaseline = harness.SaveBaseline
+	LoadSweepBaseline = harness.LoadBaseline
+	DiffSweepBaseline = harness.DiffBaseline
+	GateBenchFiles    = harness.GateBenchFiles
+	CheckBenchPayload = harness.CheckBenchPayload
+	FlattenBenchJSON  = harness.FlattenJSON
+)

@@ -10,8 +10,6 @@
 package ktau_test
 
 import (
-	"encoding/json"
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -322,11 +320,5 @@ func BenchmarkCoreHotPath(b *testing.B) {
 			"alloc_reduction_x": reduction(baseChibaAllocs, float64(allocs)),
 		},
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_core.json", append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	writeBench(b, "BENCH_core.json", out)
 }

@@ -12,8 +12,6 @@
 package ktau_test
 
 import (
-	"encoding/json"
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -84,11 +82,5 @@ func BenchmarkServe(b *testing.B) {
 			"tenants":            tenants,
 		}
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	writeBench(b, "BENCH_serve.json", out)
 }

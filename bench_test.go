@@ -12,7 +12,6 @@
 package ktau_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -575,13 +574,7 @@ func BenchmarkParallelChiba(b *testing.B) {
 		"virtual_exec_s":    serial.exec.Seconds(),
 		"identical_results": true,
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	writeBench(b, "BENCH_parallel.json", out)
 }
 
 // BenchmarkTraceOverhead runs the trace-pipeline perturbation sweep — the
@@ -629,13 +622,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		}
 	}
 	out["rows"] = rows
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_trace.json", append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	writeBench(b, "BENCH_trace.json", out)
 }
 
 // BenchmarkIONode runs the §6 I/O-node characterization extension: compute

@@ -1,0 +1,29 @@
+package ktau_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ktau"
+)
+
+// writeBench validates and writes one BENCH_*.json payload. Validation uses
+// the same strict parser the ktau-sweep bench gate later reads the file
+// with — duplicate keys anywhere, and every key the gate thresholds, are
+// checked here — so a renamed or doubled metric fails the benchmark that
+// writes the file instead of a later check.sh run.
+func writeBench(b *testing.B, path string, payload any) {
+	b.Helper()
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := ktau.CheckBenchPayload(path, data); err != nil {
+		b.Fatalf("refusing to write %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -10,9 +10,14 @@
 // paper's); the shapes — orderings, slowdown factors, CDF separations — are
 // the reproduction targets. Paper-reported values are printed alongside
 // where applicable.
+//
+// The scenario experiments (faults, serve, trace, traceov) are thin wrappers
+// over the sweep-harness specs that cmd/ktau-sweep grids over; running them
+// here executes exactly one cell and prints its rendered report.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,7 +33,7 @@ import (
 	"ktau"
 )
 
-type runner func(ranks int, out io.Writer)
+type runner func(ranks int, out io.Writer) error
 
 var experimentOrder = []string{
 	"table2", "table3", "table4",
@@ -39,6 +44,14 @@ var experimentOrder = []string{
 	"serve",   // multi-tenant serving workload with tail-latency attribution
 	"trace",   // cluster-wide streaming trace pipeline (merged Perfetto trace)
 	"traceov", // trace-pipeline perturbation sweep (off/profile/full/sampled/adaptive)
+}
+
+// fixedScale marks the experiments that reproduce a measurement taken at one
+// specific configuration; -ranks does not apply to them.
+var fixedScale = map[string]bool{
+	"table3": true, "table4": true,
+	"fig2a": true, "fig2c": true, "fig2e": true,
+	"ionode": true,
 }
 
 // traceOut is the -trace-out path; when set, the trace experiment writes
@@ -53,64 +66,115 @@ var (
 	traceAdaptive bool
 )
 
+// expParallel / expWorkers mirror -parallel / -workers for the sweep-cell
+// wrappers, whose specs take execution mode per cell rather than globally.
+var (
+	expParallel bool
+	expWorkers  int
+)
+
+func render(fn func(ranks int) interface{ Render(io.Writer) }) runner {
+	return func(ranks int, out io.Writer) error {
+		fn(ranks).Render(out)
+		return nil
+	}
+}
+
 var experimentRunners = map[string]runner{
-	"table2":  func(ranks int, out io.Writer) { ktau.RunTable2(ranks, 1).Render(out) },
-	"table3":  func(ranks int, out io.Writer) { ktau.RunTable3(16, 5, 2).Render(out) },
-	"table4":  func(ranks int, out io.Writer) { ktau.RunTable4(100_000).Render(out) },
-	"fig2a":   func(ranks int, out io.Writer) { ktau.RunFig2AB(1).Render(out) }, // includes 2-B and 2-D
-	"fig2c":   func(ranks int, out io.Writer) { ktau.RunFig2C(1).Render(out) },
-	"fig2e":   func(ranks int, out io.Writer) { ktau.RunFig2E(1).Render(out) },
-	"fig3":    func(ranks int, out io.Writer) { ktau.RunFig3(ranks).Render(out) },
-	"fig4":    func(ranks int, out io.Writer) { ktau.RunFig4(ranks).Render(out) },
-	"fig5":    func(ranks int, out io.Writer) { ktau.RunFig5(ranks).Render(out) },
-	"fig6":    func(ranks int, out io.Writer) { ktau.RunFig6(ranks).Render(out) },
-	"fig7":    func(ranks int, out io.Writer) { ktau.RunFig7(ranks).Render(out) },
-	"fig8":    func(ranks int, out io.Writer) { ktau.RunFig8(ranks).Render(out) },
-	"fig9":    func(ranks int, out io.Writer) { ktau.RunFig9(ranks).Render(out) },
-	"fig10":   func(ranks int, out io.Writer) { ktau.RunFig10(ranks).Render(out) },
-	"ionode":  func(ranks int, out io.Writer) { ktau.RunIONodeStudy(1).Render(out) },
-	"faults":  func(ranks int, out io.Writer) { ktau.RunFaultStudy(ranks, 1).Render(out) },
-	"serve":   func(ranks int, out io.Writer) { ktau.RunServeDefault(ranks, 1).Render(out) },
+	"table2":  render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunTable2(ranks, 1) }),
+	"table3":  render(func(int) interface{ Render(io.Writer) } { return ktau.RunTable3(16, 5, 2) }),
+	"table4":  render(func(int) interface{ Render(io.Writer) } { return ktau.RunTable4(100_000) }),
+	"fig2a":   render(func(int) interface{ Render(io.Writer) } { return ktau.RunFig2AB(1) }), // includes 2-B and 2-D
+	"fig2c":   render(func(int) interface{ Render(io.Writer) } { return ktau.RunFig2C(1) }),
+	"fig2e":   render(func(int) interface{ Render(io.Writer) } { return ktau.RunFig2E(1) }),
+	"fig3":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig3(ranks) }),
+	"fig4":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig4(ranks) }),
+	"fig5":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig5(ranks) }),
+	"fig6":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig6(ranks) }),
+	"fig7":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig7(ranks) }),
+	"fig8":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig8(ranks) }),
+	"fig9":    render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig9(ranks) }),
+	"fig10":   render(func(ranks int) interface{ Render(io.Writer) } { return ktau.RunFig10(ranks) }),
+	"ionode":  render(func(int) interface{ Render(io.Writer) } { return ktau.RunIONodeStudy(1) }),
+	"faults":  cellRunner("faults", nil),
+	"serve":   cellRunner("serve", nil),
 	"trace":   runTrace,
-	"traceov": func(ranks int, out io.Writer) { ktau.RunTraceOverhead(ranks, 1).Render(out) },
+	"traceov": cellRunner("traceov", nil),
+}
+
+// cellRunner wraps one sweep-harness spec as a ktau-exp experiment: build
+// the cell parameters from the command-line flags, run the single cell, and
+// print its rendered report. mutate tweaks the parameters before the run.
+func cellRunner(exp string, mutate func(*ktau.SweepParams)) runner {
+	return func(ranks int, out io.Writer) error {
+		cell, err := runExpCell(exp, ranks, mutate)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, cell.Text)
+		return err
+	}
+}
+
+// runExpCell executes one harness cell for an experiment id, surfacing
+// non-ok statuses (panic, error) as errors.
+func runExpCell(exp string, ranks int, mutate func(*ktau.SweepParams)) (*ktau.SweepCell, error) {
+	p := ktau.SweepParams{
+		Exp:      exp,
+		Ranks:    ranks,
+		Seed:     1,
+		Parallel: expParallel,
+		Workers:  expWorkers,
+	}
+	if mutate != nil {
+		mutate(&p)
+	}
+	cell := ktau.RunSweepCell(context.Background(), p)
+	if cell.Status != ktau.SweepOK {
+		return nil, fmt.Errorf("%s: cell %s: %s", exp, cell.Status, cell.Err)
+	}
+	return cell, nil
 }
 
 // runTrace executes the traced cluster run and, with -trace-out, writes the
 // merged Chrome trace and verifies it: the file must parse as JSON and
 // contain at least one correlated MPI flow event.
-func runTrace(ranks int, out io.Writer) {
-	var res *ktau.ClusterTraceResult
-	if traceAdaptive || traceRate < 1 {
-		res = ktau.RunClusterTraceAdaptive(ranks, 1, traceRate)
-	} else {
-		res = ktau.RunClusterTrace(ranks, 1)
+func runTrace(ranks int, out io.Writer) error {
+	cell, err := runExpCell("trace", ranks, func(p *ktau.SweepParams) {
+		p.Trace = "full"
+		if traceAdaptive || traceRate < 1 {
+			p.Trace = "adaptive"
+			p.Rate = traceRate
+		}
+	})
+	if err != nil {
+		return err
 	}
-	res.Render(out)
+	if _, err := io.WriteString(out, cell.Text); err != nil {
+		return err
+	}
 	if traceOut == "" {
-		return
+		return nil
 	}
+	res := cell.Raw.(*ktau.ClusterTraceResult)
 	f, err := os.Create(traceOut)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ktau-exp:", err)
-		os.Exit(1)
+		return err
 	}
 	werr := res.WriteTrace(f)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
-		fmt.Fprintln(os.Stderr, "ktau-exp:", werr)
-		os.Exit(1)
+		return werr
 	}
 	blob, err := os.ReadFile(traceOut)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ktau-exp:", err)
-		os.Exit(1)
+		return err
 	}
 	var events []map[string]any
 	if err := json.Unmarshal(blob, &events); err != nil {
-		fmt.Fprintf(os.Stderr, "ktau-exp: emitted trace is not valid JSON: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("emitted trace is not valid JSON: %w", err)
 	}
 	flows := 0
 	for _, e := range events {
@@ -119,11 +183,11 @@ func runTrace(ranks int, out io.Writer) {
 		}
 	}
 	if flows == 0 {
-		fmt.Fprintln(os.Stderr, "ktau-exp: emitted trace contains no MPI flow events")
-		os.Exit(1)
+		return fmt.Errorf("emitted trace contains no MPI flow events")
 	}
 	fmt.Fprintf(out, "wrote %s: %d events, %d flow events (valid JSON)\n",
 		traceOut, len(events), flows)
+	return nil
 }
 
 func main() {
@@ -132,7 +196,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	parallel := flag.Bool("parallel", false, "run node engines on multiple host CPUs (results are byte-identical to serial)")
-	workers := flag.Int("workers", 0, "host worker goroutines with -parallel (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "host worker goroutines, implies -parallel when positive (0 = GOMAXPROCS)")
 	flag.StringVar(&traceOut, "trace-out", "",
 		"write the merged cluster trace (Perfetto-loadable JSON) to this file (trace experiment)")
 	flag.Float64Var(&traceRate, "trace-rate", 1,
@@ -143,9 +207,25 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 
+	ranksSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ranks" {
+			ranksSet = true
+		}
+	})
+
+	// -workers only has an effect under -parallel; a positive count is an
+	// unambiguous request for parallel execution, so imply it instead of
+	// silently doing nothing.
+	if *workers > 0 && !*parallel {
+		fmt.Fprintf(os.Stderr, "ktau-exp: note: -workers %d implies -parallel\n", *workers)
+		*parallel = true
+	}
 	if *parallel {
 		ktau.SetParallel(true, *workers)
 	}
+	expParallel = *parallel
+	expWorkers = *workers
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -203,28 +283,47 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		fmt.Printf("==== %s ====\n", id)
-		var out io.Writer = os.Stdout
-		var f *os.File
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "ktau-exp:", err)
-				os.Exit(1)
-			}
-			var err error
-			f, err = os.Create(filepath.Join(*outDir, id+".txt"))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ktau-exp:", err)
-				os.Exit(1)
-			}
-			out = io.MultiWriter(os.Stdout, f)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-exp:", err)
+			os.Exit(1)
 		}
-		experimentRunners[id](*ranks, out)
-		if f != nil {
-			f.Close()
-		}
-		fmt.Printf("---- %s done in %v wall ----\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+
+	for _, id := range ids {
+		if ranksSet && fixedScale[id] {
+			fmt.Fprintf(os.Stderr, "ktau-exp: note: %s runs at a fixed scale; -ranks %d ignored\n",
+				id, *ranks)
+		}
+		if err := runOne(id, *ranks, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ktau-exp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runOne executes a single experiment, teeing its output to <outDir>/<id>.txt
+// when requested. The per-experiment file is closed (and its close error
+// surfaced) even when the runner fails.
+func runOne(id string, ranks int, outDir string) (err error) {
+	start := time.Now()
+	fmt.Printf("==== %s ====\n", id)
+	var out io.Writer = os.Stdout
+	if outDir != "" {
+		f, cerr := os.Create(filepath.Join(outDir, id+".txt"))
+		if cerr != nil {
+			return cerr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	if err := experimentRunners[id](ranks, out); err != nil {
+		return err
+	}
+	fmt.Printf("---- %s done in %v wall ----\n\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ktau/internal/cluster"
@@ -201,23 +202,38 @@ func harvest(spec ChibaSpec, c *cluster.Cluster, w *mpisim.World,
 //
 // Several figures derive from the same configurations (Figs. 5, 6, 8 and
 // Table 2 all need the 128x1 and 64x2 family). Runs are deterministic, so
-// they are executed once per spec and memoised.
+// they are executed once per spec and memoised. The sweep harness runs
+// cells concurrently in one process, so the cache is locked; the run
+// itself executes outside the lock (a duplicate concurrent run costs time,
+// never correctness — results for a spec are identical).
 
-var runCache = map[string]*ChibaResult{}
+var (
+	runCacheMu sync.Mutex
+	runCache   = map[string]*ChibaResult{}
+)
 
 // Chiba returns the memoised result for a spec.
 func Chiba(spec ChibaSpec) *ChibaResult {
 	key := fmt.Sprintf("%+v", spec)
-	if r, ok := runCache[key]; ok {
+	runCacheMu.Lock()
+	r, ok := runCache[key]
+	runCacheMu.Unlock()
+	if ok {
 		return r
 	}
-	r := RunChiba(spec)
+	r = RunChiba(spec)
+	runCacheMu.Lock()
 	runCache[key] = r
+	runCacheMu.Unlock()
 	return r
 }
 
 // ResetCache clears the memoised runs (tests use it to bound memory).
-func ResetCache() { runCache = map[string]*ChibaResult{} }
+func ResetCache() {
+	runCacheMu.Lock()
+	defer runCacheMu.Unlock()
+	runCache = map[string]*ChibaResult{}
+}
 
 // LUConfigs returns the five Table-2 configurations for a workload.
 func LUConfigs(work Workload, ranks int, iters int, seed uint64) []ChibaSpec {

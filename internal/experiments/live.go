@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"ktau/internal/cluster"
 	"ktau/internal/faultsim"
 	"ktau/internal/perfmon"
 	"ktau/internal/tracepipe"
@@ -32,6 +33,11 @@ type LiveOptions struct {
 	// runs that crash a node leave the surviving ranks blocked on a dead
 	// peer forever, so crash scenarios set a tight cap.
 	JobDeadline time.Duration
+	// Observe, when non-nil, runs after the harvest but before the cluster
+	// shuts down — the only window in which callers (the sweep harness's
+	// profile fingerprints) can still read node state like packed
+	// /proc/ktau profiles.
+	Observe func(*cluster.Cluster, *LiveResult)
 }
 
 // LiveNodeData is one node's kernel activity as the online store saw it,
@@ -185,6 +191,9 @@ func RunChibaLive(spec ChibaSpec, opts LiveOptions) *LiveResult {
 			}
 		}
 		out.LiveNodes = append(out.LiveNodes, ld)
+	}
+	if opts.Observe != nil {
+		opts.Observe(c, out)
 	}
 	return out
 }

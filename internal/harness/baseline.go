@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed sweep snapshot (testdata/sweeps/<grid>.json).
+// Fingerprints and statuses are matched exactly; metrics are exact unless a
+// tolerance band is recorded; wall-clock is gated only by a generous
+// multiplier because it is the one host-dependent quantity.
+type Baseline struct {
+	Grid string `json:"grid"`
+	// WallTolX allows a cell's wall time to exceed the recorded one by this
+	// factor before failing (0 = don't gate wall-clock at all). The
+	// mandatory per-cell timeout still bounds every run.
+	WallTolX float64 `json:"wall_tol_x"`
+	// MetricTol maps metric name -> absolute tolerance band. Metrics not
+	// listed must match exactly (virtual-time quantities are deterministic).
+	MetricTol map[string]float64 `json:"metric_tol,omitempty"`
+	Cells     []BaselineCell     `json:"cells"`
+}
+
+// BaselineCell is one cell's committed expectation.
+type BaselineCell struct {
+	Name         string             `json:"name"`
+	Status       string             `json:"status"`
+	WallMS       float64            `json:"wall_ms"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	Fingerprints map[string]string  `json:"fingerprints,omitempty"`
+}
+
+// slowdownTol is the default absolute band (percentage points) applied to
+// *_slowdown_pct metrics when a baseline is recorded: slowdowns are ratios
+// of virtual times and deterministic, but they are the metrics whose exact
+// values legitimately move when the perturbation model is tuned, so they
+// get a band instead of byte-exactness.
+const slowdownTol = 2.0
+
+// NewBaseline snapshots a sweep result: wall tolerance 25x (loose enough
+// for any host, loud for a real hang) and slowdown bands applied.
+func NewBaseline(res *SweepResult) *Baseline {
+	b := &Baseline{Grid: res.Grid, WallTolX: 25, MetricTol: map[string]float64{}}
+	for _, cell := range res.Cells {
+		bc := BaselineCell{
+			Name:         cell.Name,
+			Status:       cell.Status,
+			WallMS:       math.Round(cell.WallMS),
+			Metrics:      cell.Metrics,
+			Fingerprints: cell.Fingerprints,
+		}
+		b.Cells = append(b.Cells, bc)
+		for k := range cell.Metrics {
+			if strings.HasSuffix(k, "_slowdown_pct") {
+				b.MetricTol[k] = slowdownTol
+			}
+		}
+	}
+	if len(b.MetricTol) == 0 {
+		b.MetricTol = nil
+	}
+	return b
+}
+
+// SaveBaseline writes the baseline, creating parent directories.
+func SaveBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline strictly: unknown fields and duplicate keys
+// anywhere in the document are errors, not silently-last-wins.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Duplicate keys would be silently merged by Unmarshal; scan first.
+	if _, err := FlattenJSON(data); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var b Baseline
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// DiffBaseline compares a sweep result against a baseline and returns one
+// human-readable violation per mismatch, each naming the cell and the key.
+// An empty slice means the gate passes. The comparison is symmetric about
+// coverage: cells, metric keys and fingerprint keys missing from either
+// side fail loudly rather than being skipped.
+func DiffBaseline(base *Baseline, res *SweepResult) []string {
+	var v []string
+	if base.Grid != res.Grid {
+		v = append(v, fmt.Sprintf("grid mismatch: baseline %q vs sweep %q", base.Grid, res.Grid))
+	}
+	got := map[string]*CellResult{}
+	for _, c := range res.Cells {
+		if _, dup := got[c.Name]; dup {
+			v = append(v, fmt.Sprintf("cell %s: duplicated in sweep results", c.Name))
+		}
+		got[c.Name] = c
+	}
+	seen := map[string]bool{}
+	for _, bc := range base.Cells {
+		if seen[bc.Name] {
+			v = append(v, fmt.Sprintf("cell %s: duplicated in baseline", bc.Name))
+		}
+		seen[bc.Name] = true
+		c, ok := got[bc.Name]
+		if !ok {
+			v = append(v, fmt.Sprintf("cell %s: in baseline but missing from sweep", bc.Name))
+			continue
+		}
+		v = append(v, diffCell(base, &bc, c)...)
+	}
+	// Extra cells are as loud as missing ones: a grid change must come with
+	// a baseline update.
+	var extra []string
+	for name := range got {
+		if !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		v = append(v, fmt.Sprintf("cell %s: in sweep but missing from baseline (run -update-baselines?)", name))
+	}
+	return v
+}
+
+func diffCell(base *Baseline, bc *BaselineCell, c *CellResult) []string {
+	var v []string
+	if c.Status != bc.Status {
+		v = append(v, fmt.Sprintf("cell %s: status %q != baseline %q (%s)", bc.Name, c.Status, bc.Status, c.Err))
+		// A status flip invalidates everything downstream; stop here.
+		return v
+	}
+	if base.WallTolX > 0 && bc.WallMS > 0 && c.WallMS > base.WallTolX*bc.WallMS {
+		v = append(v, fmt.Sprintf("cell %s: wall %.0fms exceeds %gx baseline %.0fms",
+			bc.Name, c.WallMS, base.WallTolX, bc.WallMS))
+	}
+	v = append(v, diffKeys(bc.Name, "metric", keysF(bc.Metrics), keysF(c.Metrics))...)
+	for _, k := range sortedKeysF(bc.Metrics) {
+		want := bc.Metrics[k]
+		have, ok := c.Metrics[k]
+		if !ok {
+			continue // already reported by diffKeys
+		}
+		tol := base.MetricTol[k]
+		if math.Abs(have-want) > tol {
+			v = append(v, fmt.Sprintf("cell %s: metric %s = %g outside baseline %g ± %g",
+				bc.Name, k, have, want, tol))
+		}
+	}
+	v = append(v, diffKeys(bc.Name, "fingerprint", keysS(bc.Fingerprints), keysS(c.Fingerprints))...)
+	for _, k := range sortedKeysS(bc.Fingerprints) {
+		want := bc.Fingerprints[k]
+		have, ok := c.Fingerprints[k]
+		if !ok {
+			continue
+		}
+		if have != want {
+			v = append(v, fmt.Sprintf("cell %s: fingerprint %s = %.16s... != baseline %.16s...",
+				bc.Name, k, have, want))
+		}
+	}
+	return v
+}
+
+// diffKeys reports keys present on one side only.
+func diffKeys(cell, kind string, want, have map[string]bool) []string {
+	var v []string
+	var missing, extra []string
+	for k := range want {
+		if !have[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range have {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, k := range missing {
+		v = append(v, fmt.Sprintf("cell %s: %s %s missing from sweep result", cell, kind, k))
+	}
+	for _, k := range extra {
+		v = append(v, fmt.Sprintf("cell %s: %s %s not in baseline", cell, kind, k))
+	}
+	return v
+}
+
+func keysF(m map[string]float64) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func keysS(m map[string]string) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysS(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fakeSweep() *SweepResult {
+	return &SweepResult{
+		Grid: "faketest",
+		Cells: []*CellResult{
+			{
+				Name:         "fake/r8-serial-none-off-s1",
+				Params:       Params{Exp: "fake", Ranks: 8, Seed: 1},
+				Status:       StatusOK,
+				WallMS:       120,
+				Metrics:      map[string]float64{"v": 8, "x_slowdown_pct": 3.0},
+				Fingerprints: map[string]string{"fp": "cafe"},
+			},
+			{
+				Name:         "fake/r16-serial-none-off-s1",
+				Params:       Params{Exp: "fake", Ranks: 16, Seed: 1},
+				Status:       StatusOK,
+				WallMS:       240,
+				Metrics:      map[string]float64{"v": 16, "x_slowdown_pct": 4.5},
+				Fingerprints: map[string]string{"fp": "beef"},
+			},
+		},
+	}
+}
+
+func TestBaselineAcceptsIdenticalSweep(t *testing.T) {
+	res := fakeSweep()
+	base := NewBaseline(res)
+	if v := DiffBaseline(base, res); len(v) != 0 {
+		t.Fatalf("identical sweep rejected: %v", v)
+	}
+}
+
+func TestBaselineSlowdownTolerance(t *testing.T) {
+	res := fakeSweep()
+	base := NewBaseline(fakeSweep())
+	// Inside the ±2 band: accepted.
+	res.Cells[0].Metrics["x_slowdown_pct"] = 4.5
+	if v := DiffBaseline(base, res); len(v) != 0 {
+		t.Fatalf("slowdown inside tolerance rejected: %v", v)
+	}
+	// Outside the band: rejected, naming cell and key.
+	res.Cells[0].Metrics["x_slowdown_pct"] = 6.0
+	v := DiffBaseline(base, res)
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+	if !strings.Contains(v[0], "fake/r8-serial-none-off-s1") ||
+		!strings.Contains(v[0], "x_slowdown_pct") {
+		t.Fatalf("violation does not name cell and key: %q", v[0])
+	}
+}
+
+func TestBaselineRejectsPerturbations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*SweepResult)
+		wantAll []string
+	}{
+		{
+			name:    "metric value",
+			mutate:  func(r *SweepResult) { r.Cells[0].Metrics["v"] = 9 },
+			wantAll: []string{"fake/r8-serial-none-off-s1", "metric v"},
+		},
+		{
+			name:    "fingerprint",
+			mutate:  func(r *SweepResult) { r.Cells[1].Fingerprints["fp"] = "dead" },
+			wantAll: []string{"fake/r16-serial-none-off-s1", "fingerprint fp"},
+		},
+		{
+			name:    "status flip",
+			mutate:  func(r *SweepResult) { r.Cells[0].Status = StatusTimeout },
+			wantAll: []string{"fake/r8-serial-none-off-s1", "status"},
+		},
+		{
+			name:    "missing metric key",
+			mutate:  func(r *SweepResult) { delete(r.Cells[0].Metrics, "v") },
+			wantAll: []string{"metric v missing"},
+		},
+		{
+			name: "extra metric key",
+			mutate: func(r *SweepResult) {
+				r.Cells[0].Metrics["surprise"] = 1
+			},
+			wantAll: []string{"metric surprise not in baseline"},
+		},
+		{
+			name:    "missing cell",
+			mutate:  func(r *SweepResult) { r.Cells = r.Cells[:1] },
+			wantAll: []string{"missing from sweep"},
+		},
+		{
+			name: "extra cell",
+			mutate: func(r *SweepResult) {
+				r.Cells = append(r.Cells, &CellResult{
+					Name:   "fake/r32-serial-none-off-s1",
+					Status: StatusOK,
+				})
+			},
+			wantAll: []string{"missing from baseline"},
+		},
+		{
+			name:    "grid rename",
+			mutate:  func(r *SweepResult) { r.Grid = "other" },
+			wantAll: []string{"grid mismatch"},
+		},
+		{
+			name:    "wall blowup",
+			mutate:  func(r *SweepResult) { r.Cells[0].WallMS = 1e9 },
+			wantAll: []string{"wall", "exceeds"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := fakeSweep()
+			base := NewBaseline(fakeSweep())
+			tc.mutate(res)
+			v := DiffBaseline(base, res)
+			if len(v) == 0 {
+				t.Fatal("perturbation accepted")
+			}
+			all := strings.Join(v, "\n")
+			for _, want := range tc.wantAll {
+				if !strings.Contains(all, want) {
+					t.Errorf("violations missing %q:\n%s", want, all)
+				}
+			}
+		})
+	}
+}
+
+func TestBaselineSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "faketest.json")
+	res := fakeSweep()
+	base := NewBaseline(res)
+	if err := SaveBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := DiffBaseline(back, res); len(v) != 0 {
+		t.Fatalf("round-tripped baseline rejects the sweep it recorded: %v", v)
+	}
+	if back.WallTolX != base.WallTolX || back.Grid != base.Grid {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, base)
+	}
+}
+
+func TestLoadBaselineRejectsDuplicateKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.json")
+	blob := `{"grid": "g", "grid": "h", "wall_tol_x": 25, "cells": []}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBaseline(path)
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("duplicate key accepted: %v", err)
+	}
+}
+
+func TestLoadBaselineRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unknown.json")
+	blob := `{"grid": "g", "wall_tol_x": 25, "cells": [], "extra": 1}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// The BENCH_*.json regression gates, formerly sed/awk scraping in
+// scripts/check.sh. Each check names a flattened (dot-joined) key that must
+// exist exactly once and satisfy the comparison; parsing is strict — a
+// missing, duplicated or non-numeric key fails loudly instead of producing
+// an empty or multi-line sed capture.
+
+// BenchCheck is one threshold on one flattened key.
+type BenchCheck struct {
+	Key   string  // dotted path, e.g. "chiba32_serial.chiba_speedup_x"
+	Op    string  // "<=", ">=", "<"
+	Limit float64 // threshold
+	Why   string  // one-line rationale printed on failure
+}
+
+// benchGates maps BENCH file name -> its checks. Files listed with no
+// checks are still strict-parsed (duplicate-key detection).
+var benchGates = map[string][]BenchCheck{
+	"BENCH_trace.json": {
+		{Key: "profile_slowdown_pct", Op: "<=", Limit: 5,
+			Why: "profile pipeline must stay inside the paper's daemon budget"},
+		{Key: "full_trace_slowdown_pct", Op: "<=", Limit: 25,
+			Why: "full-trace regression ceiling"},
+		{Key: "adaptive_slowdown_pct", Op: "<", Limit: 5,
+			Why: "always-on budget: the adaptive configuration is meant to stay on"},
+	},
+	"BENCH_core.json": {
+		{Key: "chiba32_serial.chiba_speedup_x", Op: ">=", Limit: 1.25,
+			Why: "serial Chiba must stay well ahead of the recorded seed baseline"},
+	},
+	"BENCH_serve.json": {
+		{Key: "p99_ratio", Op: "<=", Limit: 1.25,
+			Why: "serving tail may not stretch more than 25% past the recorded baseline"},
+		{Key: "rps_ratio", Op: ">=", Limit: 0.80,
+			Why: "completed throughput may not drop below 80% of the recorded baseline"},
+	},
+	"BENCH_parallel.json": nil,
+}
+
+// BenchFiles lists the gated file names, sorted.
+func BenchFiles() []string {
+	out := make([]string, 0, len(benchGates))
+	for name := range benchGates {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// GateBenchFiles strict-parses every BENCH file in dir and applies its
+// checks, returning one violation string per failure (empty = all green).
+// Missing files are violations: a gate that silently skips is no gate.
+// Passing checks are logged to log (if non-nil) so check.sh output still
+// shows the measured values.
+func GateBenchFiles(dir string, log io.Writer) []string {
+	var v []string
+	for _, name := range BenchFiles() {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			v = append(v, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		flat, err := FlattenJSON(data)
+		if err != nil {
+			v = append(v, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		for _, c := range benchGates[name] {
+			val, ok := flat[c.Key]
+			if !ok {
+				v = append(v, fmt.Sprintf("%s: key %q missing (or non-numeric)", name, c.Key))
+				continue
+			}
+			if !c.holds(val) {
+				v = append(v, fmt.Sprintf("%s: %s = %g violates %s %g — %s",
+					name, c.Key, val, c.Op, c.Limit, c.Why))
+				continue
+			}
+			if log != nil {
+				fmt.Fprintf(log, "%s: %s = %g %s %g ok\n", name, c.Key, val, c.Op, c.Limit)
+			}
+		}
+	}
+	return v
+}
+
+func (c BenchCheck) holds(val float64) bool {
+	switch c.Op {
+	case "<=":
+		return val <= c.Limit
+	case ">=":
+		return val >= c.Limit
+	case "<":
+		return val < c.Limit
+	case ">":
+		return val > c.Limit
+	default:
+		return false
+	}
+}
+
+// CheckBenchPayload validates a BENCH payload at write time: it must
+// strict-parse, and every key its gate will read must already be present.
+// The bench writers call this so a renamed key fails the benchmark that
+// writes the file, not a later check.sh run.
+func CheckBenchPayload(path string, data []byte) error {
+	flat, err := FlattenJSON(data)
+	if err != nil {
+		return err
+	}
+	for _, c := range benchGates[filepath.Base(path)] {
+		if _, ok := flat[c.Key]; !ok {
+			return fmt.Errorf("%s: gated key %q missing (or non-numeric)", filepath.Base(path), c.Key)
+		}
+	}
+	return nil
+}
+
+// FlattenJSON parses a JSON document into dotted-key/numeric-value pairs
+// ("rows.2.slowdown_pct": 3.28). Non-numeric leaves are skipped for the
+// value map but still checked structurally. Duplicate keys at any object
+// level are an error — the exact failure mode sed scraping silently
+// mangled into multi-line captures.
+func FlattenJSON(data []byte) (map[string]float64, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	out := map[string]float64{}
+	if err := flattenValue(dec, "", out); err != nil {
+		return nil, err
+	}
+	// Trailing garbage after the top-level value is an error too.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after JSON document")
+	}
+	return out, nil
+}
+
+func flattenValue(dec *json.Decoder, prefix string, out map[string]float64) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("at %q: %w", prefix, err)
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			seen := map[string]bool{}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return fmt.Errorf("at %q: %w", prefix, err)
+				}
+				key := keyTok.(string)
+				if seen[key] {
+					return fmt.Errorf("duplicate key %q in object %q", key, orRoot(prefix))
+				}
+				seen[key] = true
+				if err := flattenValue(dec, join(prefix, key), out); err != nil {
+					return err
+				}
+			}
+			_, err := dec.Token() // consume '}'
+			return err
+		case '[':
+			for i := 0; dec.More(); i++ {
+				if err := flattenValue(dec, join(prefix, strconv.Itoa(i)), out); err != nil {
+					return err
+				}
+			}
+			_, err := dec.Token() // consume ']'
+			return err
+		}
+		return fmt.Errorf("unexpected delimiter %v at %q", t, prefix)
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return nil // e.g. out-of-range; structurally fine, just not gateable
+		}
+		out[prefix] = f
+		return nil
+	case bool:
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+		return nil
+	default: // string, nil
+		return nil
+	}
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+func orRoot(prefix string) string {
+	if prefix == "" {
+		return "(root)"
+	}
+	return prefix
+}

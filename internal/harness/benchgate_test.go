@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodBench writes a passing set of BENCH files into dir.
+func goodBench(t *testing.T, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"BENCH_trace.json": `{
+  "profile_slowdown_pct": 2.5,
+  "full_trace_slowdown_pct": 12.0,
+  "adaptive_slowdown_pct": 1.1,
+  "rows": [{"config": "Off", "slowdown_pct": 0}]
+}`,
+		"BENCH_core.json": `{
+  "chiba32_serial": {"chiba_speedup_x": 1.8, "alloc_reduction_x": "inf"}
+}`,
+		"BENCH_serve.json": `{
+  "p99_ratio": 1.02,
+  "rps_ratio": 0.97
+}`,
+		"BENCH_parallel.json": `{"speedup": 1.0, "identical_results": true}`,
+	}
+	for name, blob := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGateBenchFilesPass(t *testing.T) {
+	dir := t.TempDir()
+	goodBench(t, dir)
+	var log bytes.Buffer
+	if v := GateBenchFiles(dir, &log); len(v) != 0 {
+		t.Fatalf("good files rejected: %v", v)
+	}
+	// Passing values are still reported for the check.sh transcript.
+	if !strings.Contains(log.String(), "chiba32_serial.chiba_speedup_x") {
+		t.Errorf("gate log missing measured values:\n%s", log.String())
+	}
+}
+
+func TestGateBenchFilesMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	goodBench(t, dir)
+	os.Remove(filepath.Join(dir, "BENCH_serve.json"))
+	v := GateBenchFiles(dir, nil)
+	if len(v) == 0 || !strings.Contains(strings.Join(v, "\n"), "BENCH_serve.json") {
+		t.Fatalf("missing file not flagged: %v", v)
+	}
+}
+
+func TestGateBenchFilesMissingKey(t *testing.T) {
+	dir := t.TempDir()
+	goodBench(t, dir)
+	blob := `{"p99_ratio": 1.0}` // rps_ratio gone
+	os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), []byte(blob), 0o644)
+	v := strings.Join(GateBenchFiles(dir, nil), "\n")
+	if !strings.Contains(v, `"rps_ratio" missing`) {
+		t.Fatalf("missing key not flagged: %v", v)
+	}
+}
+
+func TestGateBenchFilesDuplicateKey(t *testing.T) {
+	dir := t.TempDir()
+	goodBench(t, dir)
+	blob := `{"p99_ratio": 1.0, "p99_ratio": 2.0, "rps_ratio": 0.9}`
+	os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), []byte(blob), 0o644)
+	v := strings.Join(GateBenchFiles(dir, nil), "\n")
+	if !strings.Contains(v, "duplicate key") {
+		t.Fatalf("duplicate key not flagged: %v", v)
+	}
+}
+
+func TestGateBenchFilesThreshold(t *testing.T) {
+	dir := t.TempDir()
+	goodBench(t, dir)
+	blob := `{"p99_ratio": 1.5, "rps_ratio": 0.97}` // tail stretched past 1.25x
+	os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), []byte(blob), 0o644)
+	v := strings.Join(GateBenchFiles(dir, nil), "\n")
+	if !strings.Contains(v, "p99_ratio") || !strings.Contains(v, "violates") {
+		t.Fatalf("threshold violation not flagged: %v", v)
+	}
+}
+
+func TestCheckBenchPayload(t *testing.T) {
+	ok := []byte(`{"p99_ratio": 1.0, "rps_ratio": 0.9}`)
+	if err := CheckBenchPayload("BENCH_serve.json", ok); err != nil {
+		t.Fatal(err)
+	}
+	missing := []byte(`{"p99_ratio": 1.0}`)
+	if err := CheckBenchPayload("BENCH_serve.json", missing); err == nil {
+		t.Fatal("missing gated key accepted at write time")
+	}
+	// Ungated file: only structural strictness applies.
+	if err := CheckBenchPayload("BENCH_parallel.json", []byte(`{"a": 1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBenchPayload("BENCH_parallel.json", []byte(`{"a": 1, "a": 2}`)); err == nil {
+		t.Fatal("duplicate key accepted at write time")
+	}
+}
+
+func TestFlattenJSON(t *testing.T) {
+	blob := []byte(`{
+  "a": 1.5,
+  "b": {"c": 2, "d": "text", "e": null},
+  "rows": [{"x": 3}, {"x": 4}],
+  "flag": true
+}`)
+	flat, err := FlattenJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"a": 1.5, "b.c": 2, "rows.0.x": 3, "rows.1.x": 4, "flag": 1,
+	}
+	if len(flat) != len(want) {
+		t.Fatalf("got %v, want %v", flat, want)
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("%s = %g, want %g", k, flat[k], v)
+		}
+	}
+}
+
+func TestFlattenJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"nested duplicate": `{"a": {"x": 1, "x": 2}}`,
+		"trailing data":    `{"a": 1} {"b": 2}`,
+		"not json":         `hello`,
+	}
+	for name, blob := range cases {
+		if _, err := FlattenJSON([]byte(blob)); err == nil {
+			t.Errorf("%s: accepted %q", name, blob)
+		}
+	}
+}

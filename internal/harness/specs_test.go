@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestChibaCellDeterminism re-runs a real cell and demands byte-identical
+// StableJSON — the property committed baselines depend on.
+func TestChibaCellDeterminism(t *testing.T) {
+	p := Params{Exp: "chiba", Ranks: 8, Faults: "degraded", Seed: 42}
+	a := RunCell(context.Background(), p)
+	b := RunCell(context.Background(), p)
+	if a.Status != StatusOK {
+		t.Fatalf("cell failed: %s %s", a.Status, a.Err)
+	}
+	ja, err := a.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same cell, different StableJSON:\n%s\nvs\n%s", ja, jb)
+	}
+	for _, key := range []string{"profile", "store"} {
+		if a.Fingerprints[key] == "" {
+			t.Errorf("fingerprint %q missing", key)
+		}
+	}
+}
+
+// TestSerialParallelFingerprints checks the crown-jewel invariant through
+// the harness: cells differing only in execution mode carry identical
+// fingerprints and metrics, and a concurrent sweep (Jobs > 1) reproduces a
+// serial sweep's results exactly.
+func TestSerialParallelFingerprints(t *testing.T) {
+	grid := Grid{
+		Name:    "modes",
+		Exp:     "chiba",
+		Ranks:   []int{8},
+		Workers: []int{0, 4},
+		Seeds:   []uint64{5},
+	}
+	serial, err := RunSweep(grid, SweepConfig{Timeout: time.Minute, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunSweep(grid, SweepConfig{Timeout: time.Minute, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Cells) != 2 || len(conc.Cells) != 2 {
+		t.Fatalf("expected 2 cells per sweep, got %d and %d", len(serial.Cells), len(conc.Cells))
+	}
+	for _, res := range []*SweepResult{serial, conc} {
+		for _, c := range res.Cells {
+			if c.Status != StatusOK {
+				t.Fatalf("cell %s failed: %s %s", c.Name, c.Status, c.Err)
+			}
+		}
+	}
+	// Serial cell vs parallel cell within one sweep: identical digests.
+	s, p := serial.Cells[0], serial.Cells[1]
+	for key, want := range s.Fingerprints {
+		if got := p.Fingerprints[key]; got != want {
+			t.Errorf("fingerprint %q differs between serial and parallel cells:\n%s\nvs\n%s",
+				key, want, got)
+		}
+	}
+	// Jobs=1 vs Jobs=2 sweeps: identical StableJSON per position.
+	for i := range serial.Cells {
+		ja, err := serial.Cells[i].StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := conc.Cells[i].StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("cell %d differs between Jobs=1 and Jobs=2 sweeps:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+}
