@@ -22,6 +22,7 @@ import (
 	"ktau/internal/tau"
 	"ktau/internal/tcpsim"
 	"ktau/internal/tracepipe"
+	"ktau/internal/views"
 	"ktau/internal/workload"
 )
 
@@ -810,4 +811,23 @@ var (
 	GateBenchFiles    = harness.GateBenchFiles
 	CheckBenchPayload = harness.CheckBenchPayload
 	FlattenBenchJSON  = harness.FlattenJSON
+)
+
+// ---- integrated performance views (internal/views) ----
+
+// Report is a built cross-layer performance view: a deterministic tree of
+// sections, facts, tables and bar panels that renders to self-contained
+// HTML or markdown with identical structure in both formats.
+type Report = views.Report
+
+// View builders and renderers. BuildCellReport turns one sweep cell into the
+// full cross-layer view (per-rank breakdowns, noise overlays, tail
+// attribution — depending on what the cell captured); BuildSweepReport covers
+// a whole sweep with baseline deltas inline; BuildTextReport wraps plain
+// captured output; WriteReportFile picks HTML or markdown by file extension.
+var (
+	BuildCellReport  = views.BuildCell
+	BuildSweepReport = views.BuildSweep
+	BuildTextReport  = views.BuildText
+	WriteReportFile  = views.WriteFile
 )

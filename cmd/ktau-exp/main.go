@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -71,6 +72,15 @@ var (
 var (
 	expParallel bool
 	expWorkers  int
+)
+
+// reportOut is the -report path. Cell-backed experiments (faults, serve,
+// trace, traceov) get the full cross-layer view built from the cell's raw
+// result; classic table/figure experiments get their captured text wrapped
+// as a report. lastCell carries the cell from the runner to the builder.
+var (
+	reportOut string
+	lastCell  *ktau.SweepCell
 )
 
 func render(fn func(ranks int) interface{ Render(io.Writer) }) runner {
@@ -133,6 +143,7 @@ func runExpCell(exp string, ranks int, mutate func(*ktau.SweepParams)) (*ktau.Sw
 	if cell.Status != ktau.SweepOK {
 		return nil, fmt.Errorf("%s: cell %s: %s", exp, cell.Status, cell.Err)
 	}
+	lastCell = cell
 	return cell, nil
 }
 
@@ -205,6 +216,8 @@ func main() {
 		"run the trace experiment with the adaptive pipeline (sampling, throttling, focus loop)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
+	flag.StringVar(&reportOut, "report", "",
+		"write a cross-layer performance report (.html or .md) for the experiment (single experiment only)")
 	flag.Parse()
 
 	ranksSet := false
@@ -282,6 +295,10 @@ func main() {
 			*exp, strings.Join(known, ", "))
 		os.Exit(2)
 	}
+	if reportOut != "" && len(ids) != 1 {
+		fmt.Fprintln(os.Stderr, `ktau-exp: -report covers a single experiment; pick one instead of "all"`)
+		os.Exit(2)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -304,7 +321,9 @@ func main() {
 
 // runOne executes a single experiment, teeing its output to <outDir>/<id>.txt
 // when requested. The per-experiment file is closed (and its close error
-// surfaced) even when the runner fails.
+// surfaced) even when the runner fails. With -report, the cross-layer view
+// is written after the run: cell-backed experiments render the structured
+// cell report, everything else wraps the captured text.
 func runOne(id string, ranks int, outDir string) (err error) {
 	start := time.Now()
 	fmt.Printf("==== %s ====\n", id)
@@ -319,10 +338,26 @@ func runOne(id string, ranks int, outDir string) (err error) {
 				err = cerr
 			}
 		}()
-		out = io.MultiWriter(os.Stdout, f)
+		out = io.MultiWriter(out, f)
+	}
+	var captured bytes.Buffer
+	if reportOut != "" {
+		out = io.MultiWriter(out, &captured)
 	}
 	if err := experimentRunners[id](ranks, out); err != nil {
 		return err
+	}
+	if reportOut != "" {
+		var rep *ktau.Report
+		if lastCell != nil {
+			rep = ktau.BuildCellReport(lastCell)
+		} else {
+			rep = ktau.BuildTextReport("ktau-exp "+id, captured.String())
+		}
+		if err := ktau.WriteReportFile(reportOut, rep); err != nil {
+			return err
+		}
+		fmt.Println("report written:", reportOut)
 	}
 	fmt.Printf("---- %s done in %v wall ----\n\n", id, time.Since(start).Round(time.Millisecond))
 	return nil

@@ -11,6 +11,9 @@
 //	ktau-sweep -exp chiba -ranks 8,16 -workers 0,4 -faults none,degraded \
 //	           -trace full,adaptive:0.25 -seeds 1,2    # ad-hoc grid
 //	ktau-sweep -bench-gate                    # strict-parse + threshold-gate BENCH_*.json
+//	ktau-sweep -grid smoke -report out.html   # cross-layer sweep report (.md also supported)
+//	ktau-sweep -grid smoke -record PR9        # append to testdata/longitudinal/smoke.jsonl
+//	ktau-sweep -grid smoke -trend trend.md    # render the longitudinal trend, no sweep run
 //
 // Every cell is bounded: a hung simulation is recorded as a "timeout" cell
 // and the sweep completes with a full per-cell report; a panicking cell is
@@ -25,9 +28,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"ktau/internal/harness"
+	"ktau/internal/views"
 )
 
 func main() {
@@ -50,6 +55,10 @@ func main() {
 		benchDir  = flag.String("bench-dir", ".", "directory holding the BENCH_*.json files for -bench-gate")
 		list      = flag.Bool("list", false, "list named grids and registered specs, then exit")
 		asJSON    = flag.Bool("json", false, "print the full sweep report as JSON")
+		report    = flag.String("report", "", "comma-separated report paths (.html or .md); baseline deltas included when the baseline loads")
+		record    = flag.String("record", "", "append the sweep (plus BENCH_*.json snapshots) to the grid's longitudinal history under this label")
+		longDir   = flag.String("longdir", filepath.Join("testdata", "longitudinal"), "directory holding per-grid longitudinal histories")
+		trendOut  = flag.String("trend", "", "render the grid's longitudinal trend report to this path and exit (no sweep is run)")
 	)
 	flag.Parse()
 
@@ -95,6 +104,20 @@ func main() {
 		basePath = filepath.Join("testdata", "sweeps", grid.Name+".json")
 	}
 
+	if *trendOut != "" {
+		entries, err := views.LoadTrend(views.TrendPath(*longDir, grid.Name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-sweep:", err)
+			os.Exit(1)
+		}
+		if err := views.WriteFile(*trendOut, views.BuildTrend(grid.Name, entries)); err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trend report written: %s (%d entries)\n", *trendOut, len(entries))
+		return
+	}
+
 	start := time.Now()
 	fmt.Printf("sweep %s: %d cells, per-cell timeout %v, %d concurrent\n",
 		grid.Name, len(grid.Cells()), *timeout, *jobs)
@@ -113,6 +136,40 @@ func main() {
 
 	if *asJSON {
 		printJSON(res)
+	}
+
+	if *report != "" {
+		// Best-effort baseline: deltas appear inline when the committed
+		// baseline loads; a brand-new grid renders plain metrics instead.
+		b, err := harness.LoadBaseline(basePath)
+		if err != nil {
+			b = nil
+		}
+		rep := views.BuildSweep(res, b)
+		for _, path := range strings.Split(*report, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			if err := views.WriteFile(path, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "ktau-sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Println("report written:", path)
+		}
+	}
+
+	if *record != "" {
+		entry := views.NewTrendEntry(*record, res)
+		if err := entry.CollectBench(*benchDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-sweep:", err)
+			os.Exit(1)
+		}
+		trendPath := views.TrendPath(*longDir, grid.Name)
+		if err := views.AppendTrend(trendPath, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "ktau-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("longitudinal: recorded %q in %s\n", *record, trendPath)
 	}
 
 	switch {

@@ -15,6 +15,10 @@ import (
 // tolerance band is recorded; wall-clock is gated only by a generous
 // multiplier because it is the one host-dependent quantity.
 type Baseline struct {
+	// Path is where the baseline was loaded from; DiffBaseline includes it
+	// in every violation so a failing CI log names the file to re-record
+	// without a local re-run. Not persisted.
+	Path string `json:"-"`
 	Grid string `json:"grid"`
 	// WallTolX allows a cell's wall time to exceed the recorded one by this
 	// factor before failing (0 = don't gate wall-clock at all). The
@@ -96,7 +100,25 @@ func LoadBaseline(path string) (*Baseline, error) {
 	if err := dec.Decode(&b); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
+	b.Path = path
 	return &b, nil
+}
+
+// context renders the diagnostic tail every gate violation carries: the
+// offending cell's full parameter set (when known) and the baseline path —
+// enough to rerun exactly the failing cell and to know which file to
+// re-record, without reproducing the whole sweep locally.
+func (b *Baseline) context(p *Params) string {
+	var sb strings.Builder
+	if p != nil {
+		if data, err := json.Marshal(p); err == nil {
+			fmt.Fprintf(&sb, " [params %s]", data)
+		}
+	}
+	if b.Path != "" {
+		fmt.Fprintf(&sb, " [baseline %s]", b.Path)
+	}
+	return sb.String()
 }
 
 // DiffBaseline compares a sweep result against a baseline and returns one
@@ -107,27 +129,35 @@ func LoadBaseline(path string) (*Baseline, error) {
 func DiffBaseline(base *Baseline, res *SweepResult) []string {
 	var v []string
 	if base.Grid != res.Grid {
-		v = append(v, fmt.Sprintf("grid mismatch: baseline %q vs sweep %q", base.Grid, res.Grid))
+		v = append(v, fmt.Sprintf("grid mismatch: baseline %q vs sweep %q%s",
+			base.Grid, res.Grid, base.context(nil)))
 	}
 	got := map[string]*CellResult{}
 	for _, c := range res.Cells {
 		if _, dup := got[c.Name]; dup {
-			v = append(v, fmt.Sprintf("cell %s: duplicated in sweep results", c.Name))
+			v = append(v, fmt.Sprintf("cell %s: duplicated in sweep results%s",
+				c.Name, base.context(&c.Params)))
 		}
 		got[c.Name] = c
 	}
 	seen := map[string]bool{}
 	for _, bc := range base.Cells {
 		if seen[bc.Name] {
-			v = append(v, fmt.Sprintf("cell %s: duplicated in baseline", bc.Name))
+			v = append(v, fmt.Sprintf("cell %s: duplicated in baseline%s", bc.Name, base.context(nil)))
 		}
 		seen[bc.Name] = true
 		c, ok := got[bc.Name]
 		if !ok {
-			v = append(v, fmt.Sprintf("cell %s: in baseline but missing from sweep", bc.Name))
+			v = append(v, fmt.Sprintf("cell %s: in baseline but missing from sweep%s",
+				bc.Name, base.context(nil)))
 			continue
 		}
-		v = append(v, diffCell(base, &bc, c)...)
+		// Every per-cell mismatch line carries the cell's full parameters and
+		// the baseline path so a failing CI run is diagnosable as-is.
+		ctx := base.context(&c.Params)
+		for _, m := range diffCell(base, &bc, c) {
+			v = append(v, m+ctx)
+		}
 	}
 	// Extra cells are as loud as missing ones: a grid change must come with
 	// a baseline update.
@@ -139,7 +169,8 @@ func DiffBaseline(base *Baseline, res *SweepResult) []string {
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		v = append(v, fmt.Sprintf("cell %s: in sweep but missing from baseline (run -update-baselines?)", name))
+		v = append(v, fmt.Sprintf("cell %s: in sweep but missing from baseline (run -update-baselines?)%s",
+			name, base.context(&got[name].Params)))
 	}
 	return v
 }

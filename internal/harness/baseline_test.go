@@ -137,6 +137,39 @@ func TestBaselineRejectsPerturbations(t *testing.T) {
 	}
 }
 
+// TestBaselineViolationsCarryContext pins the diagnosability contract: a
+// gate failure line from a loaded baseline names the offending cell's full
+// parameter set and the baseline file, so a CI log is actionable without a
+// local re-run.
+func TestBaselineViolationsCarryContext(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faketest.json")
+	if err := SaveBaseline(path, NewBaseline(fakeSweep())); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fakeSweep()
+	res.Cells[1].Fingerprints["fp"] = "dead"
+	v := DiffBaseline(base, res)
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+	for _, want := range []string{
+		`[params {`, `"exp":"fake"`, `"ranks":16`, "[baseline " + path + "]",
+	} {
+		if !strings.Contains(v[0], want) {
+			t.Errorf("violation missing %q: %q", want, v[0])
+		}
+	}
+	// An in-memory baseline (no Path) still carries params but no file tail.
+	v = DiffBaseline(NewBaseline(fakeSweep()), res)
+	if len(v) != 1 || strings.Contains(v[0], "[baseline") || !strings.Contains(v[0], "[params") {
+		t.Fatalf("in-memory baseline context wrong: %v", v)
+	}
+}
+
 func TestBaselineSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sub", "faketest.json")
 	res := fakeSweep()

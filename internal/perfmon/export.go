@@ -5,43 +5,47 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"ktau/internal/promfmt"
 )
 
 // WritePrometheus renders the store's cumulative state in the Prometheus
 // text exposition format: per (node, event) counters for calls and
 // inclusive/exclusive cycles, plus pipeline meta-series. Label values are
-// %q-quoted, which covers the \\, \" and \n escapes the format requires.
-// Output is fully deterministic (nodes in first-seen order, events sorted
-// by name).
+// escaped exactly as the format defines (\\, \" and \n and nothing else —
+// promfmt.EscapeLabel; Go's %q would emit \t and \xNN escapes real scrapers
+// reject). Output is fully deterministic (nodes in first-seen order, events
+// sorted by name).
 func (st *Store) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	esc := promfmt.EscapeLabel
 	fmt.Fprintln(bw, "# HELP ktau_kernel_event_calls_total Kernel event activations observed by perfmon.")
 	fmt.Fprintln(bw, "# TYPE ktau_kernel_event_calls_total counter")
 	for _, node := range st.NodeNames() {
 		for _, t := range st.Totals(node) {
-			fmt.Fprintf(bw, "ktau_kernel_event_calls_total{node=%q,event=%q,group=%q} %d\n",
-				node, t.Name, t.Group.String(), t.Calls)
+			fmt.Fprintf(bw, "ktau_kernel_event_calls_total{node=%s,event=%s,group=%s} %d\n",
+				esc(node), esc(t.Name), esc(t.Group.String()), t.Calls)
 		}
 	}
 	fmt.Fprintln(bw, "# HELP ktau_kernel_event_cycles_total Kernel event cycles observed by perfmon.")
 	fmt.Fprintln(bw, "# TYPE ktau_kernel_event_cycles_total counter")
 	for _, node := range st.NodeNames() {
 		for _, t := range st.Totals(node) {
-			fmt.Fprintf(bw, "ktau_kernel_event_cycles_total{node=%q,event=%q,group=%q,kind=\"incl\"} %d\n",
-				node, t.Name, t.Group.String(), t.Incl)
-			fmt.Fprintf(bw, "ktau_kernel_event_cycles_total{node=%q,event=%q,group=%q,kind=\"excl\"} %d\n",
-				node, t.Name, t.Group.String(), t.Excl)
+			fmt.Fprintf(bw, "ktau_kernel_event_cycles_total{node=%s,event=%s,group=%s,kind=\"incl\"} %d\n",
+				esc(node), esc(t.Name), esc(t.Group.String()), t.Incl)
+			fmt.Fprintf(bw, "ktau_kernel_event_cycles_total{node=%s,event=%s,group=%s,kind=\"excl\"} %d\n",
+				esc(node), esc(t.Name), esc(t.Group.String()), t.Excl)
 		}
 	}
 	fmt.Fprintln(bw, "# HELP ktau_perfmon_rounds_total Collection rounds ingested per node.")
 	fmt.Fprintln(bw, "# TYPE ktau_perfmon_rounds_total counter")
 	for _, info := range st.Nodes() {
-		fmt.Fprintf(bw, "ktau_perfmon_rounds_total{node=%q} %d\n", info.Name, info.Rounds)
+		fmt.Fprintf(bw, "ktau_perfmon_rounds_total{node=%s} %d\n", esc(info.Name), info.Rounds)
 	}
 	fmt.Fprintln(bw, "# HELP ktau_perfmon_wire_bytes_total Collection payload bytes shipped per node.")
 	fmt.Fprintln(bw, "# TYPE ktau_perfmon_wire_bytes_total counter")
 	for _, info := range st.Nodes() {
-		fmt.Fprintf(bw, "ktau_perfmon_wire_bytes_total{node=%q} %d\n", info.Name, info.Bytes)
+		fmt.Fprintf(bw, "ktau_perfmon_wire_bytes_total{node=%s} %d\n", esc(info.Name), info.Bytes)
 	}
 	fmt.Fprintln(bw, "# HELP ktau_perfmon_frames_total Frames ingested by the collector.")
 	fmt.Fprintln(bw, "# TYPE ktau_perfmon_frames_total counter")
@@ -52,12 +56,12 @@ func (st *Store) WritePrometheus(w io.Writer) error {
 	fmt.Fprintln(bw, "# HELP ktau_perfmon_missed_rounds_total Collection rounds whose frames never arrived, per node.")
 	fmt.Fprintln(bw, "# TYPE ktau_perfmon_missed_rounds_total counter")
 	for _, info := range st.Nodes() {
-		fmt.Fprintf(bw, "ktau_perfmon_missed_rounds_total{node=%q} %d\n", info.Name, info.Missed)
+		fmt.Fprintf(bw, "ktau_perfmon_missed_rounds_total{node=%s} %d\n", esc(info.Name), info.Missed)
 	}
 	fmt.Fprintln(bw, "# HELP ktau_perfmon_gap_rounds_total Rounds the agent reported unreadable, per node.")
 	fmt.Fprintln(bw, "# TYPE ktau_perfmon_gap_rounds_total counter")
 	for _, info := range st.Nodes() {
-		fmt.Fprintf(bw, "ktau_perfmon_gap_rounds_total{node=%q} %d\n", info.Name, info.Gaps)
+		fmt.Fprintf(bw, "ktau_perfmon_gap_rounds_total{node=%s} %d\n", esc(info.Name), info.Gaps)
 	}
 	return bw.Flush()
 }

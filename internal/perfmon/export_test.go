@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ktau/internal/ktau"
+	"ktau/internal/promfmt"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -118,5 +119,22 @@ func TestPrometheusEscapesLabels(t *testing.T) {
 	}
 	if strings.Contains(out, "il\nname") {
 		t.Fatal("raw newline leaked into a label")
+	}
+	// Even with hostile names the document must parse clean.
+	if v := promfmt.Lint(buf.Bytes()); len(v) != 0 {
+		t.Fatalf("exposition with hostile labels deviates from the format: %v", v)
+	}
+}
+
+// TestPrometheusExpositionLints runs the strict format validator over the
+// golden scenario's exposition: label escaping, HELP/TYPE discipline,
+// counter naming, no duplicate series, trailing newline.
+func TestPrometheusExpositionLints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenStore().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := promfmt.Lint(buf.Bytes()); len(v) != 0 {
+		t.Fatalf("prometheus exposition deviates from the text format: %v", v)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"ktau/internal/promfmt"
 )
 
 // Collector accumulates trace frames at the elected collector node and
@@ -274,6 +276,7 @@ func maxU64(a, b uint64) uint64 {
 // deterministic: nodes in index order.
 func (c *Collector) WritePrometheus(w io.Writer) error {
 	stats := c.Stats()
+	esc := promfmt.EscapeLabel
 	section := func(name, help, typ string, val func(NodeStats) (uint64, bool)) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ); err != nil {
 			return err
@@ -283,7 +286,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 			if !ok {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s{node=%q} %d\n", name, s.Node, v); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{node=%s} %d\n", name, esc(s.Node), v); err != nil {
 				return err
 			}
 		}
@@ -299,10 +302,10 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 				return err
 			}
 			for _, s := range stats {
-				if _, err := fmt.Fprintf(w, "ktau_tracepipe_records_total{node=%q,origin=\"kernel\"} %d\n", s.Node, s.KernRecords); err != nil {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_records_total{node=%s,origin=\"kernel\"} %d\n", esc(s.Node), s.KernRecords); err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintf(w, "ktau_tracepipe_records_total{node=%q,origin=\"user\"} %d\n", s.Node, s.UserRecords); err != nil {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_records_total{node=%s,origin=\"user\"} %d\n", esc(s.Node), s.UserRecords); err != nil {
 					return err
 				}
 			}
@@ -313,10 +316,10 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 				return err
 			}
 			for _, s := range stats {
-				if _, err := fmt.Fprintf(w, "ktau_tracepipe_ring_lost_total{node=%q,origin=\"kernel\"} %d\n", s.Node, s.KernRingLost); err != nil {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_ring_lost_total{node=%s,origin=\"kernel\"} %d\n", esc(s.Node), s.KernRingLost); err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintf(w, "ktau_tracepipe_ring_lost_total{node=%q,origin=\"user\"} %d\n", s.Node, s.UserRingLost); err != nil {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_ring_lost_total{node=%s,origin=\"user\"} %d\n", esc(s.Node), s.UserRingLost); err != nil {
 					return err
 				}
 			}
@@ -327,10 +330,10 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 				return err
 			}
 			for _, s := range stats {
-				if _, err := fmt.Fprintf(w, "ktau_tracepipe_sampled_out_total{node=%q,origin=\"kernel\"} %d\n", s.Node, s.KernSampledOut); err != nil {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_sampled_out_total{node=%s,origin=\"kernel\"} %d\n", esc(s.Node), s.KernSampledOut); err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintf(w, "ktau_tracepipe_sampled_out_total{node=%q,origin=\"user\"} %d\n", s.Node, s.UserSampledOut); err != nil {
+				if _, err := fmt.Fprintf(w, "ktau_tracepipe_sampled_out_total{node=%s,origin=\"user\"} %d\n", esc(s.Node), s.UserSampledOut); err != nil {
 					return err
 				}
 			}

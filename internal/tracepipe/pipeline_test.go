@@ -11,6 +11,7 @@ import (
 	"ktau/internal/cluster"
 	"ktau/internal/kernel"
 	"ktau/internal/ktau"
+	"ktau/internal/promfmt"
 )
 
 const testNodes = 4
@@ -186,6 +187,11 @@ func TestPipelineEndToEnd(t *testing.T) {
 		if !strings.Contains(prom.String(), metric) {
 			t.Errorf("prometheus export missing %s", metric)
 		}
+	}
+	// The exposition must parse clean under the strict format validator so
+	// real scrapers ingest it unmodified.
+	if v := promfmt.Lint(prom.Bytes()); len(v) != 0 {
+		t.Errorf("prometheus exposition deviates from the text format: %v", v)
 	}
 	var jl bytes.Buffer
 	if err := tp.Store().WriteJSONLines(&jl); err != nil {

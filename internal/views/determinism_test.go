@@ -1,0 +1,83 @@
+package views
+
+import (
+	"bytes"
+	"testing"
+
+	"ktau/internal/harness"
+)
+
+// renderAll renders a report in both formats and returns the concatenation,
+// so one comparison covers markdown and HTML byte-identity.
+func renderAll(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHTML(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepReportByteIdentity is the report-level extension of the repo's
+// determinism invariant: the same grid swept under -j 1 and -j 2 — with the
+// parallel-execution cell in the grid too — must render byte-identical
+// reports, and rendering the same sweep twice must be a no-op difference.
+func TestSweepReportByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	grid := harness.Grid{
+		Name:    "viewdet",
+		Exp:     "chiba",
+		Ranks:   []int{8},
+		Workers: []int{0, 2}, // serial and parallel cells in one sweep
+		Seeds:   []uint64{1},
+	}
+	res1, err := harness.RunSweep(grid, harness.SweepConfig{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := harness.RunSweep(grid, harness.SweepConfig{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := harness.NewBaseline(res1)
+
+	// Rendering the same sweep twice: catches any map-order dependence in
+	// the builders themselves.
+	a := renderAll(t, BuildSweep(res1, base))
+	b := renderAll(t, BuildSweep(res1, base))
+	if !bytes.Equal(a, b) {
+		t.Fatal("rendering the same sweep twice produced different bytes")
+	}
+
+	// -j 1 vs -j 2: cell scheduling must not reach the report.
+	c := renderAll(t, BuildSweep(res2, base))
+	if !bytes.Equal(a, c) {
+		t.Fatal("-j 1 and -j 2 sweeps rendered different report bytes")
+	}
+
+	// The full cross-layer cell report must be just as stable, including
+	// across the serial and parallel cells of the same configuration: their
+	// reports differ only in the cell identity line.
+	for _, cell := range res1.Cells {
+		if cell.Status != harness.StatusOK {
+			t.Fatalf("cell %s: %s (%s)", cell.Name, cell.Status, cell.Err)
+		}
+		x := renderAll(t, BuildCell(cell))
+		y := renderAll(t, BuildCell(cell))
+		if !bytes.Equal(x, y) {
+			t.Fatalf("cell %s: rendering twice produced different bytes", cell.Name)
+		}
+	}
+	for i, cell := range res2.Cells {
+		x := renderAll(t, BuildCell(res1.Cells[i]))
+		y := renderAll(t, BuildCell(cell))
+		if !bytes.Equal(x, y) {
+			t.Fatalf("cell %s: -j 1 and -j 2 runs rendered different cell reports", cell.Name)
+		}
+	}
+}

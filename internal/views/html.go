@@ -1,0 +1,120 @@
+package views
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// htmlStyle is the inline stylesheet that makes the HTML report
+// self-contained: no external assets, no scripts, loadable from a file://
+// URL on an air-gapped cluster head node.
+const htmlStyle = `body{font-family:system-ui,sans-serif;margin:2em auto;max-width:72em;padding:0 1em;color:#1a1a2e}
+h1{border-bottom:2px solid #444;padding-bottom:.2em}
+h2{border-bottom:1px solid #bbb;padding-bottom:.15em;margin-top:1.6em}
+table{border-collapse:collapse;margin:.8em 0}
+caption{caption-side:top;text-align:left;font-weight:bold;padding:.3em 0}
+th,td{border:1px solid #ccc;padding:.25em .6em;text-align:left;font-variant-numeric:tabular-nums}
+th{background:#eef}
+.facts{list-style:none;padding-left:0}
+.facts li{margin:.15em 0}
+.facts b{display:inline-block;min-width:14em}
+.barrow{display:flex;align-items:center;margin:2px 0;font-size:.9em}
+.barlabel{flex:0 0 16em;overflow:hidden;text-overflow:ellipsis;white-space:nowrap}
+.bartext{flex:0 0 9em;text-align:right;padding-right:.6em;font-variant-numeric:tabular-nums}
+.bartrack{flex:1;background:#eee;height:1em}
+.barfill{background:#4a6fa5;height:100%}
+pre{background:#f6f6f6;border:1px solid #ddd;padding:.6em;overflow-x:auto}
+.subtitle{color:#555}`
+
+// WriteHTML renders the report as a single self-contained HTML page.
+func WriteHTML(w io.Writer, r *Report) error {
+	bw := bufio.NewWriter(w)
+	esc := html.EscapeString
+	fmt.Fprintf(bw, "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n<title>%s</title>\n<style>\n%s\n</style>\n</head>\n<body>\n", esc(r.Title), htmlStyle)
+	fmt.Fprintf(bw, "<h1>%s</h1>\n", esc(r.Title))
+	if r.Subtitle != "" {
+		fmt.Fprintf(bw, "<p class=\"subtitle\">%s</p>\n", esc(r.Subtitle))
+	}
+	for _, s := range r.Sections {
+		htmlSection(bw, s, 2)
+	}
+	fmt.Fprintln(bw, "</body>\n</html>")
+	return bw.Flush()
+}
+
+func htmlSection(bw *bufio.Writer, s *Section, depth int) {
+	if depth > 6 {
+		depth = 6
+	}
+	esc := html.EscapeString
+	fmt.Fprintf(bw, "<h%d>%s</h%d>\n", depth, esc(s.Title), depth)
+	for _, p := range s.Paras {
+		fmt.Fprintf(bw, "<p>%s</p>\n", esc(p))
+	}
+	if len(s.Facts) > 0 {
+		fmt.Fprintln(bw, "<ul class=\"facts\">")
+		for _, f := range s.Facts {
+			fmt.Fprintf(bw, "<li><b>%s</b> %s</li>\n", esc(f.Key), esc(f.Value))
+		}
+		fmt.Fprintln(bw, "</ul>")
+	}
+	for _, t := range s.Tables {
+		htmlTable(bw, t)
+	}
+	for _, b := range s.Bars {
+		htmlBars(bw, b)
+	}
+	for _, pre := range s.Pre {
+		fmt.Fprintf(bw, "<pre>%s</pre>\n", esc(strings.TrimRight(pre, "\n")))
+	}
+	for _, sub := range s.Subs {
+		htmlSection(bw, sub, depth+1)
+	}
+}
+
+func htmlTable(bw *bufio.Writer, t *Table) {
+	esc := html.EscapeString
+	fmt.Fprintln(bw, "<table>")
+	if t.Caption != "" {
+		fmt.Fprintf(bw, "<caption>%s</caption>\n", esc(t.Caption))
+	}
+	fmt.Fprint(bw, "<tr>")
+	for _, h := range t.Head {
+		fmt.Fprintf(bw, "<th>%s</th>", esc(h))
+	}
+	fmt.Fprintln(bw, "</tr>")
+	for _, row := range t.Rows {
+		fmt.Fprint(bw, "<tr>")
+		for _, c := range row {
+			fmt.Fprintf(bw, "<td>%s</td>", esc(c))
+		}
+		fmt.Fprintln(bw, "</tr>")
+	}
+	fmt.Fprintln(bw, "</table>")
+}
+
+func htmlBars(bw *bufio.Writer, p *BarPanel) {
+	esc := html.EscapeString
+	fmt.Fprintln(bw, "<div class=\"bars\">")
+	if p.Caption != "" {
+		fmt.Fprintf(bw, "<p><b>%s</b></p>\n", esc(p.Caption))
+	}
+	var max float64
+	for _, b := range p.Bars {
+		if b.Value > max {
+			max = b.Value
+		}
+	}
+	for _, b := range p.Bars {
+		pct := 0.0
+		if max > 0 && b.Value > 0 {
+			pct = b.Value / max * 100
+		}
+		fmt.Fprintf(bw, "<div class=\"barrow\"><span class=\"barlabel\">%s</span><span class=\"bartext\">%s</span><span class=\"bartrack\"><span class=\"barfill\" style=\"width:%.2f%%\"></span></span></div>\n",
+			esc(b.Label), esc(b.Text), pct)
+	}
+	fmt.Fprintln(bw, "</div>")
+}

@@ -1,0 +1,144 @@
+package views
+
+import (
+	"fmt"
+
+	"ktau/internal/harness"
+)
+
+// BuildSweep renders a sweep as a report: a cell-status summary, then one
+// section per cell with its metrics and fingerprints — and, when a baseline
+// is supplied, the baseline value, delta and verdict inline on every row,
+// so a gate failure is readable without re-running the sweep. Wall-clock
+// fields never appear: the report is a deterministic function of the grid,
+// the seeds and the committed baseline.
+func BuildSweep(res *harness.SweepResult, base *harness.Baseline) *Report {
+	r := &Report{
+		Title:    "KTAU sweep report: " + res.Grid,
+		Subtitle: fmt.Sprintf("%d cells", len(res.Cells)),
+	}
+	baseCells := map[string]*harness.BaselineCell{}
+	if base != nil {
+		r.Subtitle += ", gated against " + basePath(base)
+		for i := range base.Cells {
+			baseCells[base.Cells[i].Name] = &base.Cells[i]
+		}
+	}
+
+	sum := r.AddSection("Cells")
+	st := &Table{
+		Caption: "Cell status",
+		Head:    []string{"cell", "status", "fingerprints"},
+	}
+	if base != nil {
+		st.Head = append(st.Head, "baseline")
+	}
+	for _, c := range res.Cells {
+		row := []string{c.Name, c.Status, FmtCount(len(c.Fingerprints))}
+		if base != nil {
+			verdict := "NOT IN BASELINE"
+			if bc := baseCells[c.Name]; bc != nil {
+				verdict = cellVerdict(base, bc, c)
+			}
+			row = append(row, verdict)
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	sum.Tables = append(sum.Tables, st)
+	if base != nil {
+		// Baseline cells the sweep no longer produces are as loud here as in
+		// the gate.
+		for _, bc := range base.Cells {
+			found := false
+			for _, c := range res.Cells {
+				if c.Name == bc.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				sum.AddFact("MISSING CELL", bc.Name+" is in the baseline but the sweep did not produce it")
+			}
+		}
+	}
+
+	for _, c := range res.Cells {
+		sec := r.AddSection("Cell " + c.Name)
+		sec.AddFact("status", c.Status)
+		if c.Err != "" {
+			sec.AddFact("error", c.Err)
+		}
+		var wantM map[string]float64
+		var wantF map[string]string
+		var tol map[string]float64
+		if base != nil {
+			if bc := baseCells[c.Name]; bc != nil {
+				wantM, wantF = bc.Metrics, bc.Fingerprints
+			} else {
+				wantM, wantF = map[string]float64{}, map[string]string{}
+			}
+			tol = base.MetricTol
+		}
+		caption := "Metrics"
+		if base != nil {
+			caption = "Metrics vs baseline"
+		}
+		if t := metricsTable(caption, c.Metrics, wantM, tol); t != nil {
+			sec.Tables = append(sec.Tables, t)
+		}
+		if t := fingerprintTable(c.Fingerprints, wantF); t != nil {
+			sec.Tables = append(sec.Tables, t)
+		}
+	}
+	return r
+}
+
+// cellVerdict summarises one cell's gate outcome for the status table.
+func cellVerdict(base *harness.Baseline, bc *harness.BaselineCell, c *harness.CellResult) string {
+	if c.Status != bc.Status {
+		return fmt.Sprintf("STATUS %q != baseline %q", c.Status, bc.Status)
+	}
+	bad := 0
+	for k, want := range bc.Metrics {
+		have, ok := c.Metrics[k]
+		if !ok {
+			bad++
+			continue
+		}
+		d := have - want
+		if d < 0 {
+			d = -d
+		}
+		if d > base.MetricTol[k] {
+			bad++
+		}
+	}
+	for k := range c.Metrics {
+		if _, ok := bc.Metrics[k]; !ok {
+			bad++
+		}
+	}
+	for k, want := range bc.Fingerprints {
+		if have, ok := c.Fingerprints[k]; !ok || have != want {
+			bad++
+		}
+	}
+	for k := range c.Fingerprints {
+		if _, ok := bc.Fingerprints[k]; !ok {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Sprintf("%d MISMATCHES", bad)
+	}
+	return "match"
+}
+
+// basePath names the baseline in the subtitle (falls back to the grid name
+// for in-memory baselines).
+func basePath(b *harness.Baseline) string {
+	if b.Path != "" {
+		return b.Path
+	}
+	return "baseline for grid " + b.Grid
+}

@@ -1,0 +1,255 @@
+// Package views builds the paper's "integrated performance views" as
+// self-contained reports: it consumes the byte streams and structured
+// results the repo already produces — packed /proc/ktau profiles, perfmon
+// store state, merged traces and their self-metrics, serving-latency
+// histograms, sweep cell results — and renders them as markdown or HTML.
+//
+// Every renderer is deterministic: sections, tables and bars are emitted in
+// a fixed order, map keys are always sorted, and no wall-clock quantity
+// (WallMS, timeouts, generation timestamps) ever reaches the output. Two
+// runs of the same seed — serial or parallel, -j 1 or -j 8 — must produce
+// byte-identical reports, which is what lets golden files and the repo's
+// serial/parallel identity tests extend to reports.
+package views
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is one renderable document.
+type Report struct {
+	Title    string
+	Subtitle string
+	Sections []*Section
+}
+
+// Section is one titled block: prose, key/value facts, tables, bar panels
+// and preformatted text, in that order, then nested subsections.
+type Section struct {
+	Title  string
+	Paras  []string
+	Facts  []Fact
+	Tables []*Table
+	Bars   []*BarPanel
+	Pre    []string
+	Subs   []*Section
+}
+
+// Fact is one key/value line.
+type Fact struct {
+	Key   string
+	Value string
+}
+
+// Table is a plain grid; Rows must all have len(Head) cells.
+type Table struct {
+	Caption string
+	Head    []string
+	Rows    [][]string
+}
+
+// BarPanel is a horizontal bar chart. Bars are scaled against the panel's
+// maximum value; the rendered width is a pure function of the values, so
+// the chart is as deterministic as the numbers behind it.
+type BarPanel struct {
+	Caption string
+	Bars    []Bar
+}
+
+// Bar is one labelled bar: Value scales it, Text is the printed reading.
+type Bar struct {
+	Label string
+	Value float64
+	Text  string
+}
+
+// AddSection appends and returns a new top-level section.
+func (r *Report) AddSection(title string) *Section {
+	s := &Section{Title: title}
+	r.Sections = append(r.Sections, s)
+	return s
+}
+
+// AddSub appends and returns a nested subsection.
+func (s *Section) AddSub(title string) *Section {
+	sub := &Section{Title: title}
+	s.Subs = append(s.Subs, sub)
+	return sub
+}
+
+// AddFact appends one key/value line.
+func (s *Section) AddFact(key, value string) {
+	s.Facts = append(s.Facts, Fact{Key: key, Value: value})
+}
+
+// AddFactf appends one formatted key/value line.
+func (s *Section) AddFactf(key, format string, args ...any) {
+	s.AddFact(key, fmt.Sprintf(format, args...))
+}
+
+// WriteFile renders the report to path, picking the format from the
+// extension: .html/.htm render HTML, everything else markdown.
+func WriteFile(path string, r *Report) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".html", ".htm":
+		err = WriteHTML(f, r)
+	default:
+		err = WriteMarkdown(f, r)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// barCols is the markdown bar width in character cells.
+const barCols = 32
+
+// WriteMarkdown renders the report as GitHub-flavoured markdown.
+func WriteMarkdown(w io.Writer, r *Report) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", r.Title)
+	if r.Subtitle != "" {
+		fmt.Fprintf(bw, "\n%s\n", r.Subtitle)
+	}
+	for _, s := range r.Sections {
+		mdSection(bw, s, 2)
+	}
+	return bw.Flush()
+}
+
+func mdSection(bw *bufio.Writer, s *Section, depth int) {
+	if depth > 6 {
+		depth = 6
+	}
+	fmt.Fprintf(bw, "\n%s %s\n", strings.Repeat("#", depth), s.Title)
+	for _, p := range s.Paras {
+		fmt.Fprintf(bw, "\n%s\n", p)
+	}
+	if len(s.Facts) > 0 {
+		fmt.Fprintln(bw)
+		for _, f := range s.Facts {
+			fmt.Fprintf(bw, "- **%s**: %s\n", f.Key, f.Value)
+		}
+	}
+	for _, t := range s.Tables {
+		mdTable(bw, t)
+	}
+	for _, b := range s.Bars {
+		mdBars(bw, b)
+	}
+	for _, pre := range s.Pre {
+		fmt.Fprintf(bw, "\n```\n%s\n```\n", strings.TrimRight(pre, "\n"))
+	}
+	for _, sub := range s.Subs {
+		mdSection(bw, sub, depth+1)
+	}
+}
+
+func mdTable(bw *bufio.Writer, t *Table) {
+	fmt.Fprintln(bw)
+	if t.Caption != "" {
+		fmt.Fprintf(bw, "**%s**\n\n", t.Caption)
+	}
+	fmt.Fprintf(bw, "| %s |\n", strings.Join(t.Head, " | "))
+	sep := make([]string, len(t.Head))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(bw, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		fmt.Fprintf(bw, "| %s |\n", strings.Join(cells, " | "))
+	}
+}
+
+func mdBars(bw *bufio.Writer, p *BarPanel) {
+	fmt.Fprintln(bw)
+	if p.Caption != "" {
+		fmt.Fprintf(bw, "**%s**\n\n", p.Caption)
+	}
+	var max float64
+	labelW := 0
+	textW := 0
+	for _, b := range p.Bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if len(b.Text) > textW {
+			textW = len(b.Text)
+		}
+	}
+	fmt.Fprintln(bw, "```")
+	for _, b := range p.Bars {
+		n := 0
+		if max > 0 && b.Value > 0 {
+			n = int(b.Value/max*barCols + 0.5)
+			if n == 0 {
+				n = 1 // nonzero values stay visible
+			}
+		}
+		fmt.Fprintf(bw, "%-*s  %-*s |%s\n", labelW, b.Label, textW, b.Text,
+			strings.Repeat("#", n))
+	}
+	fmt.Fprintln(bw, "```")
+}
+
+// ---- shared value formatting ----
+
+// FmtDur renders a duration at µs resolution, "-" for non-positive.
+func FmtDur(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+// FmtPct renders a fraction as a percentage.
+func FmtPct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// FmtFloat renders a metric value exactly as %g does (matching the gate's
+// violation messages, so numbers agree across report and CI log).
+func FmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// FmtCount renders an integer count.
+func FmtCount[T int | int64 | uint32 | uint64](n T) string {
+	return strconv.FormatInt(int64(n), 10)
+}
+
+// ShortDigest abbreviates a hex fingerprint for display.
+func ShortDigest(s string) string {
+	if len(s) > 16 {
+		return s[:16] + "…"
+	}
+	return s
+}
+
+// CyclesDur converts clock cycles to a duration at the given TSC rate.
+func CyclesDur(cycles, hz int64) time.Duration {
+	if hz <= 0 {
+		return 0
+	}
+	return time.Duration(float64(cycles) / float64(hz) * float64(time.Second))
+}

@@ -12,9 +12,12 @@
 #                     data-structure packages are the ones with real
 #                     concurrency surface)
 #   ktau-sweep -- the smoke grid runs under a per-cell timeout and is diffed
-#                 against the committed baseline (testdata/sweeps/smoke.json),
-#                 and the BENCH_*.json files are strict-parsed and
-#                 threshold-gated (no sed/awk JSON scraping).
+#                 against the committed baseline (testdata/sweeps/smoke.json);
+#                 the cross-layer sweep report is diffed byte-for-byte against
+#                 the committed golden (testdata/views/smoke_report.md); the
+#                 longitudinal trend report must render from the committed
+#                 history (testdata/longitudinal/); and the BENCH_*.json files
+#                 are strict-parsed and threshold-gated (no sed/awk scraping).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -66,9 +69,35 @@ echo "== sweep smoke grid (per-cell timeout, gated against committed baseline) =
 # trace}, one seed. Every cell's profile/store/trace fingerprints must match
 # testdata/sweeps/smoke.json exactly — including serial and parallel cells of
 # the same configuration matching each other (the determinism invariant).
+# The cross-layer report rendered from the same sweep must be byte-identical
+# to the committed golden: reports are a deterministic function of the grid,
+# the seeds and the baseline, so report drift is behaviour drift.
 # After an intentional behaviour change, re-record with:
-#   go run ./cmd/ktau-sweep -grid smoke -update-baselines
-go run ./cmd/ktau-sweep -grid smoke -timeout 90s -gate
+#   go run ./cmd/ktau-sweep -grid smoke -update-baselines \
+#       -report testdata/views/smoke_report.md
+report_tmp=$(mktemp /tmp/ktau_smoke_report_XXXXXX.md)
+report_html_tmp=$(mktemp /tmp/ktau_smoke_report_XXXXXX.html)
+tmpfiles="$tmpfiles $report_tmp $report_html_tmp"
+go run ./cmd/ktau-sweep -grid smoke -timeout 90s -gate \
+    -report "$report_tmp,$report_html_tmp"
+if ! cmp -s "$report_tmp" testdata/views/smoke_report.md; then
+    echo "check.sh: smoke sweep report drifted from testdata/views/smoke_report.md" >&2
+    diff -u testdata/views/smoke_report.md "$report_tmp" >&2 || true
+    exit 1
+fi
+grep -q '<!DOCTYPE html>' "$report_html_tmp" || {
+    echo "check.sh: smoke sweep HTML report was not written" >&2
+    exit 1
+}
+
+echo "== longitudinal trend report (renders from testdata/longitudinal) =="
+trend_tmp=$(mktemp /tmp/ktau_trend_XXXXXX.md)
+tmpfiles="$tmpfiles $trend_tmp"
+go run ./cmd/ktau-sweep -grid smoke -trend "$trend_tmp"
+grep -q 'KTAU longitudinal report: smoke' "$trend_tmp" || {
+    echo "check.sh: trend report missing title" >&2
+    exit 1
+}
 
 echo "== fault-plan smoke test =="
 go run ./cmd/ktau-exp -exp faults -ranks 8 > /dev/null
