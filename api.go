@@ -44,6 +44,34 @@ func NewEngine() *Engine { return sim.NewEngine() }
 // NewRNG returns a deterministic random stream for the seed.
 func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
 
+// Runner advances several engines together under conservative
+// lookahead-window synchronization, optionally partitioned into
+// independently advancing groups by a per-pair latency matrix.
+type Runner = sim.Runner
+
+// LatencyMatrix holds the per-engine-pair minimum cross-engine latency used
+// to partition a Runner into synchronization groups.
+type LatencyMatrix = sim.LatencyMatrix
+
+// NewLatencyMatrix returns an n-engine matrix with every pair at def.
+func NewLatencyMatrix(n int, def time.Duration) *LatencyMatrix {
+	return sim.NewLatencyMatrix(n, def)
+}
+
+// NewRunner couples engines under one uniform lookahead window, executed
+// serially (workers <= 1) or on several goroutines.
+func NewRunner(engines []*Engine, lookahead time.Duration, workers int) *Runner {
+	return sim.NewRunner(engines, lookahead, workers)
+}
+
+// NewPartitionedRunner couples engines under a per-pair latency matrix,
+// partitioning them into groups that advance independently between
+// epoch-based cross-group rendezvous. Delivery order — and therefore every
+// simulated byte — is identical at any worker count.
+func NewPartitionedRunner(engines []*Engine, m *LatencyMatrix, workers int) *Runner {
+	return sim.NewPartitionedRunner(engines, m, workers)
+}
+
 // ---- the KTAU measurement system (the paper's contribution) ----
 
 // Measurement is one node's KTAU measurement system: registry, control
@@ -167,6 +195,15 @@ type Cluster = cluster.Cluster
 
 // ClusterConfig describes a cluster to boot.
 type ClusterConfig = cluster.Config
+
+// ClusterTopology groups a cluster's nodes into racks with a higher
+// cross-rack wire latency; a non-flat topology partitions the runner into
+// per-rack synchronization groups.
+type ClusterTopology = cluster.Topology
+
+// DefaultInterRackFactor scales the link latency into the default
+// cross-rack latency when a ClusterTopology leaves it unset.
+const DefaultInterRackFactor = cluster.DefaultInterRackFactor
 
 // NodeSpec describes one node.
 type NodeSpec = cluster.NodeSpec

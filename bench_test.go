@@ -529,50 +529,83 @@ func BenchmarkAblationWorkloadSpectrum(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelChiba runs the same 128-node Chiba LU configuration twice
-// — windowed runner with one worker, then with GOMAXPROCS workers — checks
-// the virtual results are identical, and writes the wall-clock comparison to
-// BENCH_parallel.json. On a single-CPU host the speedup is ~1x by
-// construction; the JSON records host_cpus so readers can tell.
+// benchRacks is the topology of the parallel worker sweep: 8 racks of 16
+// nodes, so the partitioned runner splits the 128 engines into 8
+// independently advancing synchronization groups.
+const benchRacks = 8
+
+// benchWorkerSweep is the workers axis of BenchmarkParallelChiba; the first
+// entry must be 1 (the serial baseline every other row is compared to).
+var benchWorkerSweep = []int{1, 2, 4, 8}
+
+// BenchmarkParallelChiba sweeps the same racked 128-node Chiba LU
+// configuration across runner worker counts — workers=1 serially, then each
+// parallel worker count under GOMAXPROCS=min(workers, host CPUs) — checks
+// every row's virtual results are byte-identical to the serial baseline, and
+// writes one row per {workers, GOMAXPROCS} configuration to
+// BENCH_parallel.json. On a near-single-core host every speedup is ~1x by
+// construction; the JSON records host_cpus so the bench gate knows whether
+// the speedup thresholds are meaningful (it skips loudly when they are not).
 func BenchmarkParallelChiba(b *testing.B) {
 	type result struct {
 		wall time.Duration
 		exec time.Duration
+		fp   string
 	}
-	run := func(parallel bool) result {
+	run := func(workers int) result {
 		spec := ktau.DefaultChiba(benchRanks, 1)
 		spec.Seed = 7
-		spec.Parallel = parallel
+		spec.Racks = benchRacks
+		spec.Parallel = workers > 1
+		spec.Workers = workers
 		t0 := time.Now()
 		res := ktau.RunChiba(spec)
 		if !res.Completed {
 			b.Fatal("chiba run did not complete")
 		}
-		return result{wall: time.Since(t0), exec: res.Exec}
+		// fmt prints maps in sorted key order, so this renders every
+		// per-rank and per-node metric deterministically.
+		fp := fmt.Sprintf("%v %+v %+v", res.Exec, res.Ranks, res.Nodes)
+		return result{wall: time.Since(t0), exec: res.Exec, fp: fp}
 	}
-	var serial, par result
+	hostCPUs := runtime.NumCPU()
+	var serial result
+	var rows []map[string]any
 	for i := 0; i < b.N; i++ {
-		serial = run(false)
-		par = run(true)
+		rows = rows[:0]
+		for _, workers := range benchWorkerSweep {
+			gomaxprocs := min(workers, hostCPUs)
+			prev := runtime.GOMAXPROCS(gomaxprocs)
+			r := run(workers)
+			runtime.GOMAXPROCS(prev)
+			if workers == 1 {
+				serial = r
+			}
+			if r.exec != serial.exec || r.fp != serial.fp {
+				b.Fatalf("workers=%d run diverged from serial (exec %v vs %v)", workers, r.exec, serial.exec)
+			}
+			rows = append(rows, map[string]any{
+				"workers":           workers,
+				"gomaxprocs":        gomaxprocs,
+				"wall_s":            r.wall.Seconds(),
+				"speedup":           serial.wall.Seconds() / r.wall.Seconds(),
+				"identical_results": true,
+			})
+		}
 	}
-	if serial.exec != par.exec {
-		b.Fatalf("parallel virtual exec %v differs from serial %v", par.exec, serial.exec)
-	}
-	speedup := serial.wall.Seconds() / par.wall.Seconds()
+	last := rows[len(rows)-1]
 	b.ReportMetric(serial.wall.Seconds(), "serial-wall-s")
-	b.ReportMetric(par.wall.Seconds(), "parallel-wall-s")
-	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(last["wall_s"].(float64), fmt.Sprintf("wall-%dw-s", last["workers"].(int)))
+	b.ReportMetric(last["speedup"].(float64), fmt.Sprintf("speedup-%dw-x", last["workers"].(int)))
 	out := map[string]any{
-		"benchmark":         "128-node Chiba LU, serial vs parallel windowed runner",
-		"ranks":             benchRanks,
-		"nodes":             benchRanks,
-		"host_cpus":         runtime.NumCPU(),
-		"gomaxprocs":        runtime.GOMAXPROCS(0),
-		"serial_wall_s":     serial.wall.Seconds(),
-		"parallel_wall_s":   par.wall.Seconds(),
-		"speedup":           speedup,
-		"virtual_exec_s":    serial.exec.Seconds(),
-		"identical_results": true,
+		"benchmark":      "128-node 8-rack Chiba LU, partitioned-runner worker sweep vs serial",
+		"ranks":          benchRanks,
+		"nodes":          benchRanks,
+		"racks":          benchRacks,
+		"host_cpus":      hostCPUs,
+		"serial_wall_s":  serial.wall.Seconds(),
+		"virtual_exec_s": serial.exec.Seconds(),
+		"rows":           rows,
 	}
 	writeBench(b, "BENCH_parallel.json", out)
 }

@@ -67,11 +67,13 @@ var (
 	traceAdaptive bool
 )
 
-// expParallel / expWorkers mirror -parallel / -workers for the sweep-cell
-// wrappers, whose specs take execution mode per cell rather than globally.
+// expParallel / expWorkers / expRacks mirror -parallel / -workers / -racks
+// for the sweep-cell wrappers, whose specs take execution mode and topology
+// per cell rather than globally.
 var (
 	expParallel bool
 	expWorkers  int
+	expRacks    int
 )
 
 // reportOut is the -report path. Cell-backed experiments (faults, serve,
@@ -135,6 +137,7 @@ func runExpCell(exp string, ranks int, mutate func(*ktau.SweepParams)) (*ktau.Sw
 		Seed:     1,
 		Parallel: expParallel,
 		Workers:  expWorkers,
+		Racks:    expRacks,
 	}
 	if mutate != nil {
 		mutate(&p)
@@ -208,6 +211,7 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	parallel := flag.Bool("parallel", false, "run node engines on multiple host CPUs (results are byte-identical to serial)")
 	workers := flag.Int("workers", 0, "host worker goroutines, implies -parallel when positive (0 = GOMAXPROCS)")
+	racksFlag := flag.Int("racks", 0, "split the cluster into this many racks with a higher cross-rack latency (changes results; partitions the runner; cell-backed experiments only)")
 	flag.StringVar(&traceOut, "trace-out", "",
 		"write the merged cluster trace (Perfetto-loadable JSON) to this file (trace experiment)")
 	flag.Float64Var(&traceRate, "trace-rate", 1,
@@ -239,6 +243,7 @@ func main() {
 	}
 	expParallel = *parallel
 	expWorkers = *workers
+	expRacks = *racksFlag
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

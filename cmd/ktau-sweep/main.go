@@ -40,6 +40,7 @@ func main() {
 		gridName  = flag.String("grid", "", "named grid to run (see -list)")
 		exp       = flag.String("exp", "", "spec for an ad-hoc grid (chiba|faults|serve|trace|traceov)")
 		ranks     = flag.String("ranks", "", "ranks axis, e.g. 8,16 (default 8)")
+		racks     = flag.String("racks", "", "racks axis: 0 = flat network, N > 1 = N racks (partitions the runner; default 0)")
 		workers   = flag.String("workers", "", "workers axis: 0 = serial, N = parallel with N workers (default 0)")
 		faults    = flag.String("faults", "", "fault-plan axis: none,degraded,crash (default none)")
 		trace     = flag.String("trace", "", "trace axis: off,full,adaptive[:rate] (default off)")
@@ -93,7 +94,7 @@ func main() {
 		return
 	}
 
-	grid, err := buildGrid(*gridName, *exp, *ranks, *workers, *faults, *trace, *seeds)
+	grid, err := buildGrid(*gridName, *exp, *ranks, *racks, *workers, *faults, *trace, *seeds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ktau-sweep:", err)
 		os.Exit(2)
@@ -212,7 +213,7 @@ func main() {
 
 // buildGrid resolves a named grid or assembles an ad-hoc one from axis
 // flags. Axis flags refine a named grid too (e.g. -grid smoke -seeds 7).
-func buildGrid(name, exp, ranks, workers, faults, trace, seeds string) (harness.Grid, error) {
+func buildGrid(name, exp, ranks, racks, workers, faults, trace, seeds string) (harness.Grid, error) {
 	var g harness.Grid
 	if name != "" {
 		named, ok := harness.NamedGrids()[name]
@@ -233,6 +234,13 @@ func buildGrid(name, exp, ranks, workers, faults, trace, seeds string) (harness.
 		err = e
 	} else if apply != nil {
 		g.Ranks = apply
+	}
+	if err == nil {
+		if apply, e := harness.ParseIntAxis(racks); e != nil {
+			err = e
+		} else if apply != nil {
+			g.Racks = apply
+		}
 	}
 	if err == nil {
 		if apply, e := harness.ParseIntAxis(workers); e != nil {

@@ -42,8 +42,14 @@ type Config struct {
 	// TCP configures each node's network stack cost model.
 	TCP tcpsim.Params
 	// Link configures the interconnect. Its Latency doubles as the runner's
-	// lookahead: no node can affect another in less than one wire latency.
+	// minimum lookahead: no node can affect another in less than one wire
+	// latency.
 	Link netsim.LinkSpec
+	// Topology optionally structures the interconnect into racks with a
+	// higher cross-rack latency. The zero value is a flat uniform network.
+	// A racked topology is what lets the partitioned runner advance racks
+	// independently between epoch rendezvous.
+	Topology Topology
 	// Seed drives all randomness in the simulation.
 	Seed uint64
 	// Parallel runs node engines on multiple worker goroutines. Scheduling
@@ -53,6 +59,29 @@ type Config struct {
 	Parallel bool
 	// Workers caps the worker goroutines when Parallel (default GOMAXPROCS).
 	Workers int
+}
+
+// DefaultInterRackFactor scales Link.Latency into the default cross-rack
+// latency: an extra switch tier plus longer runs, roughly matching the
+// Chiba-City "town" structure of eight or so scalable units behind a
+// central switch.
+const DefaultInterRackFactor = 8
+
+// Topology describes the physical structure of the interconnect.
+type Topology struct {
+	// RackSize groups consecutive nodes into racks of this size; node i is
+	// in rack i/RackSize. Zero (or >= the node count) means a flat network.
+	RackSize int
+	// InterRackLatency is the one-way latency between nodes in different
+	// racks. Defaults to DefaultInterRackFactor * Link.Latency when RackSize
+	// is set; must be at least Link.Latency.
+	InterRackLatency time.Duration
+}
+
+// racked reports whether the topology actually splits n nodes into more
+// than one rack.
+func (t Topology) racked(n int) bool {
+	return t.RackSize > 0 && t.RackSize < n
 }
 
 // UniformNodes returns n NodeSpecs named prefix0..prefix<n-1>.
@@ -147,9 +176,32 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 		c.byName[spec.Name] = n
 	}
-	c.Runner = sim.NewRunner(engines, cfg.Link.Latency, workers)
+	matrix := sim.NewLatencyMatrix(len(engines), cfg.Link.Latency)
+	if cfg.Topology.racked(len(engines)) {
+		inter := cfg.Topology.InterRackLatency
+		if inter == 0 {
+			inter = DefaultInterRackFactor * cfg.Link.Latency
+		}
+		if inter < cfg.Link.Latency {
+			panic("cluster: inter-rack latency must be at least the link latency")
+		}
+		rack := cfg.Topology.RackSize
+		for i := range engines {
+			for j := range engines {
+				if i != j && i/rack != j/rack {
+					matrix.SetPair(i, j, inter)
+				}
+			}
+		}
+	}
+	c.Runner = sim.NewPartitionedRunner(engines, matrix, workers)
 	c.Net.SetCrossDeliver(func(src, dst *netsim.NIC, at sim.Time, fn func()) {
 		c.Runner.Post(src.Idx(), dst.Idx(), at, fn)
+	})
+	c.Net.SetPairLatency(func(srcIdx, dstIdx int) time.Duration {
+		// The wire latency of a pair IS its lookahead: NIC arrivals are
+		// txFreeAt + pair latency, so they always clear the pair bound.
+		return c.Runner.PairLookahead(srcIdx, dstIdx)
 	})
 	c.Runner.OnBarrier(c.PublishViews)
 	c.PublishViews()
@@ -175,13 +227,14 @@ func (c *Cluster) PublishViews() {
 	}
 }
 
-// CrossCall schedules fn on the dst node's engine one lookahead after the
-// src node's current time — the earliest instant a cross-node action can
-// deterministically take effect. It is safe to call from inside src's
-// window; deliveries merge with network traffic in the runner's
-// deterministic order.
+// CrossCall schedules fn on the dst node's engine one pair lookahead after
+// the src node's current time — the earliest instant a cross-node action
+// can deterministically take effect (one wire latency of the src→dst pair;
+// self-directed calls use the global minimum). It is safe to call from
+// inside src's window; deliveries merge with network traffic in the
+// runner's deterministic order.
 func (c *Cluster) CrossCall(src, dst int, fn func()) {
-	at := c.Nodes[src].Eng.Now().Add(c.Runner.Lookahead())
+	at := c.Nodes[src].Eng.Now().Add(c.Runner.PairLookahead(src, dst))
 	c.Runner.Post(src, dst, at, fn)
 }
 

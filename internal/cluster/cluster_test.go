@@ -164,3 +164,77 @@ func TestEmptyClusterPanics(t *testing.T) {
 func connPair(c *Cluster) (*tcpsim.Conn, *tcpsim.Conn) {
 	return tcpsim.Connect(c.Node(0).Stack, c.Node(1).Stack)
 }
+
+func TestRackedTopologyPartitionsRunner(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Topology = Topology{RackSize: 4}
+	c := New(cfg)
+	defer c.Shutdown()
+	if !c.Runner.Partitioned() {
+		t.Fatal("racked cluster did not partition the runner")
+	}
+	groups := c.Runner.Groups()
+	if len(groups) != 2 || len(groups[0]) != 4 || len(groups[1]) != 4 {
+		t.Fatalf("groups = %v, want two racks of 4", groups)
+	}
+	link := c.Net.Spec().Latency
+	if got := c.Runner.PairLookahead(0, 1); got != link {
+		t.Errorf("intra-rack pair lookahead = %v, want link latency %v", got, link)
+	}
+	if got := c.Runner.PairLookahead(0, 5); got != DefaultInterRackFactor*link {
+		t.Errorf("inter-rack pair lookahead = %v, want %v", got, DefaultInterRackFactor*link)
+	}
+	if got := c.Runner.EpochSpan(); got != DefaultInterRackFactor*link {
+		t.Errorf("epoch span = %v, want %v", got, DefaultInterRackFactor*link)
+	}
+}
+
+func TestRackedClusterCrossRackTraffic(t *testing.T) {
+	// End-to-end transfer between nodes in different racks, serial and
+	// parallel, with the partitioned runner active.
+	for _, workers := range []int{0, 3} {
+		cfg := testConfig(6)
+		cfg.Topology = Topology{RackSize: 3, InterRackLatency: 500 * time.Microsecond}
+		if workers > 0 {
+			cfg.Parallel = true
+			cfg.Workers = workers
+		}
+		c := New(cfg)
+		if !c.Runner.Partitioned() {
+			t.Fatal("racked cluster did not partition the runner")
+		}
+		ab, ba := tcpsim.Connect(c.Node(0).Stack, c.Node(4).Stack)
+		snd := c.Node(0).K.Spawn("s", func(u *kernel.UCtx) { ab.Send(u, 4000) }, kernel.SpawnOpts{})
+		rcv := c.Node(4).K.Spawn("r", func(u *kernel.UCtx) { ba.Recv(u, 4000) }, kernel.SpawnOpts{})
+		done := c.RunUntilDone([]*kernel.Task{snd, rcv}, time.Second)
+		c.Shutdown()
+		if !done {
+			t.Fatalf("workers=%d: cross-rack transfer did not finish", workers)
+		}
+	}
+}
+
+func TestRackedTopologyDegenerateIsUniform(t *testing.T) {
+	// RackSize >= node count (or 0) must leave the runner in classic
+	// single-group mode so uniform baselines stay valid.
+	for _, rack := range []int{0, 8, 100} {
+		cfg := testConfig(8)
+		cfg.Topology = Topology{RackSize: rack}
+		c := New(cfg)
+		if c.Runner.Partitioned() {
+			t.Errorf("RackSize=%d should not partition an 8-node cluster", rack)
+		}
+		c.Shutdown()
+	}
+}
+
+func TestInterRackLatencyBelowLinkPanics(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Topology = Topology{RackSize: 2, InterRackLatency: time.Nanosecond}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for inter-rack latency below link latency")
+		}
+	}()
+	New(cfg)
+}

@@ -24,6 +24,18 @@ var computeContexts = map[string]bool{
 	"buts":          true,
 }
 
+// rackTopology converts a spec's rack count into the cluster topology:
+// racks <= 1 is the flat uniform network, otherwise the nodes are split
+// into racks of ceil(nodes/racks) consecutive nodes with the default
+// inter-rack latency. A racked topology partitions the runner so racks
+// advance independently between epoch rendezvous.
+func rackTopology(nodes, racks int) cluster.Topology {
+	if racks <= 1 {
+		return cluster.Topology{}
+	}
+	return cluster.Topology{RackSize: (nodes + racks - 1) / racks}
+}
+
 // RunChiba executes one Chiba configuration and extracts all metrics.
 func RunChiba(spec ChibaSpec) *ChibaResult {
 	c, w, tasks := launchChiba(spec)
@@ -59,6 +71,7 @@ func launchChiba(spec ChibaSpec) (*cluster.Cluster, *mpisim.World, []*kernel.Tas
 		Kernel:   kp,
 		Ktau:     mopts,
 		TCP:      spec.TCP,
+		Topology: rackTopology(nodes, spec.Racks),
 		Seed:     spec.Seed,
 		Parallel: spec.Parallel,
 		Workers:  spec.Workers,

@@ -15,11 +15,14 @@ import (
 // returns a byte-exact fingerprint of everything an observer could extract:
 // every node's packed /proc/ktau profile blob, the collector store's full
 // Prometheus and JSON-lines exports, and the pipeline/fault bookkeeping.
-func liveFingerprint(t *testing.T, parallel bool, workers int) string {
+// racks > 1 runs the job on a racked topology, which partitions the runner
+// into independently advancing groups.
+func liveFingerprint(t *testing.T, racks int, parallel bool, workers int) string {
 	t.Helper()
 	spec := DefaultChiba(8, 1)
 	spec.Seed = 42
 	spec.Iters = 4
+	spec.Racks = racks
 	spec.Parallel = parallel
 	spec.Workers = workers
 	plan := DegradedPlan(8, 42)
@@ -67,20 +70,36 @@ func liveFingerprint(t *testing.T, parallel bool, workers int) string {
 // same seed run serially (one worker) and in parallel (several workers, with
 // faults injected and the live monitoring pipeline shipping frames across
 // nodes) must leave byte-identical /proc/ktau profiles on every node and a
-// byte-identical collector store.
+// byte-identical collector store. The flat topology exercises the classic
+// single-group runner; the racked topology (4 racks of 2 nodes) exercises
+// the partitioned runner — per-group windows, epoch rendezvous and the
+// cross-group inbox — across every interesting worker count, including more
+// workers than groups.
 func TestParallelMatchesSerialByteForByte(t *testing.T) {
-	serial := liveFingerprint(t, false, 0)
-	parallel := liveFingerprint(t, true, 4)
-	if serial == parallel {
-		return
+	cases := []struct {
+		racks   int
+		workers []int
+	}{
+		{0, []int{4}},
+		{4, []int{2, 3, 8}},
 	}
-	// Locate the first divergent line for a readable failure.
-	a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if !bytes.Equal(a[i], b[i]) {
-			t.Fatalf("parallel run diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
-				i+1, a[i], b[i])
+	for _, tc := range cases {
+		serial := liveFingerprint(t, tc.racks, false, 0)
+		for _, w := range tc.workers {
+			parallel := liveFingerprint(t, tc.racks, true, w)
+			if serial == parallel {
+				continue
+			}
+			// Locate the first divergent line for a readable failure.
+			a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if !bytes.Equal(a[i], b[i]) {
+					t.Fatalf("racks=%d workers=%d diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+						tc.racks, w, i+1, a[i], b[i])
+				}
+			}
+			t.Fatalf("racks=%d workers=%d diverged from serial: lengths %d vs %d lines",
+				tc.racks, w, len(a), len(b))
 		}
 	}
-	t.Fatalf("parallel run diverged from serial: lengths %d vs %d lines", len(a), len(b))
 }

@@ -39,6 +39,10 @@ type ServeSpec struct {
 	Faults *faultsim.Plan
 	// Deadline caps the fleet's virtual runtime (default 2 minutes).
 	Deadline time.Duration
+	// Racks, when > 1, splits the nodes into this many racks with a higher
+	// cross-rack latency (see ChibaSpec.Racks — changes results, partitions
+	// the runner).
+	Racks int
 	// Parallel/Workers select host execution mode (results byte-identical).
 	Parallel bool
 	Workers  int
@@ -171,6 +175,7 @@ func RunServe(spec ServeSpec) *ServeResult {
 			Compiled: ktau.GroupAll, Boot: ktau.GroupAll, RetainExited: true,
 		},
 		Link:     netsim.DefaultLinkSpec(),
+		Topology: rackTopology(spec.Nodes, spec.Racks),
 		Seed:     spec.Seed,
 		Parallel: spec.Parallel,
 		Workers:  spec.Workers,

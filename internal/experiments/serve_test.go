@@ -67,9 +67,10 @@ func TestServeAttributionFingersRogue(t *testing.T) {
 // serveFingerprint runs the fault-injected serving scenario and captures a
 // byte-exact fingerprint of everything observable: the merged latency store,
 // every node's packed /proc/ktau profile, and the collector store exports.
-func serveFingerprint(t *testing.T, parallel bool, workers int) string {
+func serveFingerprint(t *testing.T, racks int, parallel bool, workers int) string {
 	t.Helper()
 	spec := smallServe(42)
+	spec.Racks = racks
 	spec.Parallel = parallel
 	spec.Workers = workers
 	plan := DegradedPlan(spec.Nodes, 42)
@@ -95,19 +96,32 @@ func serveFingerprint(t *testing.T, parallel bool, workers int) string {
 
 // TestServeParallelMatchesSerialByteForByte: the serving workload, monitored
 // and fault-injected, must produce byte-identical latency stores and kernel
-// views whether node engines run serially or on several host CPUs.
+// views whether node engines run serially or on several host CPUs — on the
+// flat topology and on a racked one that partitions the runner.
 func TestServeParallelMatchesSerialByteForByte(t *testing.T) {
-	serial := serveFingerprint(t, false, 0)
-	parallel := serveFingerprint(t, true, 4)
-	if serial == parallel {
-		return
+	cases := []struct {
+		racks   int
+		workers []int
+	}{
+		{0, []int{4}},
+		{4, []int{2, 3, 8}},
 	}
-	a, b := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			t.Fatalf("parallel serve run diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
-				i+1, a[i], b[i])
+	for _, tc := range cases {
+		serial := serveFingerprint(t, tc.racks, false, 0)
+		for _, w := range tc.workers {
+			parallel := serveFingerprint(t, tc.racks, true, w)
+			if serial == parallel {
+				continue
+			}
+			a, b := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if a[i] != b[i] {
+					t.Fatalf("racks=%d workers=%d serve run diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+						tc.racks, w, i+1, a[i], b[i])
+				}
+			}
+			t.Fatalf("racks=%d workers=%d serve run diverged from serial: lengths %d vs %d lines",
+				tc.racks, w, len(a), len(b))
 		}
 	}
-	t.Fatalf("parallel serve run diverged from serial: lengths %d vs %d lines", len(a), len(b))
 }

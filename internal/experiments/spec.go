@@ -122,6 +122,13 @@ type ChibaSpec struct {
 	TCP tcpsim.Params
 	// Seed drives all simulation randomness.
 	Seed uint64
+	// Racks, when > 1, splits the job's nodes into this many equal racks
+	// with a higher cross-rack wire latency (cluster.Topology). Unlike
+	// Parallel/Workers this changes the simulated network itself —
+	// cross-rack messages genuinely take longer — so it is part of the
+	// spec's Name and of result fingerprints. It is also what lets the
+	// partitioned runner advance racks independently between epochs.
+	Racks int
 	// Parallel runs the node engines on multiple host CPUs (see
 	// cluster.Config.Parallel). Results are byte-identical to a serial run
 	// with the same seed, so it is not part of the spec's Name.
@@ -136,6 +143,9 @@ func (s ChibaSpec) Name() string {
 	label := fmt.Sprintf("%dx%d", nodes, s.PerNode)
 	if s.AnomalyNode >= 0 {
 		label += " Anomaly"
+	}
+	if s.Racks > 1 {
+		label += fmt.Sprintf(" %d-rack", s.Racks)
 	}
 	suffix := ""
 	if s.Pinned {

@@ -72,9 +72,10 @@ func TestClusterTraceSmoke(t *testing.T) {
 // byte an observer could extract from the trace side: the merged Chrome
 // trace, the Prometheus and JSON-lines self-metric exports, and the
 // pipeline bookkeeping.
-func traceFingerprint(t *testing.T, parallel bool, workers int) string {
+func traceFingerprint(t *testing.T, racks int, parallel bool, workers int) string {
 	t.Helper()
 	spec, opts := TraceChibaSpec(8, 42)
+	spec.Racks = racks
 	spec.Parallel = parallel
 	spec.Workers = workers
 	live := RunChibaLive(spec, opts)
@@ -98,29 +99,44 @@ func traceFingerprint(t *testing.T, parallel bool, workers int) string {
 // TestClusterTraceParallelMatchesSerial is the tentpole determinism check:
 // the same seed run serially and on several workers — with faults injected
 // and both pipelines shipping frames across nodes — must produce a
-// byte-identical merged cluster trace and byte-identical self-metrics.
+// byte-identical merged cluster trace and byte-identical self-metrics. The
+// flat case covers the single-group runner; the racked case runs the trace
+// pipeline across partitioned groups at several worker counts.
 func TestClusterTraceParallelMatchesSerial(t *testing.T) {
-	serial := traceFingerprint(t, false, 0)
-	parallel := traceFingerprint(t, true, 4)
-	if serial == parallel {
-		return
+	cases := []struct {
+		racks   int
+		workers []int
+	}{
+		{0, []int{4}},
+		{4, []int{2, 3, 8}},
 	}
-	a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if !bytes.Equal(a[i], b[i]) {
-			t.Fatalf("parallel trace diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
-				i+1, a[i], b[i])
+	for _, tc := range cases {
+		serial := traceFingerprint(t, tc.racks, false, 0)
+		for _, w := range tc.workers {
+			parallel := traceFingerprint(t, tc.racks, true, w)
+			if serial == parallel {
+				continue
+			}
+			a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if !bytes.Equal(a[i], b[i]) {
+					t.Fatalf("racks=%d workers=%d trace diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+						tc.racks, w, i+1, a[i], b[i])
+				}
+			}
+			t.Fatalf("racks=%d workers=%d trace diverged from serial: lengths %d vs %d lines",
+				tc.racks, w, len(a), len(b))
 		}
 	}
-	t.Fatalf("parallel trace diverged from serial: lengths %d vs %d lines", len(a), len(b))
 }
 
 // adaptiveFingerprint is traceFingerprint over the adaptive configuration:
 // sampling, throttling (tight thresholds so the fault plan drives the state
 // machine) and the collector focus loop all active.
-func adaptiveFingerprint(t *testing.T, parallel bool, workers int) string {
+func adaptiveFingerprint(t *testing.T, racks int, parallel bool, workers int) string {
 	t.Helper()
 	spec, opts := AdaptiveChibaSpec(8, 42, 0.25)
+	spec.Racks = racks
 	spec.Parallel = parallel
 	spec.Workers = workers
 	live := RunChibaLive(spec, opts)
@@ -144,21 +160,34 @@ func adaptiveFingerprint(t *testing.T, parallel bool, workers int) string {
 // TestAdaptiveTraceParallelMatchesSerial extends the determinism guarantee
 // to the adaptive pipeline: sampling draws, throttle transitions and focus
 // policy pushes are all functions of simulated state, so the same seed must
-// produce a byte-identical merged trace at any worker count.
+// produce a byte-identical merged trace at any worker count — on the flat
+// topology and with the partitioned runner active.
 func TestAdaptiveTraceParallelMatchesSerial(t *testing.T) {
-	serial := adaptiveFingerprint(t, false, 0)
-	parallel := adaptiveFingerprint(t, true, 4)
-	if serial == parallel {
-		return
+	cases := []struct {
+		racks   int
+		workers []int
+	}{
+		{0, []int{4}},
+		{4, []int{2, 3, 8}},
 	}
-	a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if !bytes.Equal(a[i], b[i]) {
-			t.Fatalf("parallel adaptive trace diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
-				i+1, a[i], b[i])
+	for _, tc := range cases {
+		serial := adaptiveFingerprint(t, tc.racks, false, 0)
+		for _, w := range tc.workers {
+			parallel := adaptiveFingerprint(t, tc.racks, true, w)
+			if serial == parallel {
+				continue
+			}
+			a, b := bytes.Split([]byte(serial), []byte("\n")), bytes.Split([]byte(parallel), []byte("\n"))
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if !bytes.Equal(a[i], b[i]) {
+					t.Fatalf("racks=%d workers=%d adaptive trace diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+						tc.racks, w, i+1, a[i], b[i])
+				}
+			}
+			t.Fatalf("racks=%d workers=%d adaptive trace diverged from serial: lengths %d vs %d lines",
+				tc.racks, w, len(a), len(b))
 		}
 	}
-	t.Fatalf("parallel adaptive trace diverged from serial: lengths %d vs %d lines", len(a), len(b))
 }
 
 // TestAdaptiveClusterTrace checks the adaptive run end to end: sampling

@@ -45,6 +45,10 @@ var benchGates = map[string][]BenchCheck{
 		{Key: "rps_ratio", Op: ">=", Limit: 0.80,
 			Why: "completed throughput may not drop below 80% of the recorded baseline"},
 	},
+	// BENCH_parallel.json has a rows-based schema with conditional gating
+	// (speedup thresholds only make sense on multi-core hosts) and is
+	// handled by ParseParallelBench / GateParallelBench instead of flat
+	// key thresholds.
 	"BENCH_parallel.json": nil,
 }
 
@@ -100,6 +104,176 @@ func GateBenchFiles(dir string, log io.Writer) []string {
 				fmt.Fprintf(log, "%s: %s = %g %s %g ok\n", name, c.Key, val, c.Op, c.Limit)
 			}
 		}
+		if name == "BENCH_parallel.json" {
+			pb, err := ParseParallelBench(data)
+			if err != nil {
+				v = append(v, fmt.Sprintf("%s: %v", name, err))
+				continue
+			}
+			v = append(v, GateParallelBench(pb, log)...)
+		}
+	}
+	return v
+}
+
+// ParallelBenchRow is one {workers, GOMAXPROCS} configuration of the
+// partitioned-runner worker sweep.
+type ParallelBenchRow struct {
+	// Workers is the runner worker-goroutine count of the row.
+	Workers int `json:"workers"`
+	// Gomaxprocs is the host GOMAXPROCS the row ran under (min(workers,
+	// host_cpus) — workers beyond the core count cannot run simultaneously).
+	Gomaxprocs int `json:"gomaxprocs"`
+	// WallS is the row's host wall-clock seconds.
+	WallS float64 `json:"wall_s"`
+	// Speedup is serial_wall_s / wall_s.
+	Speedup float64 `json:"speedup"`
+	// IdenticalResults records that the row's virtual results fingerprint
+	// matched the serial baseline byte for byte. Any row with false fails
+	// validation: wall-clock numbers for a divergent run are meaningless.
+	IdenticalResults bool `json:"identical_results"`
+}
+
+// ParallelBench is the BENCH_parallel.json schema: one serial baseline plus
+// per-{workers, GOMAXPROCS} rows on a racked (partitioned-runner) topology.
+type ParallelBench struct {
+	Benchmark string `json:"benchmark"`
+	// HostCPUs is runtime.NumCPU() of the machine that produced the file;
+	// the speedup gate conditions on it.
+	HostCPUs int `json:"host_cpus"`
+	Nodes    int `json:"nodes"`
+	Ranks    int `json:"ranks"`
+	// Racks is the topology's rack count; must be >= 2 so the sweep
+	// actually exercises the partitioned runner.
+	Racks int `json:"racks"`
+	// SerialWallS is the workers=1 baseline wall clock.
+	SerialWallS float64 `json:"serial_wall_s"`
+	// VirtualExecS is the job's virtual execution time (identical across
+	// rows by construction).
+	VirtualExecS float64            `json:"virtual_exec_s"`
+	Rows         []ParallelBenchRow `json:"rows"`
+}
+
+// ParseParallelBench strict-parses and validates a BENCH_parallel.json
+// document: no duplicate keys anywhere, no unknown fields, and the schema
+// invariants that hold on every host — rows sorted by strictly increasing
+// worker count starting at the serial baseline, positive wall clocks, and
+// identical_results true on every row. Speedup *thresholds* live in
+// GateParallelBench because they depend on the recording host's cores.
+func ParseParallelBench(data []byte) (*ParallelBench, error) {
+	if _, err := FlattenJSON(data); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var pb ParallelBench
+	if err := dec.Decode(&pb); err != nil {
+		return nil, fmt.Errorf("parallel bench schema: %w", err)
+	}
+	if pb.Benchmark == "" {
+		return nil, fmt.Errorf("parallel bench: benchmark label missing")
+	}
+	if pb.HostCPUs < 1 {
+		return nil, fmt.Errorf("parallel bench: host_cpus = %d, want >= 1", pb.HostCPUs)
+	}
+	if pb.Nodes < 2 || pb.Ranks < 2 {
+		return nil, fmt.Errorf("parallel bench: nodes=%d ranks=%d, want >= 2", pb.Nodes, pb.Ranks)
+	}
+	if pb.Racks < 2 {
+		return nil, fmt.Errorf("parallel bench: racks = %d, want >= 2 (the sweep must exercise the partitioned runner)", pb.Racks)
+	}
+	if pb.SerialWallS <= 0 || pb.VirtualExecS <= 0 {
+		return nil, fmt.Errorf("parallel bench: non-positive serial_wall_s %g or virtual_exec_s %g",
+			pb.SerialWallS, pb.VirtualExecS)
+	}
+	if len(pb.Rows) < 2 {
+		return nil, fmt.Errorf("parallel bench: %d rows, want >= 2 (serial baseline plus at least one parallel row)", len(pb.Rows))
+	}
+	if pb.Rows[0].Workers != 1 {
+		return nil, fmt.Errorf("parallel bench: first row has workers=%d, want the workers=1 serial baseline", pb.Rows[0].Workers)
+	}
+	for i, r := range pb.Rows {
+		if i > 0 && r.Workers <= pb.Rows[i-1].Workers {
+			return nil, fmt.Errorf("parallel bench: rows[%d].workers = %d not strictly above rows[%d].workers = %d",
+				i, r.Workers, i-1, pb.Rows[i-1].Workers)
+		}
+		if r.Gomaxprocs < 1 {
+			return nil, fmt.Errorf("parallel bench: rows[%d].gomaxprocs = %d, want >= 1", i, r.Gomaxprocs)
+		}
+		if r.WallS <= 0 || r.Speedup <= 0 {
+			return nil, fmt.Errorf("parallel bench: rows[%d] non-positive wall_s %g or speedup %g", i, r.WallS, r.Speedup)
+		}
+		if !r.IdenticalResults {
+			return nil, fmt.Errorf("parallel bench: rows[%d] (workers=%d) identical_results=false — parallel run diverged from serial",
+				i, r.Workers)
+		}
+	}
+	return &pb, nil
+}
+
+// Speedup gate thresholds: on a host with >= ParallelGateFullCPUs cores the
+// 8-worker row must reach ParallelGateSpeedup; with >= ParallelGateMinCPUs
+// cores speedup must still strictly increase with worker count (up to the
+// core count); below that the gate skips loudly — a single-core host cannot
+// measure parallelism, and silently passing would be indistinguishable from
+// gating.
+const (
+	ParallelGateMinCPUs  = 4
+	ParallelGateFullCPUs = 8
+	ParallelGateSpeedup  = 4.0
+)
+
+// GateParallelBench applies the conditional multi-core speedup gate to an
+// already-validated payload, returning violations (empty = pass or skip).
+func GateParallelBench(pb *ParallelBench, log io.Writer) []string {
+	const name = "BENCH_parallel.json"
+	if pb.HostCPUs < ParallelGateMinCPUs {
+		if log != nil {
+			fmt.Fprintf(log, "%s: SPEEDUP GATE SKIPPED: host_cpus = %d < %d — a near-single-core host cannot measure multi-core speedup; schema and identical_results were still enforced\n",
+				name, pb.HostCPUs, ParallelGateMinCPUs)
+		}
+		return nil
+	}
+	var v []string
+	// Speedup must strictly increase with worker count while workers still
+	// map to distinct cores; beyond the core count extra workers only add
+	// scheduling noise, so those rows are exempt from monotonicity.
+	prev := pb.Rows[0]
+	for _, r := range pb.Rows[1:] {
+		if r.Workers > pb.HostCPUs {
+			break
+		}
+		if r.Speedup <= prev.Speedup {
+			v = append(v, fmt.Sprintf("%s: speedup %g at %d workers does not improve on %g at %d workers (host_cpus=%d) — the partitioned runner is not scaling",
+				name, r.Speedup, r.Workers, prev.Speedup, prev.Workers, pb.HostCPUs))
+		} else if log != nil {
+			fmt.Fprintf(log, "%s: %d workers: speedup %.2fx > %.2fx at %d workers ok\n",
+				name, r.Workers, r.Speedup, prev.Speedup, prev.Workers)
+		}
+		prev = r
+	}
+	if pb.HostCPUs >= ParallelGateFullCPUs {
+		gated := false
+		for _, r := range pb.Rows {
+			if r.Workers != ParallelGateFullCPUs {
+				continue
+			}
+			gated = true
+			if r.Speedup < ParallelGateSpeedup {
+				v = append(v, fmt.Sprintf("%s: speedup %g at %d workers below the %gx floor (host_cpus=%d)",
+					name, r.Speedup, r.Workers, ParallelGateSpeedup, pb.HostCPUs))
+			} else if log != nil {
+				fmt.Fprintf(log, "%s: %d workers: speedup %.2fx >= %.2fx floor ok\n",
+					name, r.Workers, r.Speedup, ParallelGateSpeedup)
+			}
+		}
+		if !gated {
+			v = append(v, fmt.Sprintf("%s: host has %d cpus but no %d-worker row to gate",
+				name, pb.HostCPUs, ParallelGateFullCPUs))
+		}
+	} else if log != nil {
+		fmt.Fprintf(log, "%s: %gx floor skipped: host_cpus = %d < %d (monotonicity still gated)\n",
+			name, ParallelGateSpeedup, pb.HostCPUs, ParallelGateFullCPUs)
 	}
 	return v
 }
@@ -128,9 +302,15 @@ func CheckBenchPayload(path string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	for _, c := range benchGates[filepath.Base(path)] {
+	base := filepath.Base(path)
+	for _, c := range benchGates[base] {
 		if _, ok := flat[c.Key]; !ok {
-			return fmt.Errorf("%s: gated key %q missing (or non-numeric)", filepath.Base(path), c.Key)
+			return fmt.Errorf("%s: gated key %q missing (or non-numeric)", base, c.Key)
+		}
+	}
+	if base == "BENCH_parallel.json" {
+		if _, err := ParseParallelBench(data); err != nil {
+			return fmt.Errorf("%s: %w", base, err)
 		}
 	}
 	return nil

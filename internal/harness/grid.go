@@ -51,6 +51,9 @@ type Grid struct {
 	Exp string
 	// Ranks axis (default {8}).
 	Ranks []int
+	// Racks axis: 0/1 = flat network, N > 1 = N racks with a higher
+	// cross-rack latency, which partitions the runner (default {0}).
+	Racks []int
 	// Workers axis: 0 = serial, N > 0 = parallel with N workers (default {0}).
 	Workers []int
 	// Faults axis: "none", "degraded", "crash" (default {"none"}).
@@ -62,11 +65,15 @@ type Grid struct {
 }
 
 // Cells expands the grid in deterministic nested-axis order
-// (ranks → workers → faults → trace → seeds).
+// (ranks → racks → workers → faults → trace → seeds).
 func (g Grid) Cells() []Params {
 	ranks := g.Ranks
 	if len(ranks) == 0 {
 		ranks = []int{8}
+	}
+	racks := g.Racks
+	if len(racks) == 0 {
+		racks = []int{0}
 	}
 	workers := g.Workers
 	if len(workers) == 0 {
@@ -86,20 +93,23 @@ func (g Grid) Cells() []Params {
 	}
 	var cells []Params
 	for _, r := range ranks {
-		for _, w := range workers {
-			for _, f := range faults {
-				for _, t := range trace {
-					for _, s := range seeds {
-						cells = append(cells, Params{
-							Exp:      g.Exp,
-							Ranks:    r,
-							Parallel: w > 0,
-							Workers:  w,
-							Faults:   f,
-							Trace:    t.Mode,
-							Rate:     t.Rate,
-							Seed:     s,
-						})
+		for _, rk := range racks {
+			for _, w := range workers {
+				for _, f := range faults {
+					for _, t := range trace {
+						for _, s := range seeds {
+							cells = append(cells, Params{
+								Exp:      g.Exp,
+								Ranks:    r,
+								Racks:    rk,
+								Parallel: w > 0,
+								Workers:  w,
+								Faults:   f,
+								Trace:    t.Mode,
+								Rate:     t.Rate,
+								Seed:     s,
+							})
+						}
 					}
 				}
 			}
@@ -140,6 +150,21 @@ func NamedGrids() map[string]Grid {
 			Exp:   "faults",
 			Ranks: []int{8},
 			Seeds: []uint64{1, 2},
+		},
+		// parscale is the partitioned-runner scaling grid: a racked cluster
+		// (4 racks of 2 nodes, so the runner splits into 4 groups) swept
+		// across worker counts. Every cell of one configuration must carry
+		// identical fingerprints regardless of worker count — the
+		// byte-identity invariant with the partitioned lookahead active.
+		"parscale": {
+			Name:    "parscale",
+			Exp:     "chiba",
+			Ranks:   []int{8},
+			Racks:   []int{4},
+			Workers: []int{0, 2, 3, 8},
+			Faults:  []string{"degraded"},
+			Trace:   []TraceAxis{{Mode: "adaptive", Rate: 0.25}},
+			Seeds:   []uint64{42},
 		},
 		// servegrid sweeps the serving workload across fault plans and
 		// execution modes.

@@ -48,6 +48,11 @@ type Params struct {
 	// byte-identical to serial, which the baseline gate exploits.
 	Parallel bool `json:"parallel,omitempty"`
 	Workers  int  `json:"workers,omitempty"`
+	// Racks, when > 1, splits the cluster into this many racks with a higher
+	// cross-rack latency (experiments.ChibaSpec.Racks). Unlike
+	// Parallel/Workers this changes the simulated network — and therefore
+	// results and fingerprints — so it is part of the cell's Name.
+	Racks int `json:"racks,omitempty"`
 	// Faults selects the fault plan: "", "none", "degraded" or "crash".
 	Faults string `json:"faults,omitempty"`
 	// Trace selects the trace pipeline: "", "off", "full" or "adaptive".
@@ -79,7 +84,11 @@ func (p Params) Name() string {
 	if trace == "adaptive" && p.Rate > 0 {
 		trace = fmt.Sprintf("adaptive%g", p.Rate)
 	}
-	return fmt.Sprintf("%s/r%d-%s-%s-%s-s%d", p.Exp, p.Ranks, mode, faults, trace, p.Seed)
+	racks := ""
+	if p.Racks > 1 {
+		racks = fmt.Sprintf("-rk%d", p.Racks)
+	}
+	return fmt.Sprintf("%s/r%d%s-%s-%s-%s-s%d", p.Exp, p.Ranks, racks, mode, faults, trace, p.Seed)
 }
 
 // CellResult is one cell's structured outcome. Everything except WallMS is

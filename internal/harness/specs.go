@@ -48,6 +48,7 @@ func chibaCell(ctx context.Context, p Params) *CellResult {
 	spec := experiments.DefaultChiba(ranks, 1)
 	spec.Seed = p.Seed
 	spec.Iters = 4
+	spec.Racks = p.Racks
 	spec.Parallel = p.Parallel
 	spec.Workers = p.Workers
 
@@ -215,6 +216,7 @@ func faultsCell(ctx context.Context, p Params) *CellResult {
 func serveCell(ctx context.Context, p Params) *CellResult {
 	spec := experiments.DefaultServe(p.Ranks)
 	spec.Seed = p.Seed
+	spec.Racks = p.Racks
 	spec.Parallel = p.Parallel
 	spec.Workers = p.Workers
 	switch p.Faults {

@@ -45,9 +45,11 @@ type msgMeta struct {
 // pushes from its node's window, the receiver pops from its own, and under
 // parallel execution the two can run concurrently — hence the lock. The
 // *values* popped are nevertheless deterministic: a message's metadata is
-// pushed at send time, at least one wire latency (= one window barrier)
-// before the receiver can have consumed the matching header bytes, so every
-// pop returns an entry whose position in the FIFO was fixed a window ago.
+// pushed at send time, at least one src→dst pair wire latency (= one
+// synchronisation span of the partitioned runner — a window inside a group,
+// an epoch across groups) before the receiver can have consumed the
+// matching header bytes, so every pop returns an entry whose position in
+// the FIFO was fixed before the receiver's span began.
 type metaQ struct {
 	mu sync.Mutex
 	q  []msgMeta

@@ -93,6 +93,14 @@ type ImpairFunc func(now sim.Time, f Frame) Impairment
 // destination engine (valid only when all NICs share one engine).
 type CrossDeliverFunc func(src, dst *NIC, at sim.Time, fn func())
 
+// PairLatencyFunc returns the one-way wire latency between two distinct
+// nodes, identified by their NIC engine indices. It lets a topology-aware
+// cluster give different node pairs different latencies (intra-rack vs
+// inter-rack); the value returned for a pair must never be below the
+// lookahead the execution layer assumes for that pair. It must be
+// deterministic, and safe to call concurrently from several nodes' windows.
+type PairLatencyFunc func(srcIdx, dstIdx int) time.Duration
+
 // Network is the switched interconnect joining all node NICs.
 type Network struct {
 	eng     *sim.Engine // default engine for Attach (single-engine setups)
@@ -100,6 +108,7 @@ type Network struct {
 	nics    map[string]*NIC
 	impair  ImpairFunc
 	deliver CrossDeliverFunc
+	pairLat PairLatencyFunc
 
 	// Stats counts delivered traffic and fault-layer activity. Under
 	// parallel execution the counters are updated atomically from several
@@ -141,6 +150,18 @@ func (n *Network) SetImpair(fn ImpairFunc) { n.impair = fn }
 
 // SetCrossDeliver installs the cross-engine delivery hook.
 func (n *Network) SetCrossDeliver(fn CrossDeliverFunc) { n.deliver = fn }
+
+// SetPairLatency installs (or clears, with nil) the per-pair wire latency
+// hook. When unset every cross-node pair uses Spec().Latency.
+func (n *Network) SetPairLatency(fn PairLatencyFunc) { n.pairLat = fn }
+
+// pairLatency returns the one-way wire latency from src to dst.
+func (n *Network) pairLatency(src, dst *NIC) time.Duration {
+	if n.pairLat != nil {
+		return n.pairLat(src.idx, dst.idx)
+	}
+	return n.spec.Latency
+}
 
 // Attach creates (or returns) the NIC for a node on the network's default
 // engine.
@@ -233,9 +254,10 @@ func (nic *NIC) schedule(dst *NIC, at sim.Time, f Frame) {
 }
 
 // Send transmits a frame. Same-node frames take the loopback path; others
-// serialize through this NIC's link and arrive after the wire latency.
-// Cross-node arrivals are always at least LinkSpec.Latency in the future,
-// which is the lookahead guarantee the windowed runner relies on.
+// serialize through this NIC's link and arrive after the pair's wire
+// latency. Cross-node arrivals are always at least that pair latency in the
+// future, which is the per-pair lookahead guarantee the windowed runner
+// relies on (uniform networks degenerate to LinkSpec.Latency everywhere).
 func (nic *NIC) Send(f Frame) {
 	n := nic.net
 	f.Src = nic.Node
@@ -257,7 +279,7 @@ func (nic *NIC) Send(f Frame) {
 		}
 		tx := n.txTime(f.Bytes)
 		nic.txFreeAt = start.Add(tx)
-		arrival = nic.txFreeAt.Add(n.spec.Latency)
+		arrival = nic.txFreeAt.Add(n.pairLatency(nic, dst))
 	}
 
 	// Fault layer: loopback traffic never touches the wire and is exempt.

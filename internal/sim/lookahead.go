@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyMatrix records, for every ordered engine pair (src, dst), the
+// minimum virtual latency of any cross-engine interaction from src to dst —
+// the per-pair lookahead. It is the topology input of the partitioned
+// runner: pairs joined by fast links are strongly coupled and must
+// synchronise tightly, pairs joined only by slow links can drift apart by
+// up to their pair lookahead without ever observing each other's past.
+//
+// Entries must be positive for every off-diagonal pair: a zero pair
+// lookahead would mean two engines can affect each other instantaneously,
+// which no conservative synchronisation scheme can parallelise.
+type LatencyMatrix struct {
+	n   int
+	d   []time.Duration // n*n, row-major; d[src*n+dst]
+	def time.Duration   // constructor default, the Min of a pairless 1-engine matrix
+}
+
+// NewLatencyMatrix returns an n-engine matrix with every off-diagonal pair
+// set to def. Individual pairs are then raised (or lowered) with SetPair.
+func NewLatencyMatrix(n int, def time.Duration) *LatencyMatrix {
+	if n <= 0 {
+		panic("sim: latency matrix needs at least one engine")
+	}
+	if def <= 0 {
+		panic("sim: latency matrix default must be positive")
+	}
+	m := &LatencyMatrix{n: n, d: make([]time.Duration, n*n), def: def}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.d[i*n+j] = def
+			}
+		}
+	}
+	return m
+}
+
+// Size returns the number of engines the matrix covers.
+func (m *LatencyMatrix) Size() int { return m.n }
+
+// SetPair sets the ordered pair lookahead src→dst. Setting a diagonal entry
+// or a non-positive latency panics.
+func (m *LatencyMatrix) SetPair(src, dst int, latency time.Duration) {
+	if src < 0 || src >= m.n || dst < 0 || dst >= m.n {
+		panic(fmt.Sprintf("sim: latency matrix pair out of range (src=%d dst=%d n=%d)", src, dst, m.n))
+	}
+	if src == dst {
+		panic("sim: latency matrix diagonal is not settable")
+	}
+	if latency <= 0 {
+		panic("sim: pair lookahead must be positive")
+	}
+	m.d[src*m.n+dst] = latency
+}
+
+// Pair returns the lookahead of the ordered pair src→dst (0 for src == dst:
+// an engine interacts with itself through its own calendar, not the runner).
+func (m *LatencyMatrix) Pair(src, dst int) time.Duration {
+	return m.d[src*m.n+dst]
+}
+
+// Min returns the smallest off-diagonal pair lookahead — the conservative
+// global window length a topology-blind runner would have to use. A
+// single-engine matrix has no pairs; its Min is the constructor default.
+func (m *LatencyMatrix) Min() time.Duration {
+	if m.n == 1 {
+		return m.def
+	}
+	var min time.Duration
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i == j {
+				continue
+			}
+			if v := m.d[i*m.n+j]; min == 0 || v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}
+
+// CoupleFactor is the partition threshold: engine pairs whose lookahead (in
+// either direction) is at most CoupleFactor times the matrix minimum are
+// considered strongly coupled and placed in one synchronisation group.
+// Pairs only reachable through slower links land in separate groups and
+// synchronise at the (longer) cross-group cadence. The grouping affects
+// only host scheduling, never results: any partition is correct, a good one
+// is merely faster.
+const CoupleFactor = 2
+
+// Partition splits the engines into synchronisation groups: connected
+// components of the graph whose edges are pairs with lookahead <= couple in
+// either direction. Groups are returned in ascending order of their lowest
+// engine index, each group's members ascending — a deterministic function
+// of the matrix alone.
+func (m *LatencyMatrix) Partition(couple time.Duration) [][]int {
+	parent := make([]int, m.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra // lowest index becomes the root, keeping order stable
+	}
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if m.d[i*m.n+j] <= couple || m.d[j*m.n+i] <= couple {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	var roots []int
+	for i := 0; i < m.n; i++ {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	// Roots are the lowest index of each component and i ascends, so roots
+	// and members are already sorted.
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, byRoot[r])
+	}
+	return groups
+}
+
+// minWithin returns the smallest pair lookahead between distinct members of
+// the group (0 for single-engine groups, which have no internal pairs and
+// therefore no internal window constraint).
+func (m *LatencyMatrix) minWithin(group []int) time.Duration {
+	var min time.Duration
+	for _, i := range group {
+		for _, j := range group {
+			if i == j {
+				continue
+			}
+			if v := m.d[i*m.n+j]; min == 0 || v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}
+
+// minAcross returns the smallest pair lookahead between engines of
+// different groups — the epoch span: no group may run further than this
+// past the point where every group last synchronised. Returns 0 when there
+// is only one group.
+func minAcross(m *LatencyMatrix, groupOf []int) time.Duration {
+	var min time.Duration
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i == j || groupOf[i] == groupOf[j] {
+				continue
+			}
+			if v := m.d[i*m.n+j]; min == 0 || v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}

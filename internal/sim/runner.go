@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 	"sync"
@@ -21,23 +22,79 @@ type xev struct {
 	fn  func()
 }
 
+// compareXev is the runner's merge comparator and an explicit strict total
+// order: events sort by virtual delivery time, ties between sources break
+// on source engine index, and ties within one source break on the
+// per-source sequence number, which is assigned in the source's (strictly
+// sequential) execution order. No two xevs share the same (src, seq), so
+// the relation is antisymmetric and total — sorting any permutation of the
+// same events produces the same sequence, which is what makes the merged
+// delivery order a pure function of the events themselves rather than of
+// goroutine interleaving.
+func compareXev(a, b xev) int {
+	if a.at != b.at {
+		return cmp.Compare(a.at, b.at)
+	}
+	if a.src != b.src {
+		return a.src - b.src
+	}
+	return cmp.Compare(a.seq, b.seq)
+}
+
+// runnerGroup is one synchronisation group of a partitioned runner: a set of
+// engines whose mutual lookahead is small enough that they must advance in
+// tight windows. Mid-epoch, a group is owned by exactly one worker
+// goroutine, so all its fields — including the pend buffer that carries
+// intra-group posts to the next group-local window — are accessed without
+// locks.
+type runnerGroup struct {
+	idx     int
+	members []int         // engine indices, ascending
+	window  time.Duration // min intra-group pair lookahead; 0 = single engine, no internal constraint
+
+	now       Time
+	windowEnd Time // end of the window currently running (valid mid-epoch)
+
+	pend []xev // intra-group posts awaiting the next group-local flush
+	xbuf []xev // per-destination-group merge scratch, filled at rendezvous
+
+	panicIdx int
+	panicVal any
+}
+
 // Runner executes a set of engines (one per simulated node) under
-// conservative time-windowed synchronisation. All engines run concurrently
-// through a window of virtual time no longer than the lookahead — the
-// minimum latency of any cross-engine interaction — with a barrier between
-// windows. Any event an engine posts for another engine is at least one
-// lookahead in the future, so it always lands in a window the destination
-// has not started yet; posts are merged at the barrier in (time, source,
-// per-source sequence) order, making the schedule byte-identical regardless
-// of worker count. A Runner with workers=1 is the serial execution mode:
-// it takes the exact same scheduling decisions as a parallel run.
+// conservative time-windowed synchronisation derived from a per-pair
+// lookahead matrix.
+//
+// With a uniform matrix (every pair at the same latency) all engines form
+// one synchronisation group and the runner behaves exactly as the classic
+// windowed design: all engines run concurrently through a window no longer
+// than the lookahead, with a barrier between windows, and cross-engine
+// posts merged at the barrier in (time, source, per-source sequence) order.
+//
+// With a topology-aware matrix the engines are partitioned into groups
+// (strongly-coupled pairs share a group; see LatencyMatrix.Partition) and
+// the global barrier is replaced by an epoch: all groups rendezvous every
+// min-cross-group-lookahead of virtual time, and between rendezvous each
+// group advances through its own window clock sized by its internal minimum
+// pair lookahead, entirely independently of the other groups. Cross-group
+// events are parked in an epoch inbox and merged — sorted once per
+// destination group — at the rendezvous; the pair lookahead guarantees they
+// can never land inside the epoch that posted them.
+//
+// In both modes the schedule is byte-identical regardless of worker count:
+// a Runner with workers=1 takes the exact same scheduling decisions as a
+// parallel run.
 type Runner struct {
 	engines   []*Engine
-	lookahead time.Duration
+	matrix    *LatencyMatrix
+	lookahead time.Duration // matrix minimum: the uniform-mode window length
 	workers   int
 
 	now Time
 
+	// Single-group (uniform) mode state. The inbox also carries all
+	// between-epoch posts in partitioned mode.
 	mu        sync.Mutex
 	inbox     []xev
 	spare     []xev // drained inbox buffer, swapped back in by flush
@@ -45,10 +102,19 @@ type Runner struct {
 	inWindow  bool
 	windowEnd Time
 
+	// Partitioned (multi-group) mode state; groups is nil when the matrix
+	// partitions into a single group.
+	groups   []*runnerGroup
+	groupOf  []int
+	xmin     time.Duration // min cross-group pair lookahead: the epoch span
+	inEpoch  bool
+	epochEnd Time
+
 	hooks []func()
 }
 
-// NewRunner returns a runner over the given engines. lookahead must be
+// NewRunner returns a runner over the given engines with a uniform per-pair
+// lookahead — the classic single-group windowed mode. lookahead must be
 // positive; workers is clamped to [1, len(engines)].
 func NewRunner(engines []*Engine, lookahead time.Duration, workers int) *Runner {
 	if len(engines) == 0 {
@@ -57,26 +123,80 @@ func NewRunner(engines []*Engine, lookahead time.Duration, workers int) *Runner 
 	if lookahead <= 0 {
 		panic("sim: runner lookahead must be positive")
 	}
+	return NewPartitionedRunner(engines, NewLatencyMatrix(len(engines), lookahead), workers)
+}
+
+// NewPartitionedRunner returns a runner whose synchronisation structure is
+// derived from the per-pair lookahead matrix: engines whose pair lookahead
+// is within CoupleFactor of the matrix minimum share a synchronisation
+// group; groups advance independently between epoch rendezvous. A matrix
+// that partitions into one group (for example any uniform matrix) yields
+// the classic global-window runner.
+func NewPartitionedRunner(engines []*Engine, m *LatencyMatrix, workers int) *Runner {
+	if len(engines) == 0 {
+		panic("sim: runner needs at least one engine")
+	}
+	if m == nil {
+		panic("sim: runner needs a latency matrix")
+	}
+	if m.Size() != len(engines) {
+		panic(fmt.Sprintf("sim: latency matrix size %d != engine count %d", m.Size(), len(engines)))
+	}
+	min := m.Min()
+	if min <= 0 {
+		panic("sim: latency matrix minimum pair lookahead must be positive")
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > len(engines) {
 		workers = len(engines)
 	}
-	return &Runner{
+	r := &Runner{
 		engines:   engines,
-		lookahead: lookahead,
+		matrix:    m,
+		lookahead: min,
 		workers:   workers,
 		seqs:      make([]uint64, len(engines)),
 	}
+	parts := m.Partition(CoupleFactor * min)
+	if len(parts) > 1 {
+		r.groupOf = make([]int, len(engines))
+		r.groups = make([]*runnerGroup, len(parts))
+		for gi, members := range parts {
+			r.groups[gi] = &runnerGroup{idx: gi, members: members, window: m.minWithin(members), panicIdx: -1}
+			for _, ei := range members {
+				r.groupOf[ei] = gi
+			}
+		}
+		r.xmin = minAcross(m, r.groupOf)
+	}
+	return r
 }
 
 // Now returns the runner's virtual time: the end of the last completed
-// window. Individual engine clocks never lag it between windows.
+// window (or epoch, in partitioned mode). Individual engine clocks never
+// lag it between windows.
 func (r *Runner) Now() Time { return r.now }
 
-// Lookahead returns the window length.
+// Lookahead returns the minimum pair lookahead — the window length in
+// uniform mode, and a lower bound on every pair's lookahead in partitioned
+// mode. A post at Now()+Lookahead() is legal from any barrier hook.
 func (r *Runner) Lookahead() time.Duration { return r.lookahead }
+
+// PairLookahead returns the lookahead of the ordered engine pair src→dst:
+// the minimum virtual delay of any cross-engine post from src to dst. For
+// src == dst it returns the global minimum, preserving the historical
+// timing of self-directed cross-calls.
+func (r *Runner) PairLookahead(src, dst int) time.Duration {
+	if src < 0 || src >= len(r.engines) || dst < 0 || dst >= len(r.engines) {
+		panic(fmt.Sprintf("sim: pair lookahead with engine out of range (src=%d dst=%d n=%d)", src, dst, len(r.engines)))
+	}
+	if src == dst {
+		return r.lookahead
+	}
+	return r.matrix.Pair(src, dst)
+}
 
 // Workers returns the number of worker goroutines used per window.
 func (r *Runner) Workers() int { return r.workers }
@@ -85,10 +205,43 @@ func (r *Runner) Workers() int { return r.workers }
 // Post). The slice must not be mutated.
 func (r *Runner) Engines() []*Engine { return r.engines }
 
+// Partitioned reports whether the runner is in multi-group mode.
+func (r *Runner) Partitioned() bool { return len(r.groups) > 1 }
+
+// Groups returns the synchronisation groups as slices of engine indices, in
+// ascending order of their lowest member. A uniform topology yields a
+// single group holding every engine.
+func (r *Runner) Groups() [][]int {
+	if len(r.groups) == 0 {
+		all := make([]int, len(r.engines))
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	out := make([][]int, len(r.groups))
+	for i, g := range r.groups {
+		out[i] = slices.Clone(g.members)
+	}
+	return out
+}
+
+// EpochSpan returns the virtual-time distance between global rendezvous: the
+// minimum cross-group pair lookahead in partitioned mode, or the window
+// length (every window is a rendezvous) in uniform mode.
+func (r *Runner) EpochSpan() time.Duration {
+	if len(r.groups) > 1 {
+		return r.xmin
+	}
+	return r.lookahead
+}
+
 // OnBarrier registers fn to run on the runner's goroutine at every window
 // barrier, after all engines have finished the window and cross-engine
 // events have been merged. Barrier hooks are the sanctioned way to publish
-// one node's state for other nodes to read in the next window.
+// one node's state for other nodes to read in the next window. In
+// partitioned mode the barrier is the epoch rendezvous: hooks run once per
+// epoch, when every group's clock has reached the epoch end.
 func (r *Runner) OnBarrier(fn func()) {
 	if fn == nil {
 		panic("sim: nil barrier hook")
@@ -98,8 +251,11 @@ func (r *Runner) OnBarrier(fn func()) {
 
 // Post schedules fn at virtual time at on engine dst, on behalf of engine
 // src. It is the only safe way to schedule across engines while a window is
-// running, and it panics if at lands inside the current window — that is a
-// lookahead violation and would make results depend on worker interleaving.
+// running, and it panics if at arrives earlier than the pair lookahead
+// src→dst permits — such a post is a lookahead violation and would make
+// results depend on worker interleaving. Posts are merged in compareXev
+// order at the next barrier (uniform mode), the next group-local window
+// flush (intra-group), or the next epoch rendezvous (cross-group).
 func (r *Runner) Post(src, dst int, at Time, fn func()) {
 	if src < 0 || src >= len(r.engines) || dst < 0 || dst >= len(r.engines) {
 		panic(fmt.Sprintf("sim: post with engine out of range (src=%d dst=%d n=%d)", src, dst, len(r.engines)))
@@ -107,21 +263,70 @@ func (r *Runner) Post(src, dst int, at Time, fn func()) {
 	if fn == nil {
 		panic("sim: nil cross-engine event callback")
 	}
+	if len(r.groups) > 1 {
+		r.postGrouped(src, dst, at, fn)
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.inWindow && at < r.windowEnd {
-		panic(fmt.Sprintf("sim: cross-engine post at %v violates lookahead window ending at %v", at, r.windowEnd))
+		panic(fmt.Sprintf("sim: cross-engine post %d->%d at %v violates pair lookahead %v (window ends at %v)",
+			src, dst, at, r.PairLookahead(src, dst), r.windowEnd))
 	}
 	if !r.inWindow && at < r.now {
-		panic(fmt.Sprintf("sim: cross-engine post at %v before now %v", at, r.now))
+		panic(fmt.Sprintf("sim: cross-engine post %d->%d at %v before now %v", src, dst, at, r.now))
 	}
 	r.seqs[src]++
 	r.inbox = append(r.inbox, xev{at: at, dst: dst, src: src, seq: r.seqs[src], fn: fn})
 }
 
-// flush drains the inbox into the destination engines in (at, src, seq)
-// order. Called between windows only. The drained buffer is recycled into
-// the next window's inbox so a steady cross-traffic rate stops allocating.
+// postGrouped is the partitioned-mode post path. Mid-epoch it runs on the
+// goroutine that owns src's group (cross-engine events always originate
+// from the executing engine), so group-local state needs no locking; only
+// the cross-group inbox append takes the mutex. Between epochs all posts
+// come from the runner goroutine (hooks and boot wiring) and are parked in
+// the inbox for the next rendezvous flush.
+func (r *Runner) postGrouped(src, dst int, at Time, fn func()) {
+	if !r.inEpoch {
+		if at < r.now {
+			panic(fmt.Sprintf("sim: cross-engine post %d->%d at %v before now %v", src, dst, at, r.now))
+		}
+		r.seqs[src]++
+		r.inbox = append(r.inbox, xev{at: at, dst: dst, src: src, seq: r.seqs[src], fn: fn})
+		return
+	}
+	if src == dst {
+		// A self-directed post never crosses goroutines: the engine is owned
+		// by this executor, so it is delivered directly to its own calendar
+		// (which enforces at >= the engine clock) without window constraints.
+		r.engines[src].At(at, fn)
+		return
+	}
+	g := r.groups[r.groupOf[src]]
+	if r.groupOf[dst] == g.idx {
+		if at < g.windowEnd {
+			panic(fmt.Sprintf("sim: cross-engine post %d->%d at %v violates pair lookahead %v (group %d window ends at %v)",
+				src, dst, at, r.matrix.Pair(src, dst), g.idx, g.windowEnd))
+		}
+		r.seqs[src]++
+		g.pend = append(g.pend, xev{at: at, dst: dst, src: src, seq: r.seqs[src], fn: fn})
+		return
+	}
+	if at < r.epochEnd {
+		panic(fmt.Sprintf("sim: cross-engine post %d->%d at %v violates pair lookahead %v (epoch ends at %v)",
+			src, dst, at, r.matrix.Pair(src, dst), r.epochEnd))
+	}
+	r.seqs[src]++
+	x := xev{at: at, dst: dst, src: src, seq: r.seqs[src], fn: fn}
+	r.mu.Lock()
+	r.inbox = append(r.inbox, x)
+	r.mu.Unlock()
+}
+
+// flush drains the inbox into the destination engines in compareXev order.
+// Called between windows only. Delivery and callback release happen in one
+// pass, and the drained buffer is recycled into the next window's inbox so
+// a steady cross-traffic rate stops allocating.
 func (r *Runner) flush() {
 	r.mu.Lock()
 	pend := r.inbox
@@ -131,37 +336,77 @@ func (r *Runner) flush() {
 		r.spare = pend
 		return
 	}
-	slices.SortFunc(pend, func(a, b xev) int {
-		if a.at != b.at {
-			if a.at < b.at {
-				return -1
-			}
-			return 1
-		}
-		if a.src != b.src {
-			return a.src - b.src
-		}
-		if a.seq < b.seq {
-			return -1
-		}
-		return 1
-	})
-	for _, x := range pend {
-		r.engines[x.dst].At(x.at, x.fn)
-	}
+	slices.SortFunc(pend, compareXev)
 	for i := range pend {
+		r.engines[pend[i].dst].At(pend[i].at, pend[i].fn)
 		pend[i].fn = nil
 	}
 	r.spare = pend[:0]
 }
 
-// Step flushes pending cross-engine events and runs one window ending no
-// later than limit, then runs the barrier hooks. The final window — the one
-// whose end is clamped to limit — is closed: events scheduled exactly at
-// limit fire. Empty spans are skipped by starting the window at the earliest
-// pending event. Step returns false, without touching any clock, when no
-// engine has a pending event and the inbox is empty.
+// flushLocal delivers a group's intra-group posts into its member engines in
+// compareXev order. Called only by the goroutine that owns the group (and by
+// the runner goroutine at rendezvous, when no group is running).
+func (g *runnerGroup) flushLocal(r *Runner) {
+	if len(g.pend) == 0 {
+		return
+	}
+	slices.SortFunc(g.pend, compareXev)
+	for i := range g.pend {
+		r.engines[g.pend[i].dst].At(g.pend[i].at, g.pend[i].fn)
+		g.pend[i].fn = nil
+	}
+	g.pend = g.pend[:0]
+}
+
+// flushCross drains the epoch inbox at a rendezvous: events are bucketed by
+// destination group, each bucket is sorted once in compareXev order, and
+// delivered bucket by bucket. Per-group sorting keeps the merge cost
+// proportional to each group's own traffic instead of resorting the global
+// stream, and bucket order (ascending group index) is fixed, so the engine
+// insertion sequence is a pure function of the event set.
+func (r *Runner) flushCross() {
+	for _, g := range r.groups {
+		g.flushLocal(r)
+	}
+	r.mu.Lock()
+	pend := r.inbox
+	r.inbox = r.spare[:0]
+	r.mu.Unlock()
+	if len(pend) == 0 {
+		r.spare = pend
+		return
+	}
+	for i := range pend {
+		g := r.groups[r.groupOf[pend[i].dst]]
+		g.xbuf = append(g.xbuf, pend[i])
+		pend[i].fn = nil
+	}
+	r.spare = pend[:0]
+	for _, g := range r.groups {
+		if len(g.xbuf) == 0 {
+			continue
+		}
+		slices.SortFunc(g.xbuf, compareXev)
+		for i := range g.xbuf {
+			r.engines[g.xbuf[i].dst].At(g.xbuf[i].at, g.xbuf[i].fn)
+			g.xbuf[i].fn = nil
+		}
+		g.xbuf = g.xbuf[:0]
+	}
+}
+
+// Step flushes pending cross-engine events and runs one window (uniform
+// mode) or one epoch (partitioned mode) ending no later than limit, then
+// runs the barrier hooks. The final span — the one whose end is clamped to
+// limit — is closed: events scheduled exactly at limit fire. Empty spans
+// are skipped by starting at the earliest pending event. Step returns
+// false, without touching any clock, when no engine has a pending event and
+// all post buffers are empty.
 func (r *Runner) Step(limit Time) bool {
+	if len(r.groups) > 1 {
+		return r.stepGrouped(limit)
+	}
 	r.flush()
 	var earliest Time
 	pending := false
@@ -266,6 +511,165 @@ func (r *Runner) Step(limit Time) bool {
 	return true
 }
 
+// stepGrouped runs one epoch: a rendezvous flush, then every group advances
+// independently — each through its own sequence of group-local windows —
+// until all clocks reach the epoch end, then the barrier hooks. The epoch
+// span is the minimum cross-group pair lookahead, so no cross-group event
+// posted inside the epoch can land before the next rendezvous; within a
+// group the usual window invariant holds against the group's own (shorter)
+// minimum pair lookahead. Worker goroutines pull whole groups, never
+// individual engines: everything a group touches mid-epoch is owned by one
+// goroutine, which is what keeps the group-local flush lock-free.
+func (r *Runner) stepGrouped(limit Time) bool {
+	r.flushCross()
+	var earliest Time
+	pending := false
+	for _, e := range r.engines {
+		if t, ok := e.NextEventAt(); ok && (!pending || t < earliest) {
+			earliest, pending = t, true
+		}
+	}
+	if !pending {
+		return false
+	}
+	start := r.now
+	if earliest > start {
+		start = earliest
+	}
+	if start > limit {
+		start = limit
+	}
+	end := start.Add(r.xmin)
+	closed := false
+	if end >= limit {
+		end = limit
+		closed = true
+	}
+
+	for _, g := range r.groups {
+		g.panicIdx = -1
+		g.panicVal = nil
+	}
+	r.inEpoch = true
+	r.epochEnd = end
+
+	if r.workers == 1 {
+		for _, g := range r.groups {
+			r.runGroupEpoch(g, end, closed)
+		}
+	} else {
+		// Hoisted into a separate method so the goroutine closure's captures
+		// do not force end/closed onto the heap on the serial path above.
+		r.runEpochParallel(end, closed)
+	}
+	r.inEpoch = false
+
+	// Panic propagation: the lowest-indexed engine's panic surfaces no
+	// matter how groups were scheduled across workers.
+	panicIdx, panicVal := -1, any(nil)
+	for _, g := range r.groups {
+		if g.panicIdx >= 0 && (panicIdx < 0 || g.panicIdx < panicIdx) {
+			panicIdx, panicVal = g.panicIdx, g.panicVal
+		}
+	}
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
+
+	r.now = end
+	for _, h := range r.hooks {
+		h()
+	}
+	return true
+}
+
+// runEpochParallel runs every group's epoch on a worker pool. Workers pull
+// whole groups from a shared counter; group order of completion is
+// irrelevant because groups share no mid-epoch state.
+func (r *Runner) runEpochParallel(end Time, closed bool) {
+	workers := r.workers
+	if workers > len(r.groups) {
+		workers = len(r.groups)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(r.groups) {
+					return
+				}
+				r.runGroupEpoch(r.groups[i], end, closed)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runGroupEpoch advances one group from its current clock to the epoch end
+// through consecutive group-local windows. Each window is sized by the
+// group's internal minimum pair lookahead, starts no earlier than the
+// group's earliest pending event (empty spans are skipped), and is clamped
+// to the epoch end; the final window of a closed epoch is itself closed.
+// A panicking engine is recorded (lowest member index wins), the remaining
+// members still finish the current window, and the group stops advancing —
+// the panic is re-raised at the rendezvous.
+func (r *Runner) runGroupEpoch(g *runnerGroup, epochEnd Time, closed bool) {
+	for {
+		g.flushLocal(r)
+		var earliest Time
+		pending := false
+		for _, ei := range g.members {
+			if t, ok := r.engines[ei].NextEventAt(); ok && (!pending || t < earliest) {
+				earliest, pending = t, true
+			}
+		}
+		start := g.now
+		if pending && earliest > start {
+			start = earliest
+		}
+		if start > epochEnd {
+			start = epochEnd
+		}
+		end := epochEnd
+		final := true
+		if pending && g.window > 0 {
+			if w := start.Add(g.window); w < epochEnd {
+				end, final = w, false
+			}
+		}
+		g.windowEnd = end
+		runClosed := closed && final
+		for _, ei := range g.members {
+			r.runEngineSpan(g, ei, end, runClosed)
+		}
+		g.now = end
+		if g.panicIdx >= 0 || final {
+			return
+		}
+	}
+}
+
+// runEngineSpan runs one engine through [.., end), catching a simulated
+// application panic so the rest of the group still finishes the window.
+func (r *Runner) runEngineSpan(g *runnerGroup, ei int, end Time, closed bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			if g.panicIdx < 0 || ei < g.panicIdx {
+				g.panicIdx, g.panicVal = ei, v
+			}
+		}
+	}()
+	if closed {
+		r.engines[ei].RunUntil(end)
+	} else {
+		r.engines[ei].RunWindow(end)
+	}
+}
+
 // RunUntil runs windows until virtual time t. If the calendar drains first,
 // every clock is advanced to t so relative scheduling keeps working.
 func (r *Runner) RunUntil(t Time) {
@@ -273,6 +677,9 @@ func (r *Runner) RunUntil(t Time) {
 		if !r.Step(t) {
 			for _, e := range r.engines {
 				e.RunUntil(t)
+			}
+			for _, g := range r.groups {
+				g.now = t
 			}
 			r.now = t
 			for _, h := range r.hooks {

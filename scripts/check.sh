@@ -49,7 +49,14 @@ go test -race ./internal/analysis/ ./internal/ktau/ ./internal/ktrace/ ./interna
 echo "== go test -race (fault injection + pipeline) =="
 go test -race ./internal/faultsim/ ./internal/perfmon/
 
-echo "== go test -race (parallel runner + cluster + serial/parallel cross-check) =="
+echo "== go test -race (partitioned runner + cluster + serial/parallel cross-check) =="
+# The sim package covers the partitioned runner itself (latency-matrix
+# partitioning, epoch rendezvous, merge order, zero-alloc steady state); the
+# experiments cross-checks then pin byte identity of the full monitored,
+# fault-injected workloads against serial on both the flat topology (the
+# classic single-group runner, 4 workers) and a racked one that partitions
+# the runner, at workers {2, 3, 8} — more groups than workers, workers that
+# don't divide groups, and more workers than groups.
 go test -race ./internal/sim/ ./internal/cluster/
 go test -race ./internal/experiments/ -run TestParallelMatchesSerialByteForByte
 
@@ -89,6 +96,14 @@ grep -q '<!DOCTYPE html>' "$report_html_tmp" || {
     echo "check.sh: smoke sweep HTML report was not written" >&2
     exit 1
 }
+
+echo "== sweep parscale grid (racked topology, gated against committed baseline) =="
+# 8 ranks on a 4-rack topology x workers {serial, 2, 3, 8} x DegradedPlan x
+# adaptive trace. The racked cells run the *partitioned* runner (per-rack
+# groups, epoch rendezvous); all four cells must carry the one committed
+# fingerprint in testdata/sweeps/parscale.json — the byte-identity
+# invariant, held in the harness across worker counts.
+go run ./cmd/ktau-sweep -grid parscale -timeout 90s -gate
 
 echo "== longitudinal trend report (renders from testdata/longitudinal) =="
 trend_tmp=$(mktemp /tmp/ktau_trend_XXXXXX.md)
@@ -142,6 +157,13 @@ echo "== bench gate (strict-parse + thresholds on all BENCH_*.json) =="
 # <= 25%, adaptive < 5%, Chiba speedup >= 1.25x, serve p99 <= 1.25x and
 # throughput >= 0.80x of the recorded baselines). Missing or renamed keys
 # fail loudly instead of producing an empty capture.
+#
+# BENCH_parallel.json gets the conditional multi-core speedup gate: every
+# row must have identical_results (enforced unconditionally), and on hosts
+# with >= 4 CPUs speedup must strictly increase with worker count up to the
+# core count; with >= 8 CPUs the 8-worker row must also clear the 4x floor.
+# On smaller hosts the speedup portion SKIPS LOUDLY (a "SPEEDUP GATE
+# SKIPPED" line) rather than silently passing.
 go run ./cmd/ktau-sweep -bench-gate
 
 echo "check.sh: all green"
